@@ -1,0 +1,13 @@
+//! `cargo bench -p wgtt-bench` entry point: replays every table and
+//! figure of the paper in fast mode and prints the reproduced rows.
+
+fn main() {
+    // Criterion-style filtering args are ignored; this harness always
+    // runs the full (fast-mode) experiment suite.
+    for (id, report) in wgtt_bench::all_experiments() {
+        println!("=== {id} ===");
+        let t0 = std::time::Instant::now();
+        print!("{}", report(true));
+        println!("[{id} took {:.1?}]\n", t0.elapsed());
+    }
+}

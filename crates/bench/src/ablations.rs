@@ -1,0 +1,163 @@
+//! Mechanism ablations (DESIGN.md §6).
+//!
+//! Each of WGTT's mechanisms is disabled in isolation against the default
+//! system on identical channel realizations:
+//!
+//! * `no-flush` — switches happen but the new AP starts from the stream
+//!   head instead of index `k`, and the old AP drains its whole backlog
+//!   (the paper's §3 motivation for queue management);
+//! * `no-ba-fwd` — lost Block ACKs are never recovered from neighbour APs,
+//!   inflating link-layer retransmissions (§3.2.1);
+//! * `no-dedup` — duplicate uplink copies reach the server, causing
+//!   spurious TCP behaviour (§3.2.3);
+//! * `no-ctrl-priority` — control packets queue behind data at APs,
+//!   inflating the switch protocol's execution time (§3.1.2).
+
+use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_core::runner::Scenario;
+
+/// Outcome of one configuration.
+#[derive(Debug, Serialize)]
+pub struct AblationRow {
+    /// Configuration name.
+    pub name: String,
+    /// Mean TCP goodput, Mbit/s.
+    pub tcp_mbps: f64,
+    /// Mean UDP goodput, Mbit/s.
+    pub udp_mbps: f64,
+    /// Mean switch-protocol execution time, ms.
+    pub switch_ms: f64,
+    /// Link-layer retransmissions per delivered MPDU.
+    pub rtx_per_delivery: f64,
+    /// TCP segments retransmitted by the sender (spurious ones included —
+    /// the no-dedup ablation inflates this).
+    pub tcp_retransmits: f64,
+}
+
+fn apply(name: &str, s: &mut Scenario) {
+    match name {
+        "full" => {}
+        "no-flush" => s.config.flush_on_switch = false,
+        "no-ba-fwd" => s.config.ba_forwarding = false,
+        "no-dedup" => s.config.uplink_dedup = false,
+        "no-ctrl-priority" => s.config.control_priority = false,
+        // Robustness knob rather than a mechanism: 4 dB of spatially
+        // correlated shadowing on every link.
+        "shadowing-4db" => s.config.link.shadowing.sigma_db = 4.0,
+        other => panic!("unknown ablation {other}"),
+    }
+}
+
+/// Measures one configuration.
+pub fn run_experiment(name: &str, fast: bool) -> AblationRow {
+    let seeds = seeds_for(fast, 2);
+    let tcp_runs = sweep_seeds(seeds.clone(), |seed| {
+        let mut s = tcp_drive(Mode::Wgtt, 15.0, seed);
+        apply(name, &mut s);
+        s
+    });
+    let udp_runs = sweep_seeds(seeds, |seed| {
+        let mut s = udp_drive(Mode::Wgtt, 15.0, seed);
+        apply(name, &mut s);
+        s
+    });
+    let switch_ms = {
+        let mut times = Vec::new();
+        for r in &udp_runs {
+            for rec in r.world.ctrl.engine.history() {
+                times.push(rec.execution_time().as_secs_f64() * 1000.0);
+            }
+        }
+        wgtt_sim::stats::mean(&times)
+    };
+    let rtx = mean_over(&udp_runs, |r| {
+        let m = &r.world.clients[0].metrics;
+        if m.mpdu_successes == 0 {
+            0.0
+        } else {
+            m.mpdu_retransmits as f64 / m.mpdu_successes as f64
+        }
+    });
+    let tcp_rtx = mean_over(&tcp_runs, |r| match &r.world.flows[0].kind {
+        wgtt_core::world::FlowKind::DownTcp(s) => s.retransmit_count() as f64,
+        _ => 0.0,
+    });
+    AblationRow {
+        name: name.into(),
+        tcp_mbps: mean_over(&tcp_runs, |r| r.downlink_bps(0)) / 1e6,
+        udp_mbps: mean_over(&udp_runs, |r| r.downlink_bps(0)) / 1e6,
+        switch_ms,
+        rtx_per_delivery: rtx,
+        tcp_retransmits: tcp_rtx,
+    }
+}
+
+/// Runs and renders the ablation matrix.
+pub fn report(fast: bool) -> String {
+    let rows: Vec<AblationRow> = [
+        "full",
+        "no-flush",
+        "no-ba-fwd",
+        "no-dedup",
+        "no-ctrl-priority",
+        "shadowing-4db",
+    ]
+        .iter()
+        .map(|name| run_experiment(name, fast))
+        .collect();
+    save_json("ablations", &rows);
+    let table = crate::common::render_table(
+        &[
+            "config",
+            "TCP (Mb/s)",
+            "UDP (Mb/s)",
+            "switch (ms)",
+            "rtx/delivery",
+            "tcp rtx",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.2}", r.tcp_mbps),
+                    format!("{:.2}", r.udp_mbps),
+                    format!("{:.1}", r.switch_ms),
+                    format!("{:.2}", r.rtx_per_delivery),
+                    format!("{:.0}", r.tcp_retransmits),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!("Ablations — each WGTT mechanism disabled in isolation\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_priority_keeps_switches_fast() {
+        let full = run_experiment("full", true);
+        let slow = run_experiment("no-ctrl-priority", true);
+        // The 30 ms stop-retransmission races the slowed protocol, so the
+        // measured inflation is less than the raw +30 ms penalty — but it
+        // must be clearly visible.
+        assert!(
+            slow.switch_ms > full.switch_ms + 4.0,
+            "priority ablation had no effect: {full:?} vs {slow:?}"
+        );
+    }
+
+    #[test]
+    fn queue_flush_matters_for_tcp() {
+        let full = run_experiment("full", true);
+        let noflush = run_experiment("no-flush", true);
+        assert!(
+            full.tcp_mbps > noflush.tcp_mbps,
+            "flush ablation had no TCP cost: {full:?} vs {noflush:?}"
+        );
+    }
+}

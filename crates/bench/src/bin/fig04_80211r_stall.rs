@@ -1,0 +1,7 @@
+//! Runs the fig04_80211r_stall experiment at full fidelity (pass `--fast` for a
+//! quick single-seed pass).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    print!("{}", wgtt_bench::fig04::report(fast));
+}

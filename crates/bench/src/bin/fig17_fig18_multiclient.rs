@@ -1,0 +1,7 @@
+//! Runs the fig17_fig18_multiclient experiment at full fidelity (pass `--fast` for a
+//! quick single-seed pass).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    print!("{}", wgtt_bench::fig17::report(fast));
+}

@@ -1,0 +1,12 @@
+//! Runs every experiment in paper order and prints all reports —
+//! regenerates the complete evaluation (pass `--fast` for a quick pass).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    for (id, report) in wgtt_bench::all_experiments() {
+        println!("=== {id} ===");
+        let t0 = std::time::Instant::now();
+        print!("{}", report(fast));
+        println!("[{id} took {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,106 @@
+//! Extension — multi-channel settings (paper §7, Discussion).
+//!
+//! The paper predicts that putting adjacent APs on different channels
+//! would avoid inter-AP interference but "the nearby APs working on
+//! different channels would be unable to forward overheard packets,
+//! resulting in a higher uplink packet loss rate", and spectrum efficiency
+//! would drop. This harness tests the prediction: single-channel (the
+//! deployed design) versus a 3-channel plan (1/6/11-style striping) on the
+//! same drives.
+
+use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive, UDP_PAYLOAD};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_core::runner::{FlowSpec, Scenario};
+
+/// Results for one channel plan.
+#[derive(Debug, Serialize)]
+pub struct ChannelPlanRow {
+    /// Number of channels in the stripe (1 = the paper's deployment).
+    pub channels: usize,
+    /// Downlink TCP goodput, Mbit/s.
+    pub tcp_mbps: f64,
+    /// Downlink UDP goodput, Mbit/s.
+    pub udp_mbps: f64,
+    /// Uplink UDP loss rate.
+    pub uplink_loss: f64,
+    /// Block ACKs recovered via forwarding (per drive).
+    pub ba_forwarded: f64,
+}
+
+/// Measures one channel plan.
+pub fn run_experiment(channels: usize, fast: bool) -> ChannelPlanRow {
+    let seeds = seeds_for(fast, 2);
+    let with_plan = |mut s: Scenario| {
+        s.config.channel_stride = channels;
+        s
+    };
+    let tcp_runs = sweep_seeds(seeds.clone(), |seed| with_plan(tcp_drive(Mode::Wgtt, 15.0, seed)));
+    let udp_runs = sweep_seeds(seeds.clone(), |seed| with_plan(udp_drive(Mode::Wgtt, 15.0, seed)));
+    let up_runs = sweep_seeds(seeds, |seed| {
+        with_plan(Scenario::single_drive(
+            crate::common::config(Mode::Wgtt),
+            15.0,
+            vec![FlowSpec::UplinkUdp {
+                rate_bps: 4_000_000,
+                payload: UDP_PAYLOAD,
+            }],
+            seed,
+        ))
+    });
+    ChannelPlanRow {
+        channels,
+        tcp_mbps: mean_over(&tcp_runs, |r| r.downlink_bps(0)) / 1e6,
+        udp_mbps: mean_over(&udp_runs, |r| r.downlink_bps(0)) / 1e6,
+        uplink_loss: mean_over(&up_runs, |r| {
+            r.world.flows[0].up_sink.as_ref().map_or(0.0, |s| s.loss_rate())
+        }),
+        ba_forwarded: mean_over(&udp_runs, |r| {
+            r.world.clients[0].metrics.ba_forwarded_applied as f64
+        }),
+    }
+}
+
+/// Runs and renders the extension study.
+pub fn report(fast: bool) -> String {
+    let rows: Vec<ChannelPlanRow> = [1usize, 3]
+        .iter()
+        .map(|&n| run_experiment(n, fast))
+        .collect();
+    save_json("ext_multichannel", &rows);
+    let table = crate::common::render_table(
+        &["channels", "TCP (Mb/s)", "UDP (Mb/s)", "uplink loss", "BA fwd"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.channels.to_string(),
+                    format!("{:.2}", r.tcp_mbps),
+                    format!("{:.2}", r.udp_mbps),
+                    format!("{:.3}", r.uplink_loss),
+                    format!("{:.0}", r.ba_forwarded),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        "Extension (§7) — single-channel vs 3-channel striping under WGTT\n{table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_raises_uplink_loss() {
+        // The paper's §7 prediction: losing cross-AP overhearing hurts the
+        // uplink.
+        let single = run_experiment(1, true);
+        let striped = run_experiment(3, true);
+        assert!(
+            striped.uplink_loss > single.uplink_loss,
+            "striping did not raise uplink loss: {single:?} vs {striped:?}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Fig 13 — TCP and UDP throughput vs client speed.
+//!
+//! The headline end-to-end result: WGTT holds its throughput roughly flat
+//! from 5 to 35 mph while Enhanced 802.11r degrades with speed, giving the
+//! paper's 2.4–4.7× TCP and 2.6–4.0× UDP gains. A stationary client shows
+//! only a small gap (both systems sit on one good AP).
+
+use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_core::runner::{ClientSpec, FlowSpec, Scenario, TrajectorySpec};
+use wgtt_sim::SimDuration;
+
+/// One data point.
+#[derive(Debug, Serialize)]
+pub struct SpeedPoint {
+    /// Client speed, mph (0 = stationary).
+    pub mph: f64,
+    /// WGTT goodput, Mbit/s.
+    pub wgtt_mbps: f64,
+    /// Baseline goodput, Mbit/s.
+    pub baseline_mbps: f64,
+}
+
+impl SpeedPoint {
+    /// WGTT / baseline ratio.
+    pub fn gain(&self) -> f64 {
+        if self.baseline_mbps <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.wgtt_mbps / self.baseline_mbps
+        }
+    }
+}
+
+/// Full result: one series per transport.
+#[derive(Debug, Serialize)]
+pub struct SpeedSweep {
+    /// TCP series.
+    pub tcp: Vec<SpeedPoint>,
+    /// UDP series.
+    pub udp: Vec<SpeedPoint>,
+}
+
+fn stationary_scenario(mode: Mode, tcp: bool, seed: u64) -> Scenario {
+    // Parked inside AP 3's cell, measured for 10 s.
+    let flows = if tcp {
+        vec![FlowSpec::DownlinkTcp { limit: None }]
+    } else {
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: crate::common::BULK_UDP_BPS,
+            payload: crate::common::UDP_PAYLOAD,
+        }]
+    };
+    Scenario {
+        config: crate::common::config(mode),
+        clients: vec![ClientSpec {
+            trajectory: TrajectorySpec::Stationary { x: 22.5 },
+            flows,
+        }],
+        duration: SimDuration::from_secs(10),
+        seed,
+        log_deliveries: false,
+        flow_start: SimDuration::from_millis(1),
+    }
+}
+
+fn measure(mode: Mode, tcp: bool, mph: f64, seeds: std::ops::Range<u64>) -> f64 {
+    let results = sweep_seeds(seeds, |seed| {
+        if mph == 0.0 {
+            stationary_scenario(mode, tcp, seed)
+        } else if tcp {
+            tcp_drive(mode, mph, seed)
+        } else {
+            udp_drive(mode, mph, seed)
+        }
+    });
+    mean_over(&results, |r| r.downlink_bps(0)) / 1e6
+}
+
+/// Runs the full sweep.
+pub fn run_experiment(fast: bool) -> SpeedSweep {
+    let speeds: &[f64] = if fast {
+        &[0.0, 5.0, 15.0, 35.0]
+    } else {
+        &[0.0, 5.0, 15.0, 25.0, 35.0]
+    };
+    let seeds = seeds_for(fast, 3);
+    let series = |tcp: bool| -> Vec<SpeedPoint> {
+        speeds
+            .iter()
+            .map(|&mph| SpeedPoint {
+                mph,
+                wgtt_mbps: measure(Mode::Wgtt, tcp, mph, seeds.clone()),
+                baseline_mbps: measure(Mode::Enhanced80211r, tcp, mph, seeds.clone()),
+            })
+            .collect()
+    };
+    SpeedSweep {
+        tcp: series(true),
+        udp: series(false),
+    }
+}
+
+/// Runs and renders Fig 13.
+pub fn report(fast: bool) -> String {
+    let sweep = run_experiment(fast);
+    save_json("fig13_speed_sweep", &sweep);
+    let render = |name: &str, pts: &[SpeedPoint]| {
+        crate::common::render_table(
+            &[&format!("{name} mph"), "WGTT", "802.11r", "gain"],
+            &pts.iter()
+                .map(|p| {
+                    vec![
+                        format!("{:.0}", p.mph),
+                        format!("{:.2}", p.wgtt_mbps),
+                        format!("{:.2}", p.baseline_mbps),
+                        format!("{:.1}x", p.gain()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    format!(
+        "Fig 13 — throughput vs speed, Mbit/s (paper: 2.4–4.7× TCP, 2.6–4.0× UDP gains)\nTCP:\n{}UDP:\n{}",
+        render("TCP", &sweep.tcp),
+        render("UDP", &sweep.udp)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgtt_flat_baseline_degrades() {
+        // Fast sweep with one seed; shape checks only.
+        let sweep = run_experiment(true);
+        save_json("fig13_speed_sweep_test", &sweep);
+        // Moving points (≥5 mph) must show a clear WGTT gain on UDP.
+        for p in sweep.udp.iter().filter(|p| p.mph >= 5.0) {
+            assert!(
+                p.gain() > 1.5,
+                "UDP gain at {} mph only {:.2} ({:.2} vs {:.2})",
+                p.mph,
+                p.gain(),
+                p.wgtt_mbps,
+                p.baseline_mbps
+            );
+        }
+        // WGTT holds up at speed: 35 mph within 3× of 5 mph.
+        let w5 = sweep.udp.iter().find(|p| p.mph == 5.0).unwrap().wgtt_mbps;
+        let w35 = sweep.udp.iter().find(|p| p.mph == 35.0).unwrap().wgtt_mbps;
+        assert!(w35 * 3.0 > w5, "WGTT collapses with speed: {w5} → {w35}");
+        // Stationary case: both systems work (gap small).
+        let s = &sweep.udp[0];
+        assert!(s.baseline_mbps > s.wgtt_mbps * 0.5, "{s:?}");
+    }
+}

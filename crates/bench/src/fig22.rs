@@ -1,0 +1,102 @@
+//! Fig 22 — impact of the switching time hysteresis.
+//!
+//! The controller will not switch a client twice within the hysteresis
+//! interval. The paper sweeps 120→80→40 ms and finds throughput grows as
+//! the hysteresis shrinks — a more agile switcher tracks the fast channel —
+//! while the throughput never collapses to zero at any setting.
+
+use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_sim::SimDuration;
+
+/// One hysteresis setting's outcome.
+#[derive(Debug, Serialize)]
+pub struct HysteresisPoint {
+    /// Hysteresis, ms.
+    pub hysteresis_ms: u64,
+    /// Mean TCP goodput, Mbit/s.
+    pub tcp_mbps: f64,
+    /// Switches per second.
+    pub switches_per_s: f64,
+    /// Fraction of 500 ms bins with zero throughput.
+    pub dead_bin_fraction: f64,
+}
+
+/// Runs one hysteresis setting.
+pub fn run_experiment(hysteresis_ms: u64, seeds: std::ops::Range<u64>) -> HysteresisPoint {
+    let results = sweep_seeds(seeds, |seed| {
+        let mut s = tcp_drive(Mode::Wgtt, 15.0, seed);
+        s.config.selection.hysteresis = SimDuration::from_millis(hysteresis_ms);
+        s
+    });
+    let tcp = mean_over(&results, |r| r.downlink_bps(0)) / 1e6;
+    let sps = mean_over(&results, |r| {
+        r.world.clients[0].metrics.switch_count() as f64 / r.duration.as_secs_f64()
+    });
+    let dead = mean_over(&results, |r| {
+        let rates = r.world.clients[0].metrics.downlink.rates();
+        if rates.is_empty() {
+            return 1.0;
+        }
+        rates.iter().filter(|(_, v)| *v < 1e5).count() as f64 / rates.len() as f64
+    });
+    HysteresisPoint {
+        hysteresis_ms,
+        tcp_mbps: tcp,
+        switches_per_s: sps,
+        dead_bin_fraction: dead,
+    }
+}
+
+/// Runs and renders Fig 22.
+pub fn report(fast: bool) -> String {
+    let seeds = seeds_for(fast, 3);
+    let rows: Vec<HysteresisPoint> = [120u64, 80, 40]
+        .iter()
+        .map(|&h| run_experiment(h, seeds.clone()))
+        .collect();
+    save_json("fig22_hysteresis", &rows);
+    let table = crate::common::render_table(
+        &["hysteresis (ms)", "TCP (Mb/s)", "switch/s", "dead bins"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.hysteresis_ms.to_string(),
+                    format!("{:.2}", r.tcp_mbps),
+                    format!("{:.1}", r.switches_per_s),
+                    format!("{:.2}", r.dead_bin_fraction),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!("Fig 22 — TCP throughput vs switching hysteresis (paper: smaller is better)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_hysteresis_not_worse() {
+        let slow = run_experiment(120, 8..10);
+        let fastest = run_experiment(40, 8..10);
+        // The paper's trend: 40 ms ≥ 120 ms in throughput; allow a small
+        // tolerance for seed noise.
+        assert!(
+            fastest.tcp_mbps >= slow.tcp_mbps * 0.9,
+            "40 ms {:?} vs 120 ms {:?}",
+            fastest,
+            slow
+        );
+        // More agile switching at the smaller setting.
+        assert!(
+            fastest.switches_per_s > slow.switches_per_s,
+            "{fastest:?} vs {slow:?}"
+        );
+        // Never a full collapse at any setting.
+        assert!(slow.dead_bin_fraction < 0.5, "{slow:?}");
+        assert!(fastest.dead_bin_fraction < 0.5, "{fastest:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 5 — web page load time vs speed.
+//!
+//! Loading a 2.1 MB page (cached on the local server) mid-drive. Paper:
+//! WGTT loads in a steady ~4.4–4.6 s at every speed; Enhanced 802.11r
+//! takes 15.5 s at 5 mph, 18.2 s at 10 mph, and never completes within the
+//! transit at 15–20 mph ("∞").
+
+use crate::common::{save_json, seeds_for};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_workloads::web::{mean_page_load_secs, WebConfig};
+
+/// One row of Table 5.
+#[derive(Debug, Serialize)]
+pub struct WebRow {
+    /// Speed, mph.
+    pub mph: f64,
+    /// WGTT mean load time, seconds.
+    pub wgtt_s: f64,
+    /// Baseline mean load time, seconds (infinite = mostly incomplete).
+    pub baseline_s: f64,
+}
+
+/// Runs Table 5.
+pub fn run_experiment(fast: bool) -> Vec<WebRow> {
+    let speeds: &[f64] = if fast { &[5.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0] };
+    let seeds = seeds_for(fast, 5);
+    let web = WebConfig::default();
+    speeds
+        .iter()
+        .map(|&mph| WebRow {
+            mph,
+            wgtt_s: mean_page_load_secs(
+                &crate::common::config(Mode::Wgtt),
+                &web,
+                mph,
+                seeds.clone(),
+            ),
+            baseline_s: mean_page_load_secs(
+                &crate::common::config(Mode::Enhanced80211r),
+                &web,
+                mph,
+                seeds.clone(),
+            ),
+        })
+        .collect()
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s.is_infinite() {
+        "inf".into()
+    } else {
+        format!("{s:.2}")
+    }
+}
+
+/// Runs and renders Table 5.
+pub fn report(fast: bool) -> String {
+    let rows = run_experiment(fast);
+    save_json("table5_web", &rows);
+    let table = crate::common::render_table(
+        &["speed (mph)", "WGTT (s)", "802.11r (s)"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.mph),
+                    fmt_secs(r.wgtt_s),
+                    fmt_secs(r.baseline_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        "Table 5 — 2.1 MB page load time (paper: WGTT flat ≈4.4 s; 802.11r 15.5 s → ∞)\n{table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgtt_loads_steadily_baseline_struggles() {
+        let rows = run_experiment(true);
+        for r in &rows {
+            assert!(
+                r.wgtt_s.is_finite() && r.wgtt_s < 10.0,
+                "WGTT slow at {} mph: {}",
+                r.mph,
+                r.wgtt_s
+            );
+            assert!(
+                r.baseline_s > r.wgtt_s,
+                "baseline beat WGTT at {} mph: {r:?}",
+                r.mph
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Experiment configuration: every knob of the reproduced system.
+
+use crate::selection::SelectionConfig;
+use crate::switching::SwitchTimings;
+use wgtt_phy::geom::DeploymentConfig;
+use wgtt_phy::link::LinkConfig;
+use wgtt_phy::mcs::GuardInterval;
+use wgtt_phy::PerModel;
+use wgtt_sim::SimDuration;
+
+/// Which roaming system runs the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Wi-Fi Goes to Town: controller-driven millisecond AP switching.
+    Wgtt,
+    /// The paper's comparison baseline (§5.1): client-driven roaming with
+    /// 100 ms beacons, an RSSI switching threshold, 1 s time hysteresis,
+    /// and backhaul-shared authentication state.
+    Enhanced80211r,
+}
+
+/// Parameters of the Enhanced 802.11r baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Beacon interval (paper: 100 ms).
+    pub beacon_interval: SimDuration,
+    /// RSSI (mean-SNR) threshold below which the client roams, dB.
+    pub rssi_threshold_db: f64,
+    /// Minimum time between client switches (paper: 1 s).
+    pub hysteresis: SimDuration,
+    /// EWMA weight for beacon RSSI smoothing.
+    pub rssi_ewma_alpha: f64,
+    /// Over-the-air reassociation exchange retry limit before the attempt
+    /// is abandoned (the client then re-scans).
+    pub reassoc_retries: u32,
+    /// Gap between reassociation retries.
+    pub reassoc_retry_gap: SimDuration,
+    /// Downtime between the reassociation exchange completing and data
+    /// flowing through the new AP: key installation, bridge/forwarding
+    /// table updates at the controller and switch. Commercial
+    /// controller-based WLANs take on the order of 100 ms even with fast
+    /// transition.
+    pub handover_latency: SimDuration,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            beacon_interval: SimDuration::from_millis(100),
+            rssi_threshold_db: 5.0,
+            hysteresis: SimDuration::from_secs(1),
+            rssi_ewma_alpha: 0.3,
+            reassoc_retries: 6,
+            reassoc_retry_gap: SimDuration::from_millis(20),
+            handover_latency: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Roaming system under test.
+    pub mode: Mode,
+    /// AP-selection parameters (window W, hysteresis, estimator).
+    pub selection: SelectionConfig,
+    /// Switch-protocol processing-delay model.
+    pub switch_timings: SwitchTimings,
+    /// PHY link parameters shared by all links.
+    pub link: LinkConfig,
+    /// AP array geometry.
+    pub deployment: DeploymentConfig,
+    /// Guard interval (testbed uses short GI).
+    pub gi: GuardInterval,
+    /// ESNR→PER waterfall.
+    pub per_model: PerModel,
+    /// Baseline parameters (used when `mode == Enhanced80211r`).
+    pub baseline: BaselineConfig,
+
+    // --- WGTT mechanism ablation switches (DESIGN.md §6) ---
+    /// Step 2/3 queue handoff: when false, the new AP restarts from the
+    /// newest packet instead of index `k`, and the old AP drains its
+    /// backlog to the dead link (the §3 motivation experiment).
+    pub flush_on_switch: bool,
+    /// Block-ACK forwarding between APs (§3.2.1).
+    pub ba_forwarding: bool,
+    /// Controller uplink de-duplication (§3.2.3).
+    pub uplink_dedup: bool,
+    /// Control packets bypass data queues at APs; when false they queue
+    /// behind data, inflating switch latency.
+    pub control_priority: bool,
+    /// All in-range APs forward uplink packets (uplink diversity); when
+    /// false only the serving AP forwards (the Fig 18 single-link case).
+    pub uplink_diversity: bool,
+
+    // --- plumbing parameters ---
+    /// Mean SNR floor below which frames are never received at all, dB.
+    pub range_floor_db: f64,
+    /// Minimum spacing of CSI reports per (AP, client) link — bounds
+    /// control traffic, mirrors the CSI tool's per-frame reporting at
+    /// realistic frame rates.
+    pub csi_report_interval: SimDuration,
+    /// Client sends a null (keep-alive) frame if it has been silent this
+    /// long, keeping CSI flowing when no uplink data exists.
+    pub probe_interval: SimDuration,
+    /// Controller evaluates AP selection at this cadence.
+    pub selection_tick: SimDuration,
+    /// One-way latency between the traffic server and the controller
+    /// (paper caches content on a local server).
+    pub server_latency: SimDuration,
+    /// Extra delay applied to control packets at a busy AP when
+    /// `control_priority` is off.
+    pub no_priority_penalty: SimDuration,
+    /// Inter-AP backhaul control-message loss probability (exercises the
+    /// 30 ms stop-retransmission path).
+    pub control_loss_prob: f64,
+    /// Channel plan stride (§7 "multi-channel settings"): 1 puts every AP
+    /// on one channel (the paper's deployment); `n > 1` assigns AP `i` to
+    /// channel `i mod n`. APs on different channels never contend with
+    /// each other, but they also cannot overhear the client unless it is
+    /// tuned to their channel — killing uplink diversity, Block-ACK
+    /// forwarding, and cross-channel CSI, exactly the trade-off the paper
+    /// predicts.
+    pub channel_stride: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            mode: Mode::Wgtt,
+            selection: SelectionConfig::default(),
+            switch_timings: SwitchTimings::default(),
+            link: LinkConfig::default(),
+            deployment: DeploymentConfig::default(),
+            gi: GuardInterval::Short,
+            per_model: PerModel::default(),
+            baseline: BaselineConfig::default(),
+            flush_on_switch: true,
+            ba_forwarding: true,
+            uplink_dedup: true,
+            control_priority: true,
+            uplink_diversity: true,
+            range_floor_db: -2.0,
+            csi_report_interval: SimDuration::from_millis(1),
+            probe_interval: SimDuration::from_millis(10),
+            selection_tick: SimDuration::from_millis(1),
+            server_latency: SimDuration::from_millis(1),
+            no_priority_penalty: SimDuration::from_millis(15),
+            control_loss_prob: 0.0,
+            channel_stride: 1,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Convenience: a default configuration in baseline mode.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            mode: Mode::Enhanced80211r,
+            ..SystemConfig::default()
+        }
+    }
+
+    /// The channel AP `ap` operates on under the configured plan.
+    pub fn channel_of(&self, ap: usize) -> usize {
+        ap % self.channel_stride.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SystemConfig::default();
+        assert_eq!(c.mode, Mode::Wgtt);
+        assert_eq!(c.selection.window, SimDuration::from_millis(10));
+        assert_eq!(c.baseline.beacon_interval, SimDuration::from_millis(100));
+        assert_eq!(c.baseline.hysteresis, SimDuration::from_secs(1));
+        assert_eq!(c.deployment.num_aps, 8);
+        assert!((c.deployment.ap_spacing_m - 7.5).abs() < 1e-12);
+        assert!(c.flush_on_switch && c.ba_forwarding && c.uplink_dedup);
+    }
+
+    #[test]
+    fn channel_plan() {
+        let mut c = SystemConfig::default();
+        assert_eq!(c.channel_of(0), c.channel_of(5)); // single channel
+        c.channel_stride = 3;
+        assert_eq!(c.channel_of(0), 0);
+        assert_eq!(c.channel_of(1), 1);
+        assert_eq!(c.channel_of(3), 0);
+        assert_ne!(c.channel_of(0), c.channel_of(1));
+    }
+
+    #[test]
+    fn baseline_constructor() {
+        let c = SystemConfig::baseline();
+        assert_eq!(c.mode, Mode::Enhanced80211r);
+    }
+}

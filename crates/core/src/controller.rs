@@ -1,0 +1,153 @@
+//! The WGTT controller's state (paper Figs 3, 5).
+//!
+//! The controller sits between the traffic server and the AP array. Per
+//! client it keeps an [`ApSelector`] (ESNR windows + switching decision), a
+//! 12-bit [`IndexAllocator`] for downlink packets, the current serving AP,
+//! the [`SwitchEngine`] tracking in-flight `stop`/`start`/`ack` exchanges,
+//! and the uplink [`Deduplicator`]. In baseline mode only the serving map
+//! and dedup-free bridging are used.
+
+use crate::cyclic::IndexAllocator;
+use crate::dedup::Deduplicator;
+use crate::selection::{ApSelector, SelectionConfig};
+use crate::switching::SwitchEngine;
+use std::collections::HashMap;
+use wgtt_net::{ApId, ClientId};
+use wgtt_sim::SimTime;
+
+/// Controller state.
+#[derive(Debug)]
+pub struct ControllerState {
+    selection_cfg: SelectionConfig,
+    /// Per-client AP selection state.
+    pub selectors: HashMap<ClientId, ApSelector>,
+    /// Per-client downlink index allocation.
+    pub allocators: HashMap<ClientId, IndexAllocator>,
+    /// Current serving AP per client.
+    pub serving: HashMap<ClientId, ApId>,
+    /// Switch protocol engine.
+    pub engine: SwitchEngine,
+    /// Uplink de-duplication filter.
+    pub dedup: Deduplicator,
+}
+
+impl ControllerState {
+    /// Creates a controller.
+    pub fn new(selection_cfg: SelectionConfig) -> Self {
+        ControllerState {
+            selection_cfg,
+            selectors: HashMap::new(),
+            allocators: HashMap::new(),
+            serving: HashMap::new(),
+            engine: SwitchEngine::new(),
+            dedup: Deduplicator::default(),
+        }
+    }
+
+    /// The selector for a client, created on first reference.
+    pub fn selector_mut(&mut self, client: ClientId) -> &mut ApSelector {
+        let cfg = self.selection_cfg;
+        self.selectors
+            .entry(client)
+            .or_insert_with(|| ApSelector::new(cfg))
+    }
+
+    /// Ingests a CSI report from an AP.
+    pub fn on_csi(&mut self, now: SimTime, ap: ApId, client: ClientId, esnr_db: f64) {
+        self.selector_mut(client).on_reading(ap, now, esnr_db);
+    }
+
+    /// Assigns the next downlink index for a client.
+    pub fn assign_index(&mut self, client: ClientId) -> u16 {
+        self.allocators
+            .entry(client)
+            .or_default()
+            .allocate()
+    }
+
+    /// Index the next downlink packet will get (without consuming it).
+    pub fn peek_index(&mut self, client: ClientId) -> u16 {
+        self.allocators
+            .entry(client)
+            .or_default()
+            .peek()
+    }
+
+    /// The serving AP for a client.
+    pub fn serving(&self, client: ClientId) -> Option<ApId> {
+        self.serving.get(&client).copied()
+    }
+
+    /// The fan-out set for a client's downlink packets: all APs heard from
+    /// within the fan-out horizon plus (always) the serving AP.
+    pub fn fanout(&mut self, now: SimTime, client: ClientId) -> Vec<ApId> {
+        const FANOUT_HORIZON: wgtt_sim::SimDuration = wgtt_sim::SimDuration::from_millis(100);
+        let mut set = self
+            .selector_mut(client)
+            .heard_within(now, FANOUT_HORIZON);
+        if let Some(s) = self.serving(client) {
+            if !set.contains(&s) {
+                set.push(s);
+                set.sort();
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn index_assignment_per_client() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        assert_eq!(c.assign_index(ClientId(0)), 0);
+        assert_eq!(c.assign_index(ClientId(0)), 1);
+        assert_eq!(c.assign_index(ClientId(1)), 0);
+        assert_eq!(c.peek_index(ClientId(0)), 2);
+    }
+
+    #[test]
+    fn fanout_includes_serving_even_when_stale() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        c.on_csi(t(100), ApId(2), client, 20.0);
+        c.on_csi(t(100), ApId(3), client, 22.0);
+        c.serving.insert(client, ApId(7)); // serving but no fresh CSI
+        let f = c.fanout(t(101), client);
+        assert_eq!(f, vec![ApId(2), ApId(3), ApId(7)]);
+        // Within the 100 ms fan-out horizon the APs are still targeted
+        // even though the 10 ms selection window has forgotten them…
+        let f1 = c.fanout(t(150), client);
+        assert_eq!(f1, vec![ApId(2), ApId(3), ApId(7)]);
+        // …much later all CSI is stale; only serving remains.
+        let f2 = c.fanout(t(500), client);
+        assert_eq!(f2, vec![ApId(7)]);
+    }
+
+    #[test]
+    fn fanout_no_duplicates() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        c.on_csi(t(10), ApId(1), client, 15.0);
+        c.serving.insert(client, ApId(1));
+        assert_eq!(c.fanout(t(11), client), vec![ApId(1)]);
+    }
+
+    #[test]
+    fn selector_feeds_decisions() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(3);
+        for i in 0..5 {
+            c.on_csi(t(10 + i), ApId(0), client, 25.0);
+        }
+        let target = c.selector_mut(client).decide(t(15), None);
+        assert_eq!(target, Some(ApId(0)));
+        assert_eq!(c.serving(client), None);
+    }
+}

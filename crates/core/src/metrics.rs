@@ -1,0 +1,273 @@
+//! Experiment metrics.
+//!
+//! Everything the paper's tables and figures report, collected in one
+//! place: throughput timeseries, AP-association timelines, switching
+//! accuracy, delivered link bit rates (for the Fig 16 CDF), ACK-collision
+//! counts (Table 3), and the capacity-loss integral (Figs 4, 21).
+
+use wgtt_net::ApId;
+use wgtt_sim::stats::BinnedSeries;
+use wgtt_sim::{SimDuration, SimTime};
+
+/// Per-client measurement sink.
+#[derive(Debug)]
+pub struct ClientMetrics {
+    /// Downlink goodput, bits per bin.
+    pub downlink: BinnedSeries,
+    /// Uplink goodput, bits per bin.
+    pub uplink: BinnedSeries,
+    /// `(time, serving AP)` association/switch timeline (Figs 14, 15, 22).
+    pub assoc_timeline: Vec<(SimTime, Option<ApId>)>,
+    /// PHY rate (Mbit/s) of each successfully delivered downlink MPDU.
+    pub delivered_mpdu_rates_mbps: Vec<f64>,
+    /// PHY rate (Mbit/s) of every transmitted downlink MPDU — what a
+    /// monitor capture would see on the air.
+    pub attempted_mpdu_rates_mbps: Vec<f64>,
+    /// Per-100 ms sums of delivered-MPDU PHY rates (numerator of the
+    /// per-bin mean link bit rate — the Fig 16 CDF population).
+    pub rate_bin_sum: BinnedSeries,
+    /// Per-100 ms delivered-MPDU counts (denominator).
+    pub rate_bin_count: BinnedSeries,
+    /// Selection-accuracy tally: ticks where a serving AP existed.
+    pub accuracy_total: u64,
+    /// Ticks where the serving AP was the instantaneous-ESNR oracle's
+    /// choice (Table 2 numerator).
+    pub accuracy_optimal: u64,
+    /// Link-layer ACK/BA responses the client expected.
+    pub ack_responses: u64,
+    /// Responses destroyed by AP-response collisions (Table 3 numerator).
+    pub ack_collisions: u64,
+    /// Downlink MPDU delivery attempts / successes.
+    pub mpdu_attempts: u64,
+    /// Successful MPDU deliveries.
+    pub mpdu_successes: u64,
+    /// Retransmitted MPDUs (link layer).
+    pub mpdu_retransmits: u64,
+    /// Block ACKs recovered via backhaul forwarding (§3.2.1 mechanism).
+    pub ba_forwarded_applied: u64,
+    /// Block ACKs lost at the serving AP (before any forwarding).
+    pub ba_lost_at_serving: u64,
+    /// Sum over oracle samples of the best link's capacity, bit/s.
+    pub capacity_best_bps_sum: f64,
+    /// Sum over oracle samples of `max(0, best − serving)` capacity, bit/s.
+    pub capacity_loss_bps_sum: f64,
+    /// Number of oracle capacity samples.
+    pub capacity_samples: u64,
+}
+
+impl ClientMetrics {
+    /// Creates a sink with the given throughput bin width.
+    pub fn new(bin: SimDuration) -> Self {
+        ClientMetrics {
+            downlink: BinnedSeries::new(bin),
+            uplink: BinnedSeries::new(bin),
+            assoc_timeline: Vec::new(),
+            delivered_mpdu_rates_mbps: Vec::new(),
+            attempted_mpdu_rates_mbps: Vec::new(),
+            rate_bin_sum: BinnedSeries::new(bin),
+            rate_bin_count: BinnedSeries::new(bin),
+            accuracy_total: 0,
+            accuracy_optimal: 0,
+            ack_responses: 0,
+            ack_collisions: 0,
+            mpdu_attempts: 0,
+            mpdu_successes: 0,
+            mpdu_retransmits: 0,
+            ba_forwarded_applied: 0,
+            ba_lost_at_serving: 0,
+            capacity_best_bps_sum: 0.0,
+            capacity_loss_bps_sum: 0.0,
+            capacity_samples: 0,
+        }
+    }
+
+    /// Mean channel-capacity loss, bit/s (Fig 4's dashed-area metric and
+    /// the Fig 21 y-axis).
+    pub fn mean_capacity_loss_bps(&self) -> f64 {
+        if self.capacity_samples == 0 {
+            0.0
+        } else {
+            self.capacity_loss_bps_sum / self.capacity_samples as f64
+        }
+    }
+
+    /// Capacity-loss *rate*: loss as a fraction of the best achievable.
+    pub fn capacity_loss_fraction(&self) -> f64 {
+        if self.capacity_best_bps_sum <= 0.0 {
+            0.0
+        } else {
+            self.capacity_loss_bps_sum / self.capacity_best_bps_sum
+        }
+    }
+
+    /// Records an association change if it differs from the last entry.
+    pub fn record_assoc(&mut self, now: SimTime, ap: Option<ApId>) {
+        if self.assoc_timeline.last().map(|&(_, a)| a) != Some(ap) {
+            self.assoc_timeline.push((now, ap));
+        }
+    }
+
+    /// Serving AP at time `t` according to the timeline.
+    pub fn serving_at(&self, t: SimTime) -> Option<ApId> {
+        self.assoc_timeline
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .and_then(|&(_, ap)| ap)
+    }
+
+    /// Number of AP switches recorded: transitions between two different
+    /// concrete APs, ignoring intervening detached (`None`) gaps such as
+    /// baseline handover downtime.
+    pub fn switch_count(&self) -> usize {
+        let aps: Vec<ApId> = self
+            .assoc_timeline
+            .iter()
+            .filter_map(|&(_, ap)| ap)
+            .collect();
+        aps.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Mean downlink goodput over `duration`, bit/s.
+    pub fn mean_downlink_bps(&self, duration: SimDuration) -> f64 {
+        if duration == SimDuration::ZERO {
+            0.0
+        } else {
+            self.downlink.total() / duration.as_secs_f64()
+        }
+    }
+
+    /// Mean uplink goodput over `duration`, bit/s.
+    pub fn mean_uplink_bps(&self, duration: SimDuration) -> f64 {
+        if duration == SimDuration::ZERO {
+            0.0
+        } else {
+            self.uplink.total() / duration.as_secs_f64()
+        }
+    }
+
+    /// Switching accuracy (Table 2): fraction of ticks on the optimal AP.
+    pub fn switching_accuracy(&self) -> f64 {
+        if self.accuracy_total == 0 {
+            0.0
+        } else {
+            self.accuracy_optimal as f64 / self.accuracy_total as f64
+        }
+    }
+
+    /// ACK collision rate (Table 3).
+    pub fn ack_collision_rate(&self) -> f64 {
+        if self.ack_responses == 0 {
+            0.0
+        } else {
+            self.ack_collisions as f64 / self.ack_responses as f64
+        }
+    }
+
+    /// Per-bin mean delivered link bit rate over `[0, duration)`: one
+    /// sample per bin, `0.0` for bins where nothing was delivered — the
+    /// time-weighted "link bit rate" population of the paper's Fig 16.
+    pub fn link_rate_timeline_mbps(&self, duration: SimDuration) -> Vec<f64> {
+        let bin = self.rate_bin_sum.bin_width();
+        let bins = (duration.as_nanos() / bin.as_nanos().max(1)) as usize;
+        let sums = self.rate_bin_sum.points();
+        let counts = self.rate_bin_count.points();
+        (0..bins)
+            .map(|i| {
+                let s = sums.get(i).map_or(0.0, |&(_, v)| v);
+                let n = counts.get(i).map_or(0.0, |&(_, v)| v);
+                if n > 0.0 {
+                    s / n
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Link-layer delivery ratio.
+    pub fn mpdu_delivery_ratio(&self) -> f64 {
+        if self.mpdu_attempts == 0 {
+            0.0
+        } else {
+            self.mpdu_successes as f64 / self.mpdu_attempts as f64
+        }
+    }
+}
+
+/// Network-wide counters.
+#[derive(Debug, Default)]
+pub struct SystemMetrics {
+    /// Uplink copies received at the controller.
+    pub uplink_copies: u64,
+    /// Uplink duplicates suppressed.
+    pub uplink_duplicates: u64,
+    /// Control packets exchanged for switching.
+    pub control_packets: u64,
+    /// Downlink packets fanned out (copies across APs).
+    pub downlink_copies: u64,
+    /// Packets discarded from stale AP queues by `start(c, k)`.
+    pub flushed_packets: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn assoc_timeline_dedups() {
+        let mut m = ClientMetrics::new(SimDuration::from_millis(100));
+        m.record_assoc(t(0), None);
+        m.record_assoc(t(10), Some(ApId(0)));
+        m.record_assoc(t(20), Some(ApId(0))); // no change
+        m.record_assoc(t(30), Some(ApId(1)));
+        m.record_assoc(t(40), None);
+        m.record_assoc(t(50), Some(ApId(1)));
+        assert_eq!(m.assoc_timeline.len(), 5);
+        // 0→1 counts; the None gap before re-attaching to 1 does not.
+        assert_eq!(m.switch_count(), 1);
+        assert_eq!(m.serving_at(t(15)), Some(ApId(0)));
+        assert_eq!(m.serving_at(t(35)), Some(ApId(1)));
+        assert_eq!(m.serving_at(t(45)), None);
+        assert_eq!(m.serving_at(t(55)), Some(ApId(1)));
+    }
+
+    #[test]
+    fn accuracy_and_rates() {
+        let mut m = ClientMetrics::new(SimDuration::from_millis(100));
+        m.accuracy_total = 100;
+        m.accuracy_optimal = 90;
+        assert!((m.switching_accuracy() - 0.9).abs() < 1e-12);
+        m.ack_responses = 1000;
+        m.ack_collisions = 2;
+        assert!((m.ack_collision_rate() - 0.002).abs() < 1e-12);
+        m.mpdu_attempts = 10;
+        m.mpdu_successes = 7;
+        assert!((m.mpdu_delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = ClientMetrics::new(SimDuration::from_millis(100));
+        assert_eq!(m.switching_accuracy(), 0.0);
+        assert_eq!(m.ack_collision_rate(), 0.0);
+        assert_eq!(m.mpdu_delivery_ratio(), 0.0);
+        assert_eq!(m.mean_downlink_bps(SimDuration::from_secs(1)), 0.0);
+        assert_eq!(m.switch_count(), 0);
+        assert_eq!(m.serving_at(t(5)), None);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut m = ClientMetrics::new(SimDuration::from_millis(100));
+        m.downlink.add(t(50), 1_000_000.0);
+        m.downlink.add(t(150), 2_000_000.0);
+        assert!((m.mean_downlink_bps(SimDuration::from_secs(1)) - 3e6).abs() < 1e-6);
+        m.uplink.add(t(10), 500_000.0);
+        assert!((m.mean_uplink_bps(SimDuration::from_millis(500)) - 1e6).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,231 @@
+//! Scenario definition and experiment runner.
+//!
+//! A [`Scenario`] is a complete experiment description — roaming system,
+//! client trajectories, traffic flows, duration, seed. [`run`] builds the
+//! world, drives it to completion, and returns the world for metric
+//! extraction, plus convenience summaries in [`RunResult`].
+
+use crate::config::SystemConfig;
+use crate::world::{prime_events, FlowKind, WgttWorld};
+use wgtt_net::{CbrSource, TcpConfig, TcpSender};
+use wgtt_phy::geom::Position;
+use wgtt_phy::mobility::{ConstantSpeed, Stationary};
+use wgtt_phy::Trajectory;
+use wgtt_sim::{SimDuration, SimTime, Simulator};
+
+/// How one client moves.
+#[derive(Debug, Clone)]
+pub enum TrajectorySpec {
+    /// Parked at the given along-road position, in the near lane.
+    Stationary {
+        /// Along-road coordinate, m.
+        x: f64,
+    },
+    /// Drives past the array in the near lane.
+    DriveBy {
+        /// Speed in miles per hour.
+        mph: f64,
+        /// Start this far before the first AP, m.
+        lead_in_m: f64,
+    },
+    /// Same, offset backwards (the "following" pattern).
+    DriveByOffset {
+        /// Speed, mph.
+        mph: f64,
+        /// Lead-in before the first AP, m.
+        lead_in_m: f64,
+        /// Additional offset backwards along the road, m.
+        offset_m: f64,
+        /// Lane: `false` = near lane, `true` = far lane.
+        far_lane: bool,
+    },
+    /// Far lane, driving the opposite direction.
+    Opposing {
+        /// Speed, mph.
+        mph: f64,
+        /// Start this far beyond the last AP, m.
+        lead_in_m: f64,
+    },
+}
+
+/// Traffic attached to one client.
+#[derive(Debug, Clone)]
+pub enum FlowSpec {
+    /// Server → client CBR UDP.
+    DownlinkUdp {
+        /// Offered rate (payload bits/s).
+        rate_bps: u64,
+        /// Datagram payload size, bytes.
+        payload: usize,
+    },
+    /// Server → client TCP; `None` = greedy, `Some(n)` = n-byte transfer.
+    DownlinkTcp {
+        /// Transfer size limit.
+        limit: Option<u64>,
+    },
+    /// Client → server CBR UDP.
+    UplinkUdp {
+        /// Offered rate (payload bits/s).
+        rate_bps: u64,
+        /// Datagram payload size, bytes.
+        payload: usize,
+    },
+}
+
+/// One client: motion + its flows.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Motion plan.
+    pub trajectory: TrajectorySpec,
+    /// Application traffic.
+    pub flows: Vec<FlowSpec>,
+}
+
+/// A full experiment.
+pub struct Scenario {
+    /// System configuration (mode, selection, PHY, ablations).
+    pub config: SystemConfig,
+    /// Clients.
+    pub clients: Vec<ClientSpec>,
+    /// Traffic/measurement duration.
+    pub duration: SimDuration,
+    /// RNG seed (fixes channel realizations and all draws).
+    pub seed: u64,
+    /// Record per-delivery logs (needed by the QoE workloads).
+    pub log_deliveries: bool,
+    /// When application flows start (default 1 ms). Web-browsing runs start
+    /// their page load mid-drive, like a passenger opening a page while
+    /// already moving.
+    pub flow_start: SimDuration,
+}
+
+impl Scenario {
+    /// Single drive-by client with the given flows — the common case.
+    pub fn single_drive(config: SystemConfig, mph: f64, flows: Vec<FlowSpec>, seed: u64) -> Self {
+        // Duration: full transit plus margins at this speed.
+        let dep = config.deployment.build();
+        let (lo, hi) = dep.extent();
+        // The paper's drives begin with the client already connected at the
+        // edge of the first AP's cell (Fig 14 shows useful throughput from
+        // t = 0), so the lead-in is short.
+        let lead = 4.0;
+        let span = (hi - lo) + 2.0 * lead;
+        let secs = span / wgtt_phy::mph_to_mps(mph).max(0.1);
+        Scenario {
+            config,
+            clients: vec![ClientSpec {
+                trajectory: TrajectorySpec::DriveBy {
+                    mph,
+                    lead_in_m: lead,
+                },
+                flows,
+            }],
+            duration: SimDuration::from_secs_f64(secs),
+            seed,
+            log_deliveries: false,
+            flow_start: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// Outcome of a run: the final world plus the measured duration.
+pub struct RunResult {
+    /// The world after the run (all metrics inside).
+    pub world: WgttWorld,
+    /// Traffic duration that was simulated.
+    pub duration: SimDuration,
+    /// Events processed (simulator health indicator).
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Mean downlink goodput of client `c`, bit/s.
+    pub fn downlink_bps(&self, c: usize) -> f64 {
+        self.world.clients[c].metrics.mean_downlink_bps(self.duration)
+    }
+
+    /// Mean uplink goodput of client `c`, bit/s.
+    pub fn uplink_bps(&self, c: usize) -> f64 {
+        self.world.clients[c].metrics.mean_uplink_bps(self.duration)
+    }
+}
+
+fn build_trajectory(
+    spec: &TrajectorySpec,
+    dep: &wgtt_phy::geom::Deployment,
+) -> Box<dyn Trajectory> {
+    match spec {
+        TrajectorySpec::Stationary { x } => Box::new(Stationary {
+            position: Position::new(*x, dep.lane_near_y, 1.5),
+        }),
+        TrajectorySpec::DriveBy { mph, lead_in_m } => {
+            Box::new(ConstantSpeed::drive_by(dep, *mph, *lead_in_m))
+        }
+        TrajectorySpec::DriveByOffset {
+            mph,
+            lead_in_m,
+            offset_m,
+            far_lane,
+        } => {
+            let mut t = ConstantSpeed::drive_by(dep, *mph, *lead_in_m);
+            t.start.x -= offset_m;
+            if *far_lane {
+                t.start.y = dep.lane_far_y;
+            }
+            Box::new(t)
+        }
+        TrajectorySpec::Opposing { mph, lead_in_m } => {
+            Box::new(ConstantSpeed::drive_by_opposing(dep, *mph, *lead_in_m))
+        }
+    }
+}
+
+/// Builds and runs a scenario to completion.
+pub fn run(scenario: Scenario) -> RunResult {
+    let dep = scenario.config.deployment.build();
+    let trajectories: Vec<Box<dyn Trajectory>> = scenario
+        .clients
+        .iter()
+        .map(|c| build_trajectory(&c.trajectory, &dep))
+        .collect();
+    let traffic_until = SimTime::ZERO + scenario.duration;
+    let mut world = WgttWorld::new(
+        scenario.config,
+        trajectories,
+        scenario.seed,
+        traffic_until,
+        scenario.log_deliveries,
+    );
+    let start = SimTime::ZERO + scenario.flow_start;
+    for (c, spec) in scenario.clients.iter().enumerate() {
+        for flow in &spec.flows {
+            let kind = match flow {
+                FlowSpec::DownlinkUdp { rate_bps, payload } => {
+                    FlowKind::DownUdp(CbrSource::new(*rate_bps, *payload, start))
+                }
+                FlowSpec::DownlinkTcp { limit } => {
+                    let cfg = TcpConfig::default();
+                    FlowKind::DownTcp(Box::new(match limit {
+                        Some(n) => TcpSender::with_limit(cfg, *n),
+                        None => TcpSender::new(cfg),
+                    }))
+                }
+                FlowSpec::UplinkUdp { rate_bps, payload } => {
+                    FlowKind::UpUdp(CbrSource::new(*rate_bps, *payload, start))
+                }
+            };
+            let fidx = world.add_flow(c, kind);
+            world.flows[fidx].start = start;
+        }
+    }
+    let mut sim = Simulator::new(world);
+    prime_events(&mut sim);
+    // Run past the traffic end so in-flight packets settle.
+    sim.run_until(traffic_until + SimDuration::from_millis(500));
+    let events = sim.events_processed();
+    RunResult {
+        world: sim.into_world(),
+        duration: scenario.duration,
+        events,
+    }
+}

@@ -1,0 +1,340 @@
+//! WGTT AP selection (paper §3.1.1).
+//!
+//! Each AP extracts CSI from every uplink frame it hears, computes ESNR,
+//! and reports it to the controller. The controller keeps, per client and
+//! per AP, a sliding window of duration `W` (default 10 ms — the optimum
+//! found in the paper's Fig 21) and selects
+//!
+//! ```text
+//! a* = argmax_a  median( ESNR readings from a in the last W )
+//! ```
+//!
+//! The median resists fast-fade outliers that would whipsaw a latest-sample
+//! rule, while a window this short still tracks the millisecond-scale best-
+//! AP flips of the vehicular picocell regime. A *time hysteresis* (minimum
+//! interval between switches, default 40 ms per Fig 22's best setting)
+//! bounds the switch rate so the 17–21 ms switching protocol can keep up.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wgtt_net::ApId;
+use wgtt_sim::stats::TimeWindow;
+use wgtt_sim::{SimDuration, SimTime};
+
+/// Which statistic of the window ranks APs — the paper uses the median;
+/// alternatives exist for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowEstimator {
+    /// The paper's choice: `e_{⌊L/2⌋}` of the sorted window.
+    Median,
+    /// Arithmetic mean of the window.
+    Mean,
+    /// Most recent sample only (no smoothing).
+    Latest,
+}
+
+/// Selection algorithm parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SelectionConfig {
+    /// Sliding window duration `W`.
+    pub window: SimDuration,
+    /// Minimum time between switch decisions for one client.
+    pub hysteresis: SimDuration,
+    /// Ranking statistic.
+    pub estimator: WindowEstimator,
+    /// Minimum ESNR advantage (dB) a challenger needs over the current AP —
+    /// suppresses churn when two APs are statistically tied (important for
+    /// stationary clients, where switching buys nothing but protocol cost).
+    pub margin_db: f64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            window: SimDuration::from_millis(10),
+            hysteresis: SimDuration::from_millis(40),
+            estimator: WindowEstimator::Median,
+            margin_db: 1.5,
+        }
+    }
+}
+
+/// The controller's view of one client's candidate APs.
+#[derive(Debug)]
+pub struct ApSelector {
+    cfg: SelectionConfig,
+    windows: HashMap<ApId, TimeWindow>,
+    /// Most recent reading per AP (fan-out freshness is judged over a
+    /// longer horizon than the selection window).
+    last_reading: HashMap<ApId, SimTime>,
+    last_switch: Option<SimTime>,
+}
+
+impl ApSelector {
+    /// Creates a selector.
+    pub fn new(cfg: SelectionConfig) -> Self {
+        ApSelector {
+            cfg,
+            windows: HashMap::new(),
+            last_reading: HashMap::new(),
+            last_switch: None,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &SelectionConfig {
+        &self.cfg
+    }
+
+    /// Ingests an ESNR reading reported by `ap` at time `t`.
+    pub fn on_reading(&mut self, ap: ApId, t: SimTime, esnr_db: f64) {
+        self.windows
+            .entry(ap)
+            .or_insert_with(|| TimeWindow::new(self.cfg.window))
+            .push(t, esnr_db);
+        self.last_reading.insert(ap, t);
+    }
+
+    /// The window statistic for one AP at `now`, if it has fresh readings.
+    pub fn score(&mut self, ap: ApId, now: SimTime) -> Option<f64> {
+        let w = self.windows.get_mut(&ap)?;
+        w.evict(now);
+        match self.cfg.estimator {
+            WindowEstimator::Median => w.median(),
+            WindowEstimator::Mean => w.mean(),
+            WindowEstimator::Latest => w.latest(),
+        }
+    }
+
+    /// APs with at least one reading inside the window — the paper's
+    /// definition of "within communication range" (footnote 1), which also
+    /// determines downlink fan-out.
+    pub fn in_range(&mut self, now: SimTime) -> Vec<ApId> {
+        let mut v: Vec<ApId> = self
+            .windows
+            .iter_mut()
+            .filter_map(|(&ap, w)| {
+                w.evict(now);
+                (!w.is_empty()).then_some(ap)
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The best AP right now by the window statistic, with its score.
+    pub fn best(&mut self, now: SimTime) -> Option<(ApId, f64)> {
+        let aps = self.in_range(now);
+        let mut best: Option<(ApId, f64)> = None;
+        for ap in aps {
+            if let Some(s) = self.score(ap, now) {
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((ap, s));
+                }
+            }
+        }
+        best
+    }
+
+    /// Decides whether to switch away from `current`. Returns the target AP
+    /// when a switch should be issued. Respects hysteresis and the margin;
+    /// recording the switch (for hysteresis purposes) is the caller's
+    /// responsibility via [`ApSelector::record_switch`] once the protocol
+    /// actually starts.
+    pub fn decide(&mut self, now: SimTime, current: Option<ApId>) -> Option<ApId> {
+        if let (Some(last), hysteresis) = (self.last_switch, self.cfg.hysteresis) {
+            if now.saturating_since(last) < hysteresis {
+                return None;
+            }
+        }
+        let (best_ap, best_score) = self.best(now)?;
+        match current {
+            None => Some(best_ap),
+            Some(cur) if cur == best_ap => None,
+            Some(cur) => {
+                let cur_score = self.score(cur, now).unwrap_or(f64::NEG_INFINITY);
+                (best_score > cur_score + self.cfg.margin_db).then_some(best_ap)
+            }
+        }
+    }
+
+    /// APs heard from within `horizon` — the downlink *fan-out* set. The
+    /// paper fans out to "APs that have received a packet from the client
+    /// within the AP selection window"; with sparse traffic a strict 10 ms
+    /// horizon starves the fan-out, so the controller keeps copies at any
+    /// AP heard recently enough to matter at vehicle speeds (a metre or so
+    /// of motion).
+    pub fn heard_within(&self, now: SimTime, horizon: wgtt_sim::SimDuration) -> Vec<ApId> {
+        let mut v: Vec<ApId> = self
+            .last_reading
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) <= horizon)
+            .map(|(&ap, _)| ap)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Records that a switch was issued at `now` (starts the hysteresis
+    /// clock).
+    pub fn record_switch(&mut self, now: SimTime) {
+        self.last_switch = Some(now);
+    }
+
+    /// Time of the last recorded switch.
+    pub fn last_switch(&self) -> Option<SimTime> {
+        self.last_switch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn feed(sel: &mut ApSelector, ap: u32, at_ms: u64, esnr: f64) {
+        sel.on_reading(ApId(ap), t(at_ms), esnr);
+    }
+
+    #[test]
+    fn picks_highest_median() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        for i in 0..5 {
+            feed(&mut s, 0, 10 + i, 10.0);
+            feed(&mut s, 1, 10 + i, 20.0);
+            feed(&mut s, 2, 10 + i, 15.0);
+        }
+        let (ap, score) = s.best(t(15)).unwrap();
+        assert_eq!(ap, ApId(1));
+        assert_eq!(score, 20.0);
+    }
+
+    #[test]
+    fn median_resists_outliers() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        // AP0 is steadily decent; AP1 has one huge spike among poor
+        // readings. Median must prefer AP0; `Latest` would be fooled.
+        for i in 0..5 {
+            feed(&mut s, 0, 10 + i, 18.0);
+        }
+        for (i, v) in [5.0, 5.0, 40.0, 5.0, 5.0].iter().enumerate() {
+            feed(&mut s, 1, 10 + i as u64, *v);
+        }
+        assert_eq!(s.best(t(15)).unwrap().0, ApId(0));
+
+        let mut latest = ApSelector::new(SelectionConfig {
+            estimator: WindowEstimator::Latest,
+            ..SelectionConfig::default()
+        });
+        for i in 0..5 {
+            feed(&mut latest, 0, 10 + i, 18.0);
+        }
+        for (i, v) in [5.0, 5.0, 5.0, 5.0, 40.0].iter().enumerate() {
+            feed(&mut latest, 1, 10 + i as u64, *v);
+        }
+        assert_eq!(latest.best(t(15)).unwrap().0, ApId(1));
+    }
+
+    #[test]
+    fn window_evicts_stale_readings() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        feed(&mut s, 0, 0, 30.0);
+        // 10 ms window: at t=20 ms the reading is stale.
+        assert_eq!(s.best(t(20)), None);
+        assert!(s.in_range(t(20)).is_empty());
+        assert_eq!(s.score(ApId(0), t(20)), None);
+    }
+
+    #[test]
+    fn in_range_is_fanout_set() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        feed(&mut s, 3, 100, 10.0);
+        feed(&mut s, 1, 101, 12.0);
+        feed(&mut s, 5, 95, 8.0); // stale at t=106? window 10ms → 96..106 keeps it
+        assert_eq!(s.in_range(t(105)), vec![ApId(1), ApId(3), ApId(5)]);
+        assert_eq!(s.in_range(t(106)), vec![ApId(1), ApId(3)]);
+    }
+
+    #[test]
+    fn decide_respects_margin() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        for i in 0..5 {
+            feed(&mut s, 0, 10 + i, 20.0);
+            feed(&mut s, 1, 10 + i, 21.0); // within the 1.5 dB margin
+        }
+        assert_eq!(s.decide(t(15), Some(ApId(0))), None);
+        for i in 0..5 {
+            feed(&mut s, 1, 15 + i, 23.0); // now clearly better
+        }
+        assert_eq!(s.decide(t(20), Some(ApId(0))), Some(ApId(1)));
+    }
+
+    #[test]
+    fn decide_respects_hysteresis() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        for i in 0..5 {
+            feed(&mut s, 0, 10 + i, 10.0);
+            feed(&mut s, 1, 10 + i, 30.0);
+        }
+        assert_eq!(s.decide(t(15), Some(ApId(0))), Some(ApId(1)));
+        s.record_switch(t(15));
+        // 40 ms hysteresis: nothing until t=55.
+        for i in 0..40 {
+            feed(&mut s, 0, 16 + i, 30.0);
+            feed(&mut s, 1, 16 + i, 10.0);
+        }
+        assert_eq!(s.decide(t(30), Some(ApId(1))), None);
+        assert_eq!(s.decide(t(54), Some(ApId(1))), None);
+        for i in 0..5 {
+            feed(&mut s, 0, 56 + i, 30.0);
+            feed(&mut s, 1, 56 + i, 10.0);
+        }
+        assert_eq!(s.decide(t(61), Some(ApId(1))), Some(ApId(0)));
+    }
+
+    #[test]
+    fn heard_within_outlives_selection_window() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        feed(&mut s, 2, 100, 15.0);
+        // Selection forgets after 10 ms…
+        assert!(s.in_range(t(150)).is_empty());
+        // …but the fan-out horizon still remembers.
+        assert_eq!(
+            s.heard_within(t(150), wgtt_sim::SimDuration::from_millis(100)),
+            vec![ApId(2)]
+        );
+        assert!(s
+            .heard_within(t(250), wgtt_sim::SimDuration::from_millis(100))
+            .is_empty());
+    }
+
+    #[test]
+    fn first_association_has_no_hysteresis() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        feed(&mut s, 2, 5, 12.0);
+        assert_eq!(s.decide(t(6), None), Some(ApId(2)));
+    }
+
+    #[test]
+    fn no_readings_no_decision() {
+        let mut s = ApSelector::new(SelectionConfig::default());
+        assert_eq!(s.decide(t(100), Some(ApId(0))), None);
+        assert_eq!(s.best(t(100)), None);
+    }
+
+    #[test]
+    fn mean_estimator_differs_from_median() {
+        let mut cfg = SelectionConfig::default();
+        cfg.estimator = WindowEstimator::Mean;
+        let mut s = ApSelector::new(cfg);
+        // Values [0, 0, 30]: median = 0 (upper median of 3 = index 1),
+        // mean = 10.
+        for (i, v) in [0.0, 0.0, 30.0].iter().enumerate() {
+            feed(&mut s, 0, 10 + i as u64, *v);
+        }
+        assert_eq!(s.score(ApId(0), t(13)), Some(10.0));
+    }
+}

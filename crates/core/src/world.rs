@@ -1,0 +1,2128 @@
+//! The complete simulated network: APs, clients, controller, server,
+//! radio medium, and backhaul, driven by the discrete-event engine.
+//!
+//! One [`WgttWorld`] instance is a full experiment: it can run in WGTT mode
+//! (controller-driven millisecond switching, §3 of the paper) or Enhanced
+//! 802.11r mode (the paper's §5.1 baseline) over identical channel
+//! realizations, which is what makes the head-to-head comparisons fair.
+//!
+//! ## Radio model
+//!
+//! Medium access is resolved in *contention rounds*: whenever the channel
+//! goes idle and stations have pending frames, each draws a backoff from
+//! its contention window; the smallest draw transmits, ties collide. An AP
+//! transmission is an A-MPDU + SIFS + Block ACK exchange; a client
+//! transmission is a short uplink burst answered by AP acknowledgements
+//! (where simultaneous AP responses can collide — the paper's §5.3.2
+//! microbenchmark). Per-MPDU delivery is Bernoulli with probability from
+//! the ESNR→PER model evaluated on the link's CSI at transmission time.
+
+use crate::ap::{ApState, MPDU_RETRY_LIMIT};
+use crate::client::{ClientState, DeliveryRecord};
+use crate::config::{Mode, SystemConfig};
+use crate::controller::ControllerState;
+use crate::metrics::SystemMetrics;
+use crate::switching::{SwitchMsg, CONTROL_PACKET_BYTES};
+use std::collections::HashMap;
+use wgtt_mac::blockack::BlockAckFrame;
+use wgtt_mac::timing::{
+    ampdu_airtime, block_ack_airtime, difs, frame_airtime, sifs, slot, MAX_AMPDU_BYTES,
+};
+use wgtt_mac::{AssocState, Medium, MgmtFrame};
+use wgtt_net::{
+    overhead, ApId, Backhaul, CbrSource, ClientId, Direction, FlowId, Packet, PacketFactory,
+    Payload, TcpReceiver, TcpSender, UdpSink,
+};
+use wgtt_phy::esnr::esnr_from_csi;
+use wgtt_phy::geom::Deployment;
+use wgtt_phy::mcs::Mcs;
+use wgtt_phy::{controller_esnr_db, Modulation, WirelessLink};
+use wgtt_sim::{Ctx, SimDuration, SimRng, SimTime, World};
+
+/// Identifies a radio transmitter for busy-tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeKey {
+    /// An access point's radio.
+    Ap(usize),
+    /// A client's radio.
+    Client(usize),
+}
+
+/// Uplink burst size limit (client-side aggregation of small frames).
+const UPLINK_BURST: usize = 16;
+/// Client uplink retry limit.
+const UPLINK_RETRY_LIMIT: u32 = 7;
+/// Capture margin for AP-response collisions at the client, dB.
+const CAPTURE_MARGIN_DB: f64 = 8.0;
+/// CCA detection window: a later AP response within this of an earlier one
+/// fails to defer, µs.
+const CCA_WINDOW_US: f64 = 1.0;
+
+/// A downlink traffic flow at the server.
+pub enum FlowKind {
+    /// Constant-bit-rate UDP toward the client.
+    DownUdp(CbrSource),
+    /// TCP (greedy or size-limited) toward the client (boxed: the sender's
+    /// SACK scoreboard makes it much larger than the CBR variants).
+    DownTcp(Box<TcpSender>),
+    /// Client-sourced CBR UDP toward the server.
+    UpUdp(CbrSource),
+}
+
+/// One application flow.
+pub struct ServerFlow {
+    /// Flow id.
+    pub id: FlowId,
+    /// Client endpoint (index into `clients`).
+    pub client: usize,
+    /// Traffic kind and state.
+    pub kind: FlowKind,
+    /// Sink for uplink flows (at the server).
+    pub up_sink: Option<UdpSink>,
+    /// Completion time of a size-limited TCP flow.
+    pub completed_at: Option<SimTime>,
+    /// Application start time (TCP flows wait for this; CBR sources embed
+    /// their own schedule).
+    pub start: SimTime,
+    /// Earliest scheduled RTO check (suppresses duplicate timer events).
+    rto_check_at: Option<SimTime>,
+}
+
+/// A transmission in flight on the radio.
+enum AirTx {
+    /// AP → client A-MPDU.
+    ApAggregate {
+        ap: usize,
+        client: usize,
+        /// `(seq, packet, retries)` of each MPDU.
+        mpdus: Vec<(u16, Packet, u32)>,
+        mcs: Mcs,
+        collided: bool,
+        start: SimTime,
+    },
+    /// Client → BSSID uplink burst.
+    ClientBurst {
+        client: usize,
+        entries: Vec<crate::client::UplinkEntry>,
+        mcs: Mcs,
+        collided: bool,
+        start: SimTime,
+    },
+}
+
+/// Events of the world.
+pub enum Ev {
+    /// CBR downlink source is due.
+    UdpDownTick(usize),
+    /// Client-side uplink CBR source is due.
+    UplinkAppTick(usize),
+    /// Ask the TCP sender for more segments.
+    TcpPump(usize),
+    /// Retransmission-timer check for a TCP flow.
+    TcpRtoCheck(usize),
+    /// Downlink packet reaches the controller from the server.
+    PacketAtController(Packet),
+    /// Tunneled downlink packet reaches an AP.
+    PacketAtAp { ap: usize, packet: Packet },
+    /// Uplink copy reaches the controller from an AP.
+    UplinkCopyAtController { from_ap: usize, packet: Packet },
+    /// De-duplicated uplink packet reaches the server.
+    PacketAtServer(Packet),
+    /// `stop(c)` control packet arrives at the old AP.
+    StopAtAp { ap: usize, client: usize, to_ap: usize },
+    /// Old AP finished processing the stop (kernel query done).
+    StopDone { ap: usize, client: usize, to_ap: usize },
+    /// `start(c, k)` arrives at the new AP.
+    StartAtAp { ap: usize, client: usize, k: u16 },
+    /// New AP finished processing the start.
+    StartDone { ap: usize, client: usize, k: u16 },
+    /// `ack` arrives back at the controller.
+    AckAtController { client: usize },
+    /// CSI report arrives at the controller.
+    CsiAtController { ap: usize, client: usize, esnr_db: f64 },
+    /// Forwarded Block ACK arrives at the serving AP.
+    BaForwardAtAp { ap: usize, client: usize, ba: BlockAckFrame },
+    /// Resolve one DCF contention round.
+    ContentionRound,
+    /// A radio transmission completes.
+    TxDone(u64),
+    /// Switch-protocol retransmission timer.
+    SwitchTimeout { client: usize },
+    /// Controller evaluates AP selection.
+    SelectionTick,
+    /// Oracle accuracy/capacity sampling.
+    AccuracyTick,
+    /// Baseline: APs beacon.
+    BeaconTick,
+    /// Baseline: client evaluates roaming.
+    RoamCheck { client: usize },
+    /// Baseline: reassociation request reaches the air.
+    RoamReqArrive { client: usize, target: usize, retries: u32 },
+    /// Baseline: reassociation response heads back.
+    RoamRespArrive { client: usize, target: usize, retries: u32 },
+    /// Client keep-alive probe timer.
+    ProbeTick { client: usize },
+    /// Client reorder-buffer release timeout.
+    ReorderFlush { client: usize },
+    /// Baseline: handover downtime over — data may flow via the new AP.
+    RoamComplete { client: usize, target: usize },
+}
+
+/// The world.
+pub struct WgttWorld {
+    /// Configuration.
+    pub cfg: SystemConfig,
+    /// AP array geometry.
+    pub deployment: Deployment,
+    /// `links[ap][client]`.
+    pub links: Vec<Vec<WirelessLink>>,
+    /// Access points.
+    pub aps: Vec<ApState>,
+    /// Clients.
+    pub clients: Vec<ClientState>,
+    /// Controller.
+    pub ctrl: ControllerState,
+    /// Application flows.
+    pub flows: Vec<ServerFlow>,
+    /// Shared radio medium.
+    pub medium: Medium,
+    /// Wired backhaul model.
+    pub backhaul: Backhaul,
+    /// Packet id/ident factory.
+    pub factory: PacketFactory,
+    /// System-wide counters.
+    pub sys: SystemMetrics,
+    /// Traffic stops at this time.
+    pub traffic_until: SimTime,
+    rng: SimRng,
+    in_flight: HashMap<u64, AirTx>,
+    next_tx_id: u64,
+    round_scheduled: bool,
+    /// Livelock guard: consecutive contention rounds at one timestamp.
+    rounds_at_ts: (SimTime, u32),
+    /// Geometry of transmissions currently on the air:
+    /// tx id → (tx position, rx position, end time, transmitter key).
+    active_geo: HashMap<u64, (wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
+    /// DCF collisions observed (stats).
+    pub dcf_collisions: u64,
+    /// Verbose tracing (set WGTT_TRACE=1), for debugging the datapath.
+    trace: bool,
+}
+
+impl WgttWorld {
+    /// Builds a world: deployment geometry, per-link channel realizations,
+    /// APs, clients (with trajectories), and the controller.
+    pub fn new(
+        cfg: SystemConfig,
+        trajectories: Vec<Box<dyn wgtt_phy::Trajectory>>,
+        seed: u64,
+        traffic_until: SimTime,
+        log_deliveries: bool,
+    ) -> Self {
+        let deployment = cfg.deployment.build();
+        Self::new_with_deployment(cfg, deployment, trajectories, seed, traffic_until, log_deliveries)
+    }
+
+    /// Like [`WgttWorld::new`] but with an explicit (possibly irregular)
+    /// deployment — used by the AP-density experiment.
+    pub fn new_with_deployment(
+        cfg: SystemConfig,
+        deployment: Deployment,
+        trajectories: Vec<Box<dyn wgtt_phy::Trajectory>>,
+        seed: u64,
+        traffic_until: SimTime,
+        log_deliveries: bool,
+    ) -> Self {
+        let root = SimRng::new(seed);
+        let links: Vec<Vec<WirelessLink>> = deployment
+            .aps
+            .iter()
+            .enumerate()
+            .map(|(a, site)| {
+                (0..trajectories.len())
+                    .map(|c| {
+                        let mut r = root.fork(&format!("link/{a}/{c}"));
+                        WirelessLink::new(*site, cfg.link.clone(), &mut r)
+                    })
+                    .collect()
+            })
+            .collect();
+        let aps = (0..deployment.aps.len())
+            .map(|i| ApState::new(ApId(i as u32)))
+            .collect();
+        let clients = trajectories
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                ClientState::new(
+                    ClientId(i as u32),
+                    t,
+                    cfg.gi,
+                    SimDuration::from_millis(100),
+                    log_deliveries,
+                )
+            })
+            .collect();
+        let ctrl = ControllerState::new(cfg.selection);
+        WgttWorld {
+            deployment,
+            links,
+            aps,
+            clients,
+            ctrl,
+            flows: Vec::new(),
+            medium: Medium::new(),
+            backhaul: Backhaul::new(root.fork("backhaul")),
+            factory: PacketFactory::new(),
+            sys: SystemMetrics::default(),
+            traffic_until,
+            rng: root.fork("world"),
+            in_flight: HashMap::new(),
+            next_tx_id: 0,
+            round_scheduled: false,
+            rounds_at_ts: (SimTime::ZERO, 0),
+            active_geo: HashMap::new(),
+            dcf_collisions: 0,
+            trace: std::env::var("WGTT_TRACE").is_ok(),
+            cfg,
+        }
+    }
+
+    /// Registers a flow, returning its index.
+    pub fn add_flow(&mut self, client: usize, kind: FlowKind) -> usize {
+        let id = FlowId(self.flows.len() as u32);
+        let up_sink = matches!(kind, FlowKind::UpUdp(_))
+            .then(|| UdpSink::new(SimDuration::from_millis(100)));
+        // Make sure the client has matching endpoint state.
+        match &kind {
+            FlowKind::DownTcp(_) => {
+                self.clients[client].tcp_rx.insert(id, TcpReceiver::new());
+            }
+            FlowKind::DownUdp(_) => {
+                self.clients[client]
+                    .udp_sink
+                    .insert(id, UdpSink::new(SimDuration::from_millis(100)));
+            }
+            FlowKind::UpUdp(_) => {}
+        }
+        self.flows.push(ServerFlow {
+            id,
+            client,
+            kind,
+            up_sink,
+            completed_at: None,
+            start: SimTime::ZERO,
+            rto_check_at: None,
+        });
+        self.flows.len() - 1
+    }
+
+    // ---------- helpers ----------
+
+    fn client_pos(&self, c: usize, t: SimTime) -> wgtt_phy::Position {
+        self.clients[c].position(t)
+    }
+
+    fn mean_snr(&self, ap: usize, c: usize, t: SimTime) -> f64 {
+        self.links[ap][c].mean_snr_db(&self.client_pos(c, t))
+    }
+
+    fn in_radio_range(&self, ap: usize, c: usize, t: SimTime) -> bool {
+        self.mean_snr(ap, c, t) >= self.cfg.range_floor_db
+    }
+
+    fn csi(&self, ap: usize, c: usize, t: SimTime) -> wgtt_phy::Csi {
+        let pos = self.client_pos(c, t);
+        let speed = self.clients[c].speed(t);
+        self.links[ap][c].csi(t, &pos, speed)
+    }
+
+    fn alloc_tx(&mut self, tx: AirTx) -> u64 {
+        let id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.in_flight.insert(id, tx);
+        id
+    }
+
+    fn ensure_round(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        if self.round_scheduled {
+            return;
+        }
+        let any_ap = self.aps.iter().any(|a| a.has_work());
+        let any_client = self.clients.iter().any(|c| c.has_uplink_work());
+        if !any_ap && !any_client {
+            return;
+        }
+        self.round_scheduled = true;
+        ctx.schedule_at(ctx.now(), Ev::ContentionRound);
+    }
+
+    fn backhaul_send(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        bytes: usize,
+        lossy: bool,
+        ev: impl FnOnce() -> Ev,
+    ) {
+        let delay = if lossy {
+            let keep = !self.rng.chance(self.cfg.control_loss_prob);
+            if !keep {
+                return;
+            }
+            self.backhaul.transit(bytes)
+        } else {
+            self.backhaul.transit(bytes)
+        };
+        if let Some(d) = delay {
+            ctx.schedule_in(d, ev());
+        }
+    }
+
+    /// Serving AP according to the control plane.
+    fn serving_of(&self, c: usize) -> Option<usize> {
+        self.clients[c].serving.map(|a| a.0 as usize)
+    }
+
+    /// Whether AP `ap` and client `c` share a channel under the channel
+    /// plan (§7): with a single-channel plan, always; otherwise the client
+    /// is tuned to its serving AP's channel (or hears everything while
+    /// scanning/unassociated).
+    fn same_channel(&self, ap: usize, c: usize) -> bool {
+        if self.cfg.channel_stride <= 1 {
+            return true;
+        }
+        match self.serving_of(c) {
+            Some(s) => self.cfg.channel_of(ap) == self.cfg.channel_of(s),
+            None => true,
+        }
+    }
+
+    // ---------- downlink path ----------
+
+    fn on_packet_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, mut packet: Packet) {
+        let c = packet.client.0 as usize;
+        let now = ctx.now();
+        let targets: Vec<usize> = match self.cfg.mode {
+            Mode::Wgtt => self
+                .ctrl
+                .fanout(now, packet.client)
+                .into_iter()
+                .map(|a| a.0 as usize)
+                .collect(),
+            Mode::Enhanced80211r => self.serving_of(c).into_iter().collect(),
+        };
+        if targets.is_empty() {
+            // Client unreachable (pre-association or out of coverage):
+            // dropped before an index is consumed, like a bridge with no
+            // forwarding entry.
+            return;
+        }
+        let idx = self.ctrl.assign_index(packet.client);
+        packet.index = Some(idx);
+        self.sys.downlink_copies += targets.len() as u64;
+        let wire = packet.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
+        for ap in targets {
+            let p = packet.clone();
+            self.backhaul_send(ctx, wire, false, move || Ev::PacketAtAp { ap, packet: p });
+        }
+    }
+
+    fn on_packet_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, packet: Packet) {
+        let client = packet.client;
+        let gi = self.cfg.gi;
+        if self.trace {
+            if let Payload::TcpData { seq, .. } = packet.payload {
+                let st = self.aps[ap].clients.get(&client);
+                eprintln!(
+                    "[{}] data at ap{ap}: idx={:?} tcpseq={seq} created={} serving={} draining={} head={:?}",
+                    ctx.now(),
+                    packet.index,
+                    packet.created,
+                    st.is_some_and(|s| s.serving),
+                    st.is_some_and(|s| s.draining),
+                    st.map(|s| s.cyclic.head())
+                );
+            }
+        }
+        let st = self.aps[ap].client_mut(client, gi);
+        st.cyclic.insert(packet);
+        self.ensure_round(ctx);
+    }
+
+    // ---------- switching protocol ----------
+
+    fn issue_switch(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, from: usize, to: usize) {
+        let client = ClientId(c as u32);
+        let now = ctx.now();
+        if self
+            .ctrl
+            .engine
+            .issue(now, client, ApId(from as u32), ApId(to as u32))
+            .is_none()
+        {
+            return;
+        }
+        self.ctrl.selector_mut(client).record_switch(now);
+        self.sys.control_packets += 1;
+        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StopAtAp {
+            ap: from,
+            client: c,
+            to_ap: to,
+        });
+        let timeout = self.ctrl.engine.timeout();
+        ctx.schedule_in(timeout, Ev::SwitchTimeout { client: c });
+    }
+
+    fn on_stop_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+        // Control packets are prioritized past data queues; without
+        // priority they wait behind the backlog.
+        let mut delay = self.cfg.switch_timings.sample_stop(&mut self.rng);
+        if !self.cfg.control_priority {
+            delay += self.cfg.no_priority_penalty;
+        }
+        ctx.schedule_in(delay, Ev::StopDone { ap, client: c, to_ap });
+    }
+
+    fn on_stop_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+        let gi = self.cfg.gi;
+        let flush = self.cfg.flush_on_switch;
+        let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
+        let was_serving = st.serving;
+        st.serving = false;
+        st.draining = true;
+        let k = if flush {
+            st.first_unsent_index()
+        } else {
+            // Ablation: no queue handoff — the new AP starts from the
+            // stream head (newest); the old AP drains its whole backlog.
+            st.cyclic.tail()
+        };
+        st.drain_cyclic = !flush;
+        // The scoreboard stays intact: the NIC-queue drain (≈6 ms of
+        // frames, sent over the old link per §3.1.2) still needs Block ACK
+        // tracking and link-layer retries.
+        let _ = was_serving;
+        self.sys.control_packets += 1;
+        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
+            ap: to_ap,
+            client: c,
+            k,
+        });
+        self.ensure_round(ctx);
+    }
+
+    fn on_start_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+        let mut delay = self.cfg.switch_timings.sample_start(&mut self.rng);
+        if !self.cfg.control_priority {
+            delay += self.cfg.no_priority_penalty;
+        }
+        ctx.schedule_in(delay, Ev::StartDone { ap, client: c, k });
+    }
+
+    fn on_start_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+        let gi = self.cfg.gi;
+        let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
+        let before = st.cyclic.backlog();
+        st.cyclic.start_from(k);
+        let after = st.cyclic.backlog();
+        self.sys.flushed_packets += (before - after) as u64;
+        st.serving = true;
+        st.draining = false;
+        st.drain_cyclic = false;
+        // Fresh serving epoch: anything left over from a previous stint is
+        // stale (the old AP covered it or the controller re-sent it).
+        st.nic_queue.clear();
+        st.scoreboard.flush();
+        st.assoc.install_shared_association(ctx.now());
+        self.sys.control_packets += 1;
+        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::AckAtController {
+            client: c,
+        });
+        self.ensure_round(ctx);
+    }
+
+    fn on_ack_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let client = ClientId(c as u32);
+        if let Some(rec) = self.ctrl.engine.on_ack(ctx.now(), client) {
+            self.ctrl.serving.insert(client, rec.to);
+            self.clients[c].serving = Some(rec.to);
+            let now = ctx.now();
+            self.clients[c].metrics.record_assoc(now, Some(rec.to));
+        }
+    }
+
+    fn on_switch_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let client = ClientId(c as u32);
+        if let Some(SwitchMsg::Stop { to_ap, .. }) = self.ctrl.engine.on_timeout(ctx.now(), client)
+        {
+            let from = self
+                .ctrl
+                .engine
+                .pending(client)
+                .map(|p| p.from.0 as usize)
+                .unwrap_or(0);
+            let to = to_ap.0 as usize;
+            self.sys.control_packets += 1;
+            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StopAtAp {
+                ap: from,
+                client: c,
+                to_ap: to,
+            });
+            let timeout = self.ctrl.engine.timeout();
+            ctx.schedule_in(timeout, Ev::SwitchTimeout { client: c });
+        } else if self.ctrl.engine.in_flight(client) {
+            // Timer fired early relative to a retransmission; re-arm.
+            ctx.schedule_in(self.ctrl.engine.timeout(), Ev::SwitchTimeout { client: c });
+        }
+    }
+
+    // ---------- selection ----------
+
+    fn on_selection_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        if self.cfg.mode == Mode::Wgtt {
+            for c in 0..self.clients.len() {
+                let client = ClientId(c as u32);
+                if self.ctrl.engine.in_flight(client) {
+                    continue;
+                }
+                let current = self.ctrl.serving(client);
+                let decision = self.ctrl.selector_mut(client).decide(now, current);
+                let Some(target) = decision else { continue };
+                match current {
+                    None => {
+                        // First association: WGTT shares state so the client
+                        // is usable at every AP instantly (§4.3).
+                        let gi = self.cfg.gi;
+                        for ap in 0..self.aps.len() {
+                            self.aps[ap]
+                                .client_mut(client, gi)
+                                .assoc
+                                .install_shared_association(now);
+                        }
+                        let st = self.aps[target.0 as usize].client_mut(client, gi);
+                        st.serving = true;
+                        self.ctrl.serving.insert(client, target);
+                        self.clients[c].serving = Some(target);
+                        self.clients[c].metrics.record_assoc(now, Some(target));
+                        self.ctrl.selector_mut(client).record_switch(now);
+                        self.ensure_round(ctx);
+                    }
+                    Some(cur) => {
+                        self.issue_switch(ctx, c, cur.0 as usize, target.0 as usize);
+                    }
+                }
+            }
+        }
+        if now < self.traffic_until + SimDuration::from_millis(500) {
+            ctx.schedule_in(self.cfg.selection_tick, Ev::SelectionTick);
+        }
+    }
+
+    fn on_csi_at_controller(&mut self, ap: usize, c: usize, esnr_db: f64, now: SimTime) {
+        self.ctrl
+            .on_csi(now, ApId(ap as u32), ClientId(c as u32), esnr_db);
+    }
+
+    // ---------- oracle sampling ----------
+
+    fn on_accuracy_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        for c in 0..self.clients.len() {
+            // Oracle: instantaneous ESNR argmax over in-range APs.
+            let mut best: Option<(usize, f64)> = None;
+            for ap in 0..self.aps.len() {
+                if !self.in_radio_range(ap, c, now) {
+                    continue;
+                }
+                let e = controller_esnr_db(&self.csi(ap, c, now));
+                if best.is_none_or(|(_, b)| e > b) {
+                    best = Some((ap, e));
+                }
+            }
+            let serving = self.serving_of(c);
+            if let Some((oracle, _)) = best {
+                // Capacity-loss integral (Figs 4, 21): the best link's
+                // instantaneous capacity minus what the serving link offers.
+                let gi = self.cfg.gi;
+                let best_cap =
+                    self.cfg
+                        .per_model
+                        .capacity_bps(gi, &self.csi(oracle, c, now), 1500);
+                let serv_cap = match serving {
+                    Some(s) if s == oracle => best_cap,
+                    Some(s) => self
+                        .cfg
+                        .per_model
+                        .capacity_bps(gi, &self.csi(s, c, now), 1500),
+                    None => 0.0,
+                };
+                let m = &mut self.clients[c].metrics;
+                m.capacity_best_bps_sum += best_cap;
+                m.capacity_loss_bps_sum += (best_cap - serv_cap).max(0.0);
+                m.capacity_samples += 1;
+                if let Some(serv) = serving {
+                    m.accuracy_total += 1;
+                    if oracle == serv {
+                        m.accuracy_optimal += 1;
+                    }
+                }
+            }
+        }
+        if now < self.traffic_until {
+            ctx.schedule_in(SimDuration::from_millis(1), Ev::AccuracyTick);
+        }
+    }
+
+    // ---------- radio: contention rounds ----------
+
+    fn on_contention_round(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        self.round_scheduled = false;
+        let now = ctx.now();
+        // Livelock guard: a node that reports work but can never build a
+        // transmission would otherwise reschedule rounds at this same
+        // instant forever.
+        if self.rounds_at_ts.0 == now {
+            self.rounds_at_ts.1 += 1;
+            if self.rounds_at_ts.1 > 10_000 {
+                panic!(
+                    "contention livelock at {now}: ap_work={:?} cl_work={:?} active={}",
+                    self.aps
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.has_work())
+                        .map(|(i, a)| (
+                            i,
+                            a.clients
+                                .iter()
+                                .map(|(c, s)| (
+                                    c.0,
+                                    s.serving,
+                                    s.draining,
+                                    s.nic_queue.len(),
+                                    s.cyclic.backlog(),
+                                    s.scoreboard.outstanding()
+                                ))
+                                .collect::<Vec<_>>()
+                        ))
+                        .collect::<Vec<_>>(),
+                    self.clients
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.has_uplink_work())
+                        .map(|(i, c)| (i, c.uplink_queue.len()))
+                        .collect::<Vec<_>>(),
+                    self.active_geo.len()
+                );
+            }
+        } else {
+            self.rounds_at_ts = (now, 0);
+        }
+        // Drop finished transmissions from the active registry.
+        self.active_geo.retain(|_, &mut (_, _, end, _)| end > now);
+        if self.trace {
+            eprintln!(
+                "[{now}] round: active={} ap_work={:?} cl_work={:?}",
+                self.active_geo.len(),
+                self.aps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.has_work())
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>(),
+                self.clients
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.has_uplink_work())
+                    .map(|(i, c)| (i, c.uplink_queue.len()))
+                    .collect::<Vec<_>>()
+            );
+        }
+        // Gather contenders: nodes with pending frames whose radio is not
+        // already mid-transmission.
+        let busy: std::collections::HashSet<NodeKey> = self
+            .active_geo
+            .values()
+            .map(|&(_, _, _, key)| key)
+            .collect();
+        let mut contenders: Vec<(NodeKey, u32)> = Vec::new();
+        for ap in 0..self.aps.len() {
+            if self.aps[ap].has_work() && !busy.contains(&NodeKey::Ap(ap)) {
+                let draw = self.aps[ap].backoff.draw(&mut self.rng);
+                contenders.push((NodeKey::Ap(ap), draw));
+            }
+        }
+        for c in 0..self.clients.len() {
+            if self.clients[c].has_uplink_work() && !busy.contains(&NodeKey::Client(c)) {
+                let draw = self.clients[c].backoff.draw(&mut self.rng);
+                contenders.push((NodeKey::Client(c), draw));
+            }
+        }
+        if contenders.is_empty() {
+            // Nothing eligible; when transmissions finish, TxDone will
+            // re-arm the round.
+            return;
+        }
+        // Spatial reuse: transmitters far enough apart (directional
+        // antennas, metres-scale cells) neither carrier-sense nor interfere
+        // with each other, so several may transmit concurrently — this is
+        // what makes two opposing cars at opposite ends of the array cheap
+        // to serve simultaneously (paper Fig 20).
+        const CS_RANGE_M: f64 = 25.0;
+        contenders.sort_by_key(|&(n, d)| {
+            (
+                d,
+                match n {
+                    NodeKey::Ap(i) => i,
+                    NodeKey::Client(i) => 1000 + i,
+                },
+            )
+        });
+        let tx_rx_pos = |w: &WgttWorld, n: NodeKey| -> (wgtt_phy::Position, wgtt_phy::Position) {
+            match n {
+                NodeKey::Ap(ap) => {
+                    let txp = w.deployment.aps[ap].position;
+                    // Receiver: the client this AP would serve (first with
+                    // work); fall back to the boresight patch.
+                    let rx = w.aps[ap]
+                        .clients
+                        .iter()
+                        .find(|(_, s)| s.has_downlink_work())
+                        .map(|(c, _)| w.client_pos(c.0 as usize, now))
+                        .unwrap_or(w.deployment.aps[ap].boresight_target);
+                    (txp, rx)
+                }
+                NodeKey::Client(c) => {
+                    let txp = w.client_pos(c, now);
+                    let rx = w.clients[c]
+                        .serving
+                        .map(|a| w.deployment.aps[a.0 as usize].position)
+                        .unwrap_or(txp);
+                    (txp, rx)
+                }
+            }
+        };
+        let compatible = |a: (wgtt_phy::Position, wgtt_phy::Position),
+                          b: (wgtt_phy::Position, wgtt_phy::Position)| {
+            a.0.distance(&b.0) > CS_RANGE_M
+                && a.0.distance(&b.1) > CS_RANGE_M
+                && b.0.distance(&a.1) > CS_RANGE_M
+        };
+        let chan_of = |w: &WgttWorld, n: NodeKey| -> usize {
+            match n {
+                NodeKey::Ap(ap) => w.cfg.channel_of(ap),
+                NodeKey::Client(c) => w
+                    .serving_of(c)
+                    .map(|s| w.cfg.channel_of(s))
+                    .unwrap_or(0),
+            }
+        };
+        let active: Vec<(wgtt_phy::Position, wgtt_phy::Position, usize)> = self
+            .active_geo
+            .values()
+            .map(|&(t, r, _, key)| (t, r, chan_of(self, key)))
+            .collect();
+        let min_draw = contenders[0].1;
+        #[allow(clippy::type_complexity)]
+        let mut granted: Vec<(
+            NodeKey,
+            u32,
+            (wgtt_phy::Position, wgtt_phy::Position),
+            usize,
+            bool,
+        )> = Vec::new();
+        for &(node, draw) in &contenders {
+            let pos = tx_rx_pos(self, node);
+            let chan = chan_of(self, node);
+            // A contender within carrier-sense range of an ongoing
+            // same-channel transmission defers (it hears the medium busy);
+            // different channels never interact.
+            if !active
+                .iter()
+                .all(|&(t, r, ch)| ch != chan || compatible(pos, (t, r)))
+            {
+                continue;
+            }
+            if granted.is_empty() {
+                granted.push((node, draw, pos, chan, false));
+                continue;
+            }
+            let clear = granted
+                .iter()
+                .all(|&(_, _, gp, gch, _)| gch != chan || compatible(pos, gp));
+            if clear {
+                // Out of carrier-sense range (or off-channel) of everything
+                // granted: transmits concurrently.
+                granted.push((node, draw, pos, chan, false));
+            } else if draw == min_draw {
+                // Same backoff slot as an incompatible transmission:
+                // classic DCF collision — both the newcomer and every
+                // granted transmission it can sense are destroyed.
+                for g in granted.iter_mut() {
+                    if g.3 == chan && !compatible(pos, g.2) {
+                        g.4 = true;
+                    }
+                }
+                granted.push((node, draw, pos, chan, true));
+                self.dcf_collisions += 1;
+            }
+            // Otherwise: defers, contends again next round.
+        }
+        if granted.is_empty() {
+            // Everyone with work is inside an active transmission's CS
+            // range; retry when the earliest one ends.
+            if let Some(end) = self.active_geo.values().map(|&(_, _, e, _)| e).min() {
+                self.round_scheduled = true;
+                ctx.schedule_at(end.max(now), Ev::ContentionRound);
+            }
+            return;
+        }
+        let mut latest_end = now;
+        for (node, draw, pos, _chan, collided) in granted {
+            let grant = now + difs() + slot() * draw as u64;
+            let started = match node {
+                NodeKey::Ap(ap) => self.start_ap_tx(ctx, ap, grant, collided),
+                NodeKey::Client(c) => self.start_client_tx(ctx, c, grant, collided),
+            };
+            if let Some((tx_id, end)) = started {
+                self.active_geo.insert(tx_id, (pos.0, pos.1, end, node));
+                latest_end = latest_end.max(end);
+            }
+        }
+        if latest_end > now {
+            self.medium.occupy(now, latest_end - now);
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// Builds and launches one AP A-MPDU. Returns the end-of-exchange time.
+    fn start_ap_tx(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        grant: SimTime,
+        collided: bool,
+    ) -> Option<(u64, SimTime)> {
+        let client = self.aps[ap].pick_client()?;
+        let c = client.0 as usize;
+        let gi = self.cfg.gi;
+        let now = ctx.now();
+        let max_dur = SimDuration::from_millis(4);
+        let st = self.aps[ap].clients.get_mut(&client).expect("picked client exists");
+        if st.serving || (st.draining && st.drain_cyclic) {
+            st.refill_nic();
+        }
+        let mut mcs = st.ratectl.select(now, &mut self.rng);
+        // Multi-rate retry (ath9k-style): step the rate down as a frame's
+        // retry count climbs so a stale Minstrel estimate cannot burn the
+        // whole retry budget at an undeliverable rate.
+        let retry_lvl = st.nic_queue.front().map(|e| e.retries).unwrap_or(0);
+        for _ in 0..(retry_lvl / 2).min(4) {
+            mcs = mcs.down().unwrap_or(mcs);
+        }
+        // Build the aggregate from the NIC queue head.
+        let mut mpdus: Vec<(u16, Packet, u32)> = Vec::new();
+        let mut lens: Vec<usize> = Vec::new();
+        let mut bytes = 0usize;
+        while let Some(entry) = st.nic_queue.front() {
+            if mpdus.len() >= wgtt_mac::BA_WINDOW as usize {
+                break;
+            }
+            let wire = entry.packet.len_bytes + overhead::DOT11;
+            if !mpdus.is_empty() {
+                if bytes + wire > MAX_AMPDU_BYTES {
+                    break;
+                }
+                lens.push(wire);
+                if ampdu_airtime(&lens, mcs, gi) > max_dur {
+                    lens.pop();
+                    break;
+                }
+                lens.pop();
+            }
+            if !entry.registered && st.scoreboard.available() == 0 {
+                break;
+            }
+            let mut entry = st.nic_queue.pop_front().expect("front exists");
+            if !entry.registered {
+                st.scoreboard.register(entry.seq);
+                entry.registered = true;
+            }
+            entry.retries += 1;
+            bytes += wire;
+            lens.push(wire);
+            mpdus.push((entry.seq, entry.packet, entry.retries));
+        }
+        if mpdus.is_empty() {
+            return None;
+        }
+        let airtime = ampdu_airtime(&lens, mcs, gi);
+        let end = grant + airtime + sifs() + block_ack_airtime();
+        let tx = self.alloc_tx(AirTx::ApAggregate {
+            ap,
+            client: c,
+            mpdus,
+            mcs,
+            collided,
+            start: grant,
+        });
+        ctx.schedule_at(end, Ev::TxDone(tx));
+        Some((tx, end))
+    }
+
+    /// Launches one client uplink burst.
+    fn start_client_tx(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        c: usize,
+        grant: SimTime,
+        collided: bool,
+    ) -> Option<(u64, SimTime)> {
+        let now = ctx.now();
+        let cl = &mut self.clients[c];
+        if cl.uplink_queue.is_empty() {
+            return None;
+        }
+        let all_probes = cl
+            .uplink_queue
+            .iter()
+            .take(UPLINK_BURST)
+            .all(|e| matches!(e.packet.payload, Payload::Raw));
+        let mut mcs = if cl.serving.is_none() || all_probes {
+            // Probe/null frames ride the base rate (like real management
+            // traffic), so every nearby AP can measure CSI from them.
+            Mcs(0)
+        } else {
+            cl.ratectl.select(now, &mut self.rng)
+        };
+        // Multi-rate retry on the uplink too.
+        let retry_lvl = cl.uplink_queue.front().map(|e| e.retries).unwrap_or(0);
+        for _ in 0..(retry_lvl / 2).min(4) {
+            mcs = mcs.down().unwrap_or(mcs);
+        }
+        let count = cl.uplink_queue.len().min(UPLINK_BURST);
+        let entries: Vec<crate::client::UplinkEntry> =
+            cl.uplink_queue.drain(..count).collect();
+        let lens: Vec<usize> = entries
+            .iter()
+            .map(|e| e.packet.len_bytes + overhead::DOT11)
+            .collect();
+        let airtime = if lens.len() == 1 {
+            frame_airtime(lens[0], mcs, self.cfg.gi)
+        } else {
+            ampdu_airtime(&lens, mcs, self.cfg.gi)
+        };
+        cl.last_uplink_tx = grant;
+        let end = grant + airtime + sifs() + block_ack_airtime();
+        let tx = self.alloc_tx(AirTx::ClientBurst {
+            client: c,
+            entries,
+            mcs,
+            collided,
+            start: grant,
+        });
+        ctx.schedule_at(end, Ev::TxDone(tx));
+        Some((tx, end))
+    }
+
+    // ---------- radio: transmission resolution ----------
+
+    fn on_tx_done(&mut self, ctx: &mut Ctx<'_, Ev>, tx_id: u64) {
+        self.active_geo.remove(&tx_id);
+        match self.in_flight.remove(&tx_id) {
+            Some(AirTx::ApAggregate {
+                ap,
+                client,
+                mpdus,
+                mcs,
+                collided,
+                start,
+            }) => self.resolve_ap_tx(ctx, ap, client, mpdus, mcs, collided, start),
+            Some(AirTx::ClientBurst {
+                client,
+                entries,
+                mcs,
+                collided,
+                start,
+            }) => self.resolve_client_tx(ctx, client, entries, mcs, collided, start),
+            None => {}
+        }
+        self.ensure_round(ctx);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_ap_tx(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        mpdus: Vec<(u16, Packet, u32)>,
+        mcs: Mcs,
+        collided: bool,
+        start: SimTime,
+    ) {
+        let gi = self.cfg.gi;
+        let now = ctx.now();
+        let client = ClientId(c as u32);
+        let csi = self.csi(ap, c, start);
+        let listening = self.client_listens_to(ap, c);
+        if self.trace {
+            eprintln!(
+                "[{now}] ap{ap} tx: seqs={:?} mcs={mcs} esnr_q16={:.1}",
+                mpdus.iter().map(|m| m.0).collect::<Vec<_>>(),
+                controller_esnr_db(&csi)
+            );
+        }
+        let n = mpdus.len() as u64;
+        self.clients[c].metrics.mpdu_attempts += n;
+        let attempt_rate = mcs.data_rate_mbps(self.cfg.gi);
+        for _ in 0..n {
+            self.clients[c]
+                .metrics
+                .attempted_mpdu_rates_mbps
+                .push(attempt_rate);
+        }
+        self.clients[c].metrics.mpdu_retransmits +=
+            mpdus.iter().filter(|&&(_, _, r)| r > 1).count() as u64;
+
+        // Per-MPDU delivery draws.
+        let mut results: Vec<(u16, Packet, u32, bool)> = Vec::with_capacity(mpdus.len());
+        for (seq, packet, retries) in mpdus {
+            let p = if collided || !listening {
+                0.0
+            } else {
+                self.cfg
+                    .per_model
+                    .success_from_csi(mcs, &csi, packet.len_bytes + overhead::DOT11)
+            };
+            let delivered = self.rng.chance(p);
+            results.push((seq, packet, retries, delivered));
+        }
+
+        // Client-side reorder + app delivery.
+        let mut any_received = false;
+        let rate_mbps = mcs.data_rate_mbps(gi);
+        for (seq, packet, _, delivered) in &results {
+            if !*delivered {
+                continue;
+            }
+            any_received = true;
+            let is_new = self.clients[c].rx_reorder.on_mpdu(*seq);
+            if is_new {
+                self.clients[c].rx_buffer.insert(*seq, packet.clone());
+                let m = &mut self.clients[c].metrics;
+                m.mpdu_successes += 1;
+                m.delivered_mpdu_rates_mbps.push(rate_mbps);
+                m.rate_bin_sum.add(now, rate_mbps);
+                m.rate_bin_count.add(now, 1.0);
+            }
+        }
+        if any_received {
+            self.release_reordered(ctx, c, false);
+        }
+
+        // Block ACK response (only if the client heard the PPDU at all).
+        let mut ba_received = false;
+        let mut ba: Option<BlockAckFrame> = None;
+        if any_received {
+            let frame = self.clients[c].rx_reorder.block_ack();
+            ba = Some(frame);
+            // BA travels client→AP on the reciprocal channel at the
+            // 24 Mbit/s basic control rate (QPSK-3/4-like robustness).
+            let e_qpsk = esnr_from_csi(Modulation::Qpsk, &csi);
+            let p_ba = self
+                .cfg
+                .per_model
+                .success_prob(Mcs(2), e_qpsk, wgtt_mac::timing::BLOCK_ACK_BYTES);
+            ba_received = self.rng.chance(p_ba);
+        }
+
+        // Every AP that decodes the client's Block ACK — serving or
+        // monitor-mode neighbour — measures CSI from it (the CSI tool
+        // reports every incoming frame, §3.1.1). Monitors that heard a BA
+        // the serving AP missed forward it over the backhaul (§3.2.1).
+        let mut overheard_by: Vec<usize> = Vec::new();
+        if ba.is_some() {
+            for other in 0..self.aps.len() {
+                if other == ap
+                    || !self.in_radio_range(other, c, now)
+                    || !self.same_channel(other, c)
+                {
+                    continue;
+                }
+                let other_csi = self.csi(other, c, start);
+                let e = esnr_from_csi(Modulation::Qpsk, &other_csi);
+                let p = self.cfg.per_model.success_prob(
+                    Mcs(2),
+                    e,
+                    wgtt_mac::timing::BLOCK_ACK_BYTES,
+                );
+                if self.rng.chance(p) {
+                    overheard_by.push(other);
+                    let esnr = controller_esnr_db(&other_csi);
+                    self.report_csi(ctx, other, c, esnr, now);
+                }
+            }
+        }
+        if ba_received {
+            let esnr = controller_esnr_db(&csi);
+            self.report_csi(ctx, ap, c, esnr, now);
+        }
+        let st = self.aps[ap]
+            .clients
+            .get_mut(&client)
+            .expect("tx implies client state");
+        if ba_received {
+            let frame = ba.expect("ba exists when received");
+            st.seen_bas.insert((frame.start_seq, frame.bitmap));
+            let newly = st.scoreboard.on_block_ack(&frame);
+            for _ in &newly {
+                st.ratectl.on_tx_result(now, mcs, true);
+            }
+            // Anything the Block ACK (cumulatively) covers is done; the
+            // rest — including previously acked sequences the frame still
+            // carries — goes back for retransmission.
+            let unacked: Vec<(u16, Packet, u32)> = results
+                .into_iter()
+                .filter(|(seq, _, _, _)| !frame.covers(*seq) && st_seq_outstanding(st, *seq))
+                .map(|(seq, p, r, _)| (seq, p, r))
+                .collect();
+            // Rate control must see the failures too, or it pins at the
+            // top rate on the optimism of acked-only feedback.
+            for _ in &unacked {
+                st.ratectl.on_tx_result(now, mcs, false);
+            }
+            self.requeue_lost(ap, c, unacked, mcs, now);
+            self.aps[ap].backoff.on_success();
+        } else {
+            if let Some(frame) = ba {
+                self.clients[c].metrics.ba_lost_at_serving += 1;
+                // Block ACK forwarding: monitor-mode neighbours that
+                // overheard it relay it over the backhaul (§3.2.1).
+                if self.cfg.mode == Mode::Wgtt && self.cfg.ba_forwarding {
+                    for _other in &overheard_by {
+                        self.backhaul_send(ctx, 100, false, move || Ev::BaForwardAtAp {
+                            ap,
+                            client: c,
+                            ba: frame,
+                        });
+                    }
+                }
+            }
+            let st = self.aps[ap]
+                .clients
+                .get_mut(&client)
+                .expect("client state");
+            st.ratectl.on_tx_result(now, mcs, false);
+            // Without an acknowledgement the AP must assume nothing got
+            // through: the entire aggregate is retransmitted (§3.2.1's
+            // cost) — unless a forwarded Block ACK arrives first and
+            // prunes the NIC queue.
+            let all: Vec<(u16, Packet, u32)> = results
+                .into_iter()
+                .map(|(seq, p, r, _)| (seq, p, r))
+                .collect();
+            self.requeue_lost(ap, c, all, mcs, now);
+            self.aps[ap].backoff.on_failure();
+        }
+    }
+
+    /// Pushes unacknowledged MPDUs back to the NIC queue front (in order)
+    /// or drops them past the retry limit.
+    fn requeue_lost(
+        &mut self,
+        ap: usize,
+        c: usize,
+        unacked: Vec<(u16, Packet, u32)>,
+        mcs: Mcs,
+        now: SimTime,
+    ) {
+        let client = ClientId(c as u32);
+        let st = self.aps[ap].clients.get_mut(&client).expect("client state");
+        for (seq, packet, retries) in unacked.into_iter().rev() {
+            if retries > MPDU_RETRY_LIMIT {
+                st.scoreboard.drop_seq(seq);
+                st.ratectl.on_tx_result(now, mcs, false);
+                continue;
+            }
+            st.nic_queue.push_front(crate::ap::NicEntry {
+                packet,
+                seq,
+                retries,
+                registered: true,
+            });
+        }
+    }
+
+    fn on_ba_forward_at_ap(&mut self, ap: usize, c: usize, ba: BlockAckFrame) {
+        if self.cfg.mode != Mode::Wgtt || !self.cfg.ba_forwarding {
+            return;
+        }
+        let client = ClientId(c as u32);
+        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+            return;
+        };
+        if !st.seen_bas.insert((ba.start_seq, ba.bitmap)) {
+            return; // already applied (own reception or earlier forward)
+        }
+        let newly = st.scoreboard.on_block_ack(&ba);
+        if newly.is_empty() {
+            return;
+        }
+        let acked: std::collections::HashSet<u16> = newly.iter().copied().collect();
+        st.nic_queue.retain(|e| !acked.contains(&e.seq));
+        self.clients[c].metrics.ba_forwarded_applied += newly.len() as u64;
+    }
+
+    /// Releases in-order packets from the client's reorder buffer to the
+    /// application, managing the reorder release timer. With `force`, a
+    /// stale head-of-window hole is skipped first.
+    fn release_reordered(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, force: bool) {
+        const REORDER_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+        let now = ctx.now();
+        loop {
+            if force {
+                self.clients[c].rx_reorder.skip_hole();
+            }
+            let before = self.clients[c].rx_reorder.win_start();
+            let released = self.clients[c].rx_reorder.release_in_order();
+            for i in 0..released {
+                let seq = wgtt_mac::seq_add(before, i as u16);
+                if let Some(pkt) = self.clients[c].rx_buffer.remove(&seq) {
+                    self.deliver_to_client_app(ctx, c, pkt);
+                }
+            }
+            if !(force && released > 0) {
+                break;
+            }
+            // After a forced skip, further holes may remain; loop once more
+            // only while forcing.
+            if self.clients[c].rx_buffer.is_empty() {
+                break;
+            }
+        }
+        // Manage the release timer: if frames remain buffered behind a
+        // hole, arm a flush; otherwise clear it.
+        if self.clients[c].rx_buffer.is_empty() {
+            self.clients[c].hole_since = None;
+        } else if self.clients[c].hole_since.is_none() {
+            self.clients[c].hole_since = Some(now);
+            ctx.schedule_in(REORDER_TIMEOUT, Ev::ReorderFlush { client: c });
+        }
+    }
+
+    fn on_reorder_flush(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        const REORDER_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+        let now = ctx.now();
+        match self.clients[c].hole_since {
+            Some(since) if now.saturating_since(since) >= REORDER_TIMEOUT => {
+                self.clients[c].hole_since = None;
+                self.release_reordered(ctx, c, true);
+            }
+            Some(since) => {
+                // Timer superseded by progress; re-arm for the remainder.
+                let remain = REORDER_TIMEOUT - now.saturating_since(since);
+                ctx.schedule_in(remain, Ev::ReorderFlush { client: c });
+            }
+            None => {}
+        }
+    }
+
+    /// Whether the client decodes frames from this AP: always in WGTT
+    /// (single BSSID), only from the serving AP in baseline mode.
+    fn client_listens_to(&self, ap: usize, c: usize) -> bool {
+        if !self.same_channel(ap, c) {
+            return false;
+        }
+        match self.cfg.mode {
+            Mode::Wgtt => true,
+            Mode::Enhanced80211r => self.serving_of(c) == Some(ap),
+        }
+    }
+
+    fn resolve_client_tx(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        c: usize,
+        entries: Vec<crate::client::UplinkEntry>,
+        mcs: Mcs,
+        collided: bool,
+        start: SimTime,
+    ) {
+        let now = ctx.now();
+        if self.trace {
+            eprintln!("[{now}] client_tx c={c} n={} mcs={mcs} collided={collided} kinds={:?}",
+                entries.len(), entries.iter().map(|e| match e.packet.payload { Payload::TcpAck{..} => 'A', Payload::Udp{..} => 'U', Payload::Raw => 'P', _ => '?' }).collect::<String>());
+        }
+        let client = ClientId(c as u32);
+        // Reception per AP.
+        let mut per_ap_received: Vec<(usize, Vec<u16>)> = Vec::new();
+        for ap in 0..self.aps.len() {
+            if !self.in_radio_range(ap, c, start) || !self.same_channel(ap, c) {
+                continue;
+            }
+            let csi = self.csi(ap, c, start);
+            let mut got = Vec::new();
+            for e in &entries {
+                let p = if collided {
+                    0.0
+                } else {
+                    self.cfg.per_model.success_from_csi(
+                        mcs,
+                        &csi,
+                        e.packet.len_bytes + overhead::DOT11,
+                    )
+                };
+                if self.rng.chance(p) {
+                    got.push(e.seq);
+                }
+            }
+            if !got.is_empty() {
+                // CSI measurement from this reception, rate-limited.
+                let esnr = controller_esnr_db(&csi);
+                self.report_csi(ctx, ap, c, esnr, now);
+                per_ap_received.push((ap, got));
+            }
+        }
+
+        // Forwarding to the controller (uplink diversity).
+        let serving = self.serving_of(c);
+        if std::env::var("WGTT_DEBUG3").is_ok()
+            && entries.iter().any(|e| matches!(e.packet.payload, Payload::TcpAck { .. }))
+        {
+            eprintln!("[{now}] ACK burst: entries={:?} rx={:?} serving={serving:?}",
+                entries.iter().map(|e| (e.seq, e.retries)).collect::<Vec<_>>(),
+                per_ap_received.iter().map(|(a, g)| (*a, g.clone())).collect::<Vec<_>>());
+        }
+        if self.trace {
+            eprintln!("   received per ap: {:?} serving={serving:?}", per_ap_received.iter().map(|(a,g)| (*a, g.len())).collect::<Vec<_>>());
+        }
+        for (ap, got) in &per_ap_received {
+            let forwards = match self.cfg.mode {
+                Mode::Wgtt => {
+                    self.cfg.uplink_diversity || Some(*ap) == serving
+                }
+                Mode::Enhanced80211r => Some(*ap) == serving,
+            };
+            // Only associated APs bridge data frames.
+            let associated = self.aps[*ap]
+                .clients
+                .get(&client)
+                .is_some_and(|s| s.assoc.state() == AssocState::Associated);
+            if !forwards || !associated {
+                continue;
+            }
+            for seq in got {
+                let e = entries.iter().find(|e| e.seq == *seq).expect("seq from entries");
+                if matches!(e.packet.payload, Payload::Raw) {
+                    continue; // probes terminate at the AP
+                }
+                let pkt = e.packet.clone();
+                let from_ap = *ap;
+                let wire = pkt.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
+                self.backhaul_send(ctx, wire, false, move || Ev::UplinkCopyAtController {
+                    from_ap,
+                    packet: pkt,
+                });
+            }
+        }
+
+        // Acknowledgement responses and collisions (§5.3.2).
+        let responders: Vec<usize> = per_ap_received
+            .iter()
+            .map(|&(ap, _)| ap)
+            .filter(|&ap| {
+                self.aps[ap]
+                    .clients
+                    .get(&client)
+                    .is_some_and(|s| s.assoc.state() == AssocState::Associated)
+            })
+            .collect();
+        let mut acked_by: Option<usize> = None;
+        if !responders.is_empty() {
+            self.clients[c].metrics.ack_responses += 1;
+            // Serving AP responds promptly; others add µs-scale backoff.
+            let mut resp: Vec<(usize, f64, f64)> = responders
+                .iter()
+                .map(|&ap| {
+                    let jitter_us = if Some(ap) == serving {
+                        self.rng.range(0.0..3.0)
+                    } else {
+                        self.rng.range(0.0..100.0)
+                    };
+                    let snr_at_client = self.mean_snr(ap, c, now);
+                    (ap, jitter_us, snr_at_client)
+                })
+                .collect();
+            resp.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("jitter not NaN"));
+            let (first_ap, first_jitter, first_snr) = resp[0];
+            // Later responders defer via CCA unless within the detection
+            // window; overlapping comparable-power responses collide.
+            let mut collision = false;
+            for &(_, jitter, snr) in &resp[1..] {
+                if jitter - first_jitter < CCA_WINDOW_US
+                    && (first_snr - snr).abs() < CAPTURE_MARGIN_DB
+                {
+                    collision = true;
+                    break;
+                }
+            }
+            if collision {
+                self.clients[c].metrics.ack_collisions += 1;
+            } else {
+                // The client hears the first response if its own downlink
+                // from that AP works at the 24 Mbit/s control rate.
+                let csi = self.csi(first_ap, c, now);
+                let e = esnr_from_csi(Modulation::Qpsk, &csi);
+                let p = self
+                    .cfg
+                    .per_model
+                    .success_prob(Mcs(2), e, wgtt_mac::timing::ACK_BYTES);
+                if self.rng.chance(p) {
+                    acked_by = Some(first_ap);
+                }
+            }
+        }
+
+        // Client-side retransmission bookkeeping.
+        match acked_by {
+            Some(ap) => {
+                self.clients[c].backoff.on_success();
+                let got: std::collections::HashSet<u16> = per_ap_received
+                    .iter()
+                    .find(|&&(a, _)| a == ap)
+                    .map(|(_, g)| g.iter().copied().collect())
+                    .unwrap_or_default();
+                let mut successes = 0u32;
+                // Reverse iteration + push_front keeps the surviving
+                // entries in their original order at the queue head.
+                for mut e in entries.into_iter().rev() {
+                    if got.contains(&e.seq) {
+                        successes += 1;
+                    } else {
+                        e.retries += 1;
+                        if e.retries <= UPLINK_RETRY_LIMIT {
+                            self.clients[c].uplink_queue.push_front(e);
+                        }
+                    }
+                }
+                let cl = &mut self.clients[c];
+                for _ in 0..successes {
+                    cl.ratectl.on_tx_result(now, mcs, true);
+                }
+            }
+            None => {
+                self.clients[c].backoff.on_failure();
+                let cl = &mut self.clients[c];
+                cl.ratectl.on_tx_result(now, mcs, false);
+                for mut e in entries.into_iter().rev() {
+                    e.retries += 1;
+                    if e.retries <= UPLINK_RETRY_LIMIT {
+                        cl.uplink_queue.push_front(e);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits a rate-limited CSI report from `ap` about client `c`.
+    fn report_csi(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, esnr_db: f64, now: SimTime) {
+        let gi = self.cfg.gi;
+        let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
+        let due = st
+            .last_csi_report
+            .is_none_or(|t| now.saturating_since(t) >= self.cfg.csi_report_interval);
+        if !due {
+            return;
+        }
+        st.last_csi_report = Some(now);
+        self.backhaul_send(ctx, 300, false, move || Ev::CsiAtController {
+            ap,
+            client: c,
+            esnr_db,
+        });
+    }
+
+    // ---------- uplink at controller / server ----------
+
+    fn on_uplink_copy(&mut self, ctx: &mut Ctx<'_, Ev>, _from_ap: usize, packet: Packet) {
+        if self.trace {
+            if let Payload::TcpAck { ack, .. } = packet.payload {
+                eprintln!("[{}] ack copy at ctrl: ack={ack} ident={}", ctx.now(), packet.ip_ident);
+            }
+        }
+        self.sys.uplink_copies += 1;
+        let pass = if self.cfg.uplink_dedup {
+            self.ctrl.dedup.check(&packet)
+        } else {
+            true
+        };
+        if !pass {
+            self.sys.uplink_duplicates += 1;
+            return;
+        }
+        let latency = self.cfg.server_latency;
+        ctx.schedule_in(latency, Ev::PacketAtServer(packet));
+    }
+
+    fn on_packet_at_server(&mut self, ctx: &mut Ctx<'_, Ev>, packet: Packet) {
+        let now = ctx.now();
+        let fidx = packet.flow.0 as usize;
+        if fidx >= self.flows.len() {
+            return;
+        }
+        match (&mut self.flows[fidx].kind, packet.payload) {
+            (FlowKind::DownTcp(sender), Payload::TcpAck { ack, sack }) => {
+                if self.trace {
+                    eprintln!("[{now}] ack at server: {ack} una={}", sender.snd_una());
+                }
+                let blocks: Vec<(u64, u64)> = sack.iter().flatten().copied().collect();
+                sender.on_ack_sack(now, ack, &blocks);
+                if sender.is_complete() && self.flows[fidx].completed_at.is_none() {
+                    self.flows[fidx].completed_at = Some(now);
+                }
+                self.pump_tcp(ctx, fidx);
+            }
+            (FlowKind::UpUdp(_), Payload::Udp { seq }) => {
+                if let Some(sink) = &mut self.flows[fidx].up_sink {
+                    if sink.on_receive(now, seq, packet.len_bytes) {
+                        let c = self.flows[fidx].client;
+                        self.clients[c]
+                            .metrics
+                            .uplink
+                            .add(now, (packet.len_bytes * 8) as f64);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---------- traffic generation ----------
+
+    fn on_udp_down_tick(&mut self, ctx: &mut Ctx<'_, Ev>, fidx: usize) {
+        let now = ctx.now();
+        if now >= self.traffic_until {
+            return;
+        }
+        let flow = &mut self.flows[fidx];
+        let FlowKind::DownUdp(src) = &mut flow.kind else {
+            return;
+        };
+        let client = ClientId(flow.client as u32);
+        let id = flow.id;
+        let payload = src.payload_bytes;
+        let mut due: Vec<u64> = Vec::new();
+        while let Some(seq) = src.emit(now) {
+            due.push(seq);
+        }
+        let next = src.next_emit_time();
+        for seq in due {
+            let pkt = self.factory.make(
+                client,
+                id,
+                Direction::Downlink,
+                payload + overhead::UDP + overhead::IPV4,
+                now,
+                Payload::Udp { seq },
+            );
+            let latency = self.cfg.server_latency;
+            ctx.schedule_in(latency, Ev::PacketAtController(pkt));
+        }
+        if let Some(t) = next {
+            if t < self.traffic_until {
+                ctx.schedule_at(t, Ev::UdpDownTick(fidx));
+            }
+        }
+    }
+
+    fn on_uplink_app_tick(&mut self, ctx: &mut Ctx<'_, Ev>, fidx: usize) {
+        let now = ctx.now();
+        if now >= self.traffic_until {
+            return;
+        }
+        let flow = &mut self.flows[fidx];
+        let FlowKind::UpUdp(src) = &mut flow.kind else {
+            return;
+        };
+        let c = flow.client;
+        let client = ClientId(c as u32);
+        let id = flow.id;
+        let payload = src.payload_bytes;
+        let mut due = Vec::new();
+        while let Some(seq) = src.emit(now) {
+            due.push(seq);
+        }
+        let next = src.next_emit_time();
+        for seq in due {
+            let pkt = self.factory.make(
+                client,
+                id,
+                Direction::Uplink,
+                payload + overhead::UDP + overhead::IPV4,
+                now,
+                Payload::Udp { seq },
+            );
+            self.clients[c].enqueue_uplink(pkt);
+        }
+        self.ensure_round(ctx);
+        if let Some(t) = next {
+            if t < self.traffic_until {
+                ctx.schedule_at(t, Ev::UplinkAppTick(fidx));
+            }
+        }
+    }
+
+    fn pump_tcp(&mut self, ctx: &mut Ctx<'_, Ev>, fidx: usize) {
+        let now = ctx.now();
+        if now >= self.traffic_until {
+            return;
+        }
+        // The transfer starts at its scheduled time, once the client is
+        // reachable (mirrors starting the application after the Wi-Fi
+        // connection is up).
+        if now < self.flows[fidx].start {
+            ctx.schedule_at(self.flows[fidx].start, Ev::TcpPump(fidx));
+            return;
+        }
+        let client_idx = self.flows[fidx].client;
+        if self.serving_of(client_idx).is_none() {
+            ctx.schedule_in(SimDuration::from_millis(20), Ev::TcpPump(fidx));
+            return;
+        }
+        let flow = &mut self.flows[fidx];
+        let FlowKind::DownTcp(sender) = &mut flow.kind else {
+            return;
+        };
+        let client = ClientId(flow.client as u32);
+        let id = flow.id;
+        let mut segs = Vec::new();
+        while let Some(seg) = sender.next_segment(now) {
+            segs.push(seg);
+        }
+        if self.trace && !segs.is_empty() {
+            eprintln!(
+                "[{now}] pump f{fidx}: una={} nxt_after={} emitted {} segs from {} (rtx={})",
+                sender.snd_una(),
+                sender.snd_una() + sender.bytes_in_flight(),
+                segs.len(),
+                segs[0].seq,
+                segs.iter().filter(|s| s.is_retransmit).count()
+            );
+        }
+        let deadline = sender.rto_deadline();
+        for seg in segs {
+            let pkt = self.factory.make(
+                client,
+                id,
+                Direction::Downlink,
+                seg.len + overhead::TCP + overhead::IPV4,
+                now,
+                Payload::TcpData {
+                    seq: seg.seq,
+                    len: seg.len as u64,
+                },
+            );
+            let latency = self.cfg.server_latency;
+            ctx.schedule_in(latency, Ev::PacketAtController(pkt));
+        }
+        // Arm the RTO check if needed.
+        if let Some(d) = deadline {
+            let flow = &mut self.flows[fidx];
+            let need = flow.rto_check_at.is_none_or(|at| at > d || at <= now);
+            if need {
+                flow.rto_check_at = Some(d);
+                ctx.schedule_at(d.max(now), Ev::TcpRtoCheck(fidx));
+            }
+        }
+    }
+
+    fn on_tcp_rto_check(&mut self, ctx: &mut Ctx<'_, Ev>, fidx: usize) {
+        let now = ctx.now();
+        {
+            let flow = &mut self.flows[fidx];
+            flow.rto_check_at = None;
+            let FlowKind::DownTcp(sender) = &mut flow.kind else {
+                return;
+            };
+            match sender.rto_deadline() {
+                Some(d) if d <= now => {
+                    sender.on_rto_check(now);
+                }
+                Some(d) => {
+                    // Deadline moved later; re-arm.
+                    flow.rto_check_at = Some(d);
+                    ctx.schedule_at(d, Ev::TcpRtoCheck(fidx));
+                    return;
+                }
+                None => return,
+            }
+        }
+        self.pump_tcp(ctx, fidx);
+    }
+
+    // ---------- client app delivery ----------
+
+    fn deliver_to_client_app(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, packet: Packet) {
+        let now = ctx.now();
+        match packet.payload {
+            Payload::Udp { seq } => {
+                let payload = packet
+                    .len_bytes
+                    .saturating_sub(overhead::UDP + overhead::IPV4);
+                let cl = &mut self.clients[c];
+                if let Some(sink) = cl.udp_sink.get_mut(&packet.flow) {
+                    if sink.on_receive(now, seq, payload) {
+                        cl.metrics.downlink.add(now, (payload * 8) as f64);
+                        cl.log_delivery(DeliveryRecord {
+                            at: now,
+                            flow: packet.flow,
+                            seq,
+                            bytes: payload,
+                        });
+                    }
+                }
+            }
+            Payload::TcpData { seq, len } => {
+                let cl = &mut self.clients[c];
+                let Some(rx) = cl.tcp_rx.get_mut(&packet.flow) else {
+                    return;
+                };
+                let before = rx.rcv_nxt();
+                let ack = rx.on_data(seq, len as usize);
+                let delivered = ack.saturating_sub(before);
+                if delivered > 0 {
+                    cl.metrics.downlink.add(now, (delivered * 8) as f64);
+                    cl.log_delivery(DeliveryRecord {
+                        at: now,
+                        flow: packet.flow,
+                        seq: ack,
+                        bytes: delivered as usize,
+                    });
+                }
+                cl.last_ack_sent.insert(packet.flow, ack);
+                // Enqueue the cumulative ACK with SACK blocks describing
+                // whatever is buffered out of order.
+                let blocks = cl
+                    .tcp_rx
+                    .get(&packet.flow)
+                    .map(|r| r.sack_blocks(3))
+                    .unwrap_or_default();
+                let mut sack = [None; 3];
+                for (i, b) in blocks.into_iter().enumerate() {
+                    sack[i] = Some(b);
+                }
+                let ack_pkt = self.factory.make(
+                    ClientId(c as u32),
+                    packet.flow,
+                    Direction::Uplink,
+                    overhead::TCP + overhead::IPV4 + 12,
+                    now,
+                    Payload::TcpAck { ack, sack },
+                );
+                self.clients[c].enqueue_uplink(ack_pkt);
+                self.ensure_round(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    // ---------- probes & baseline roaming ----------
+
+    fn on_probe_tick(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let now = ctx.now();
+        if now < self.traffic_until {
+            let cl = &self.clients[c];
+            let idle = now.saturating_since(cl.last_uplink_tx) >= self.cfg.probe_interval;
+            if idle && cl.uplink_queue.is_empty() {
+                let pkt = self.factory.make(
+                    ClientId(c as u32),
+                    FlowId(u32::MAX),
+                    Direction::Uplink,
+                    36,
+                    now,
+                    Payload::Raw,
+                );
+                self.clients[c].enqueue_uplink(pkt);
+                self.ensure_round(ctx);
+            }
+            ctx.schedule_in(self.cfg.probe_interval, Ev::ProbeTick { client: c });
+        }
+    }
+
+    fn on_beacon_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        if self.cfg.mode == Mode::Enhanced80211r {
+            for ap in 0..self.aps.len() {
+                for c in 0..self.clients.len() {
+                    if !self.in_radio_range(ap, c, now) {
+                        continue;
+                    }
+                    let csi = self.csi(ap, c, now);
+                    // Beacons ride the base rate: ~250 B at MCS0.
+                    let e = esnr_from_csi(Modulation::Bpsk, &csi);
+                    let p = self.cfg.per_model.success_prob(Mcs(0), e, 250);
+                    if self.rng.chance(p) {
+                        let alpha = self.cfg.baseline.rssi_ewma_alpha;
+                        self.clients[c]
+                            .rssi
+                            .entry(ApId(ap as u32))
+                            .or_insert_with(|| wgtt_sim::stats::Ewma::new(alpha))
+                            .update(csi.rssi_snr_db());
+                        if self.clients[c].serving == Some(ApId(ap as u32)) {
+                            self.clients[c].last_serving_beacon = Some(now);
+                        }
+                    }
+                }
+            }
+        }
+        if now < self.traffic_until {
+            ctx.schedule_in(self.cfg.baseline.beacon_interval, Ev::BeaconTick);
+        }
+    }
+
+    fn on_roam_check(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let now = ctx.now();
+        if self.cfg.mode == Mode::Enhanced80211r && self.clients[c].roam.is_none() {
+            let serving = self.clients[c].serving;
+            let best = self.clients[c].best_rssi_ap();
+            let hysteresis_ok = self.clients[c]
+                .last_roam
+                .is_none_or(|t| now.saturating_since(t) >= self.cfg.baseline.hysteresis);
+            // Beacon-miss detection: after many missed beacons the client
+            // declares the link lost and rescans — the full scan across
+            // channels takes on the order of a second on real clients.
+            let beacons_stale = self.clients[c].last_serving_beacon.is_some_and(|t| {
+                now.saturating_since(t) >= self.cfg.baseline.beacon_interval * 12
+            });
+            let target = match (serving, best) {
+                (None, Some((ap, _))) => Some(ap),
+                (Some(cur), Some((ap, _))) if ap != cur && hysteresis_ok => {
+                    let cur_rssi = self.clients[c].rssi_db(cur).unwrap_or(f64::NEG_INFINITY);
+                    (beacons_stale || cur_rssi < self.cfg.baseline.rssi_threshold_db)
+                        .then_some(ap)
+                }
+                _ => None,
+            };
+            if let Some(t) = target {
+                self.clients[c].roam = Some(crate::client::RoamAttempt {
+                    target: t,
+                    retries: 0,
+                });
+                self.clients[c].last_roam = Some(now);
+                // Reassociation request hits the air ~1 ms later (queueing
+                // + contention for a tiny frame).
+                ctx.schedule_in(
+                    SimDuration::from_millis(1),
+                    Ev::RoamReqArrive {
+                        client: c,
+                        target: t.0 as usize,
+                        retries: 0,
+                    },
+                );
+            }
+        }
+        if now < self.traffic_until {
+            ctx.schedule_in(self.cfg.baseline.beacon_interval, Ev::RoamCheck { client: c });
+        }
+    }
+
+    fn on_roam_req(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize, retries: u32) {
+        let now = ctx.now();
+        if self.clients[c].roam.map(|r| r.target.0 as usize) != Some(target) {
+            return; // attempt superseded/abandoned
+        }
+        let csi = self.csi(target, c, now);
+        let e = esnr_from_csi(Modulation::Bpsk, &csi);
+        let p = self.cfg.per_model.success_prob(
+            Mcs(0),
+            e,
+            wgtt_mac::mgmt_frame_bytes(MgmtFrame::ReassocReq),
+        );
+        if self.rng.chance(p) {
+            let gi = self.cfg.gi;
+            let st = self.aps[target].client_mut(ClientId(c as u32), gi);
+            st.assoc.install_shared_auth();
+            let _resp = st.assoc.on_frame(now, MgmtFrame::ReassocReq);
+            ctx.schedule_in(
+                SimDuration::from_millis(1),
+                Ev::RoamRespArrive {
+                    client: c,
+                    target,
+                    retries,
+                },
+            );
+        } else {
+            self.retry_roam(ctx, c, target, retries);
+        }
+    }
+
+    fn retry_roam(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize, retries: u32) {
+        if retries + 1 > self.cfg.baseline.reassoc_retries {
+            // Roam failed; the client stays with (or without) its old AP.
+            self.clients[c].roam = None;
+            return;
+        }
+        if let Some(r) = &mut self.clients[c].roam {
+            r.retries = retries + 1;
+        }
+        ctx.schedule_in(
+            self.cfg.baseline.reassoc_retry_gap,
+            Ev::RoamReqArrive {
+                client: c,
+                target,
+                retries: retries + 1,
+            },
+        );
+    }
+
+    fn on_roam_resp(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize, retries: u32) {
+        let now = ctx.now();
+        if self.clients[c].roam.map(|r| r.target.0 as usize) != Some(target) {
+            return;
+        }
+        let csi = self.csi(target, c, now);
+        let e = esnr_from_csi(Modulation::Bpsk, &csi);
+        let p = self.cfg.per_model.success_prob(
+            Mcs(0),
+            e,
+            wgtt_mac::mgmt_frame_bytes(MgmtFrame::ReassocResp),
+        );
+        if self.rng.chance(p) {
+            // Reassociation exchange done: the client leaves the old AP
+            // immediately, but data only flows again once keys and
+            // forwarding state are installed (handover downtime).
+            let client = ClientId(c as u32);
+            let gi = self.cfg.gi;
+            let old = self.clients[c].serving;
+            if let Some(old_ap) = old {
+                let st = self.aps[old_ap.0 as usize].client_mut(client, gi);
+                st.serving = false;
+                // Baseline pathology: the old AP keeps draining its whole
+                // backlog toward a client that no longer listens.
+                st.draining = true;
+                st.drain_cyclic = true;
+                st.assoc.disassociate();
+            }
+            self.clients[c].serving = None;
+            self.ctrl.serving.remove(&client);
+            self.clients[c].metrics.record_assoc(now, None);
+            ctx.schedule_in(
+                self.cfg.baseline.handover_latency,
+                Ev::RoamComplete { client: c, target },
+            );
+        } else {
+            self.retry_roam(ctx, c, target, retries);
+        }
+    }
+
+    fn on_roam_complete(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize) {
+        let now = ctx.now();
+        let client = ClientId(c as u32);
+        let gi = self.cfg.gi;
+        let st = self.aps[target].client_mut(client, gi);
+        st.serving = true;
+        st.draining = false;
+        st.drain_cyclic = false;
+        self.clients[c].serving = Some(ApId(target as u32));
+        self.ctrl.serving.insert(client, ApId(target as u32));
+        self.clients[c]
+            .metrics
+            .record_assoc(now, Some(ApId(target as u32)));
+        self.clients[c].roam = None;
+        self.ensure_round(ctx);
+    }
+
+    // ---------- baseline drain: old AP keeps transmitting ----------
+    // (handled naturally: `draining` + `has_downlink_work`; deliveries
+    // fail because `client_listens_to` is false for non-serving APs in
+    // baseline mode.)
+
+}
+
+/// Seeds the initial periodic events for a freshly built world.
+pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
+    let n_clients = sim.world().clients.len();
+    let n_flows = sim.world().flows.len();
+    let mode = sim.world().cfg.mode;
+    sim.schedule_at(SimTime::ZERO, Ev::SelectionTick);
+    sim.schedule_at(SimTime::from_micros(500), Ev::AccuracyTick);
+    if mode == Mode::Enhanced80211r {
+        sim.schedule_at(SimTime::ZERO, Ev::BeaconTick);
+        for c in 0..n_clients {
+            sim.schedule_at(SimTime::from_millis(1), Ev::RoamCheck { client: c });
+        }
+    }
+    for c in 0..n_clients {
+        sim.schedule_at(SimTime::from_micros(100), Ev::ProbeTick { client: c });
+    }
+    for f in 0..n_flows {
+        match &sim.world().flows[f].kind {
+            FlowKind::DownUdp(src) => {
+                let at = src.next_emit_time().unwrap_or(SimTime::from_millis(1));
+                sim.schedule_at(at, Ev::UdpDownTick(f));
+            }
+            FlowKind::UpUdp(src) => {
+                let at = src.next_emit_time().unwrap_or(SimTime::from_millis(1));
+                sim.schedule_at(at, Ev::UplinkAppTick(f));
+            }
+            FlowKind::DownTcp(_) => {
+                sim.schedule_at(SimTime::from_millis(1), Ev::TcpPump(f));
+            }
+        }
+    }
+}
+
+
+/// Whether `seq` is still outstanding (un-acked) in the scoreboard.
+fn st_seq_outstanding(st: &crate::ap::ApClientState, seq: u16) -> bool {
+    st.scoreboard.unacked().contains(&seq)
+}
+
+impl World for WgttWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
+        match event {
+            Ev::UdpDownTick(f) => self.on_udp_down_tick(ctx, f),
+            Ev::UplinkAppTick(f) => self.on_uplink_app_tick(ctx, f),
+            Ev::TcpPump(f) => self.pump_tcp(ctx, f),
+            Ev::TcpRtoCheck(f) => self.on_tcp_rto_check(ctx, f),
+            Ev::PacketAtController(p) => self.on_packet_at_controller(ctx, p),
+            Ev::PacketAtAp { ap, packet } => self.on_packet_at_ap(ctx, ap, packet),
+            Ev::UplinkCopyAtController { from_ap, packet } => {
+                self.on_uplink_copy(ctx, from_ap, packet)
+            }
+            Ev::PacketAtServer(p) => self.on_packet_at_server(ctx, p),
+            Ev::StopAtAp { ap, client, to_ap } => self.on_stop_at_ap(ctx, ap, client, to_ap),
+            Ev::StopDone { ap, client, to_ap } => self.on_stop_done(ctx, ap, client, to_ap),
+            Ev::StartAtAp { ap, client, k } => self.on_start_at_ap(ctx, ap, client, k),
+            Ev::StartDone { ap, client, k } => self.on_start_done(ctx, ap, client, k),
+            Ev::AckAtController { client } => self.on_ack_at_controller(ctx, client),
+            Ev::CsiAtController { ap, client, esnr_db } => {
+                self.on_csi_at_controller(ap, client, esnr_db, ctx.now())
+            }
+            Ev::BaForwardAtAp { ap, client, ba } => self.on_ba_forward_at_ap(ap, client, ba),
+            Ev::ContentionRound => self.on_contention_round(ctx),
+            Ev::TxDone(id) => self.on_tx_done(ctx, id),
+            Ev::SwitchTimeout { client } => self.on_switch_timeout(ctx, client),
+            Ev::SelectionTick => self.on_selection_tick(ctx),
+            Ev::AccuracyTick => self.on_accuracy_tick(ctx),
+            Ev::BeaconTick => self.on_beacon_tick(ctx),
+            Ev::RoamCheck { client } => self.on_roam_check(ctx, client),
+            Ev::RoamReqArrive {
+                client,
+                target,
+                retries,
+            } => self.on_roam_req(ctx, client, target, retries),
+            Ev::RoamRespArrive {
+                client,
+                target,
+                retries,
+            } => self.on_roam_resp(ctx, client, target, retries),
+            Ev::ProbeTick { client } => self.on_probe_tick(ctx, client),
+            Ev::ReorderFlush { client } => self.on_reorder_flush(ctx, client),
+            Ev::RoamComplete { client, target } => self.on_roam_complete(ctx, client, target),
+        }
+    }
+}

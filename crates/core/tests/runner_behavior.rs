@@ -1,0 +1,183 @@
+//! Behavioural tests of the scenario runner and world wiring.
+
+use wgtt_core::config::{Mode, SystemConfig};
+use wgtt_core::runner::{run, ClientSpec, FlowSpec, Scenario, TrajectorySpec};
+use wgtt_sim::{SimDuration, SimTime};
+
+#[test]
+fn single_drive_duration_matches_geometry() {
+    let s = Scenario::single_drive(
+        SystemConfig::default(),
+        15.0,
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 1_000_000,
+            payload: 1000,
+        }],
+        1,
+    );
+    // 52.5 m array + 2×4 m lead = 60.5 m at 6.7056 m/s ≈ 9.02 s.
+    let expect = 60.5 / wgtt_phy::mph_to_mps(15.0);
+    assert!((s.duration.as_secs_f64() - expect).abs() < 0.01);
+}
+
+#[test]
+fn flow_start_delays_first_delivery() {
+    let mut s = Scenario::single_drive(
+        SystemConfig::default(),
+        15.0,
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 10_000_000,
+            payload: 1472,
+        }],
+        2,
+    );
+    s.log_deliveries = true;
+    s.flow_start = SimDuration::from_secs(3);
+    let res = run(s);
+    let log = res.world.clients[0].delivery_log.as_ref().unwrap();
+    assert!(!log.is_empty(), "nothing delivered at all");
+    assert!(
+        log[0].at >= SimTime::from_secs(3),
+        "delivery before flow start: {:?}",
+        log[0]
+    );
+}
+
+#[test]
+fn opposing_trajectory_enters_from_far_end() {
+    let scenario = Scenario {
+        config: SystemConfig::default(),
+        clients: vec![ClientSpec {
+            trajectory: TrajectorySpec::Opposing {
+                mph: 15.0,
+                lead_in_m: 4.0,
+            },
+            flows: vec![FlowSpec::DownlinkUdp {
+                rate_bps: 10_000_000,
+                payload: 1472,
+            }],
+        }],
+        duration: SimDuration::from_secs(9),
+        seed: 3,
+        log_deliveries: false,
+        flow_start: SimDuration::from_millis(1),
+    };
+    let res = run(scenario);
+    // The first association must be with a high-index AP (entering at the
+    // far end of the array).
+    let first = res.world.clients[0]
+        .metrics
+        .assoc_timeline
+        .iter()
+        .filter_map(|&(_, ap)| ap)
+        .next();
+    assert!(first.map_or(0, |a| a.0) >= 6, "first AP {first:?}");
+}
+
+#[test]
+fn two_clients_get_separate_metrics() {
+    let scenario = Scenario {
+        config: SystemConfig::default(),
+        clients: vec![
+            ClientSpec {
+                trajectory: TrajectorySpec::Stationary { x: 7.5 },
+                flows: vec![FlowSpec::DownlinkUdp {
+                    rate_bps: 5_000_000,
+                    payload: 1472,
+                }],
+            },
+            ClientSpec {
+                trajectory: TrajectorySpec::Stationary { x: 45.0 },
+                flows: vec![FlowSpec::DownlinkUdp {
+                    rate_bps: 5_000_000,
+                    payload: 1472,
+                }],
+            },
+        ],
+        duration: SimDuration::from_secs(5),
+        seed: 4,
+        log_deliveries: false,
+        flow_start: SimDuration::from_millis(1),
+    };
+    let res = run(scenario);
+    // Both parked clients are served by their local AP with good
+    // throughput; they are far enough apart for spatial reuse.
+    for c in 0..2 {
+        let mbps = res.downlink_bps(c) / 1e6;
+        assert!(mbps > 3.0, "client {c} got {mbps} Mbit/s");
+    }
+    let a = res.world.clients[0].metrics.serving_at(SimTime::from_secs(4));
+    let b = res.world.clients[1].metrics.serving_at(SimTime::from_secs(4));
+    assert_ne!(a, b, "both clients on the same AP: {a:?}");
+}
+
+#[test]
+fn limited_tcp_flow_completes_and_records_time() {
+    let scenario = Scenario::single_drive(
+        SystemConfig::default(),
+        15.0,
+        vec![FlowSpec::DownlinkTcp {
+            limit: Some(300_000),
+        }],
+        5,
+    );
+    let res = run(scenario);
+    let done = res.world.flows[0].completed_at;
+    assert!(done.is_some(), "300 kB transfer never completed");
+    assert!(done.unwrap() < SimTime::from_secs(5));
+}
+
+#[test]
+fn baseline_mode_uses_single_ap_fanout() {
+    let mut cfg = SystemConfig::default();
+    cfg.mode = Mode::Enhanced80211r;
+    let scenario = Scenario::single_drive(
+        cfg,
+        15.0,
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 10_000_000,
+            payload: 1472,
+        }],
+        6,
+    );
+    let res = run(scenario);
+    // In baseline mode each packet goes to exactly one AP, so downlink
+    // copies ≈ packets offered; in WGTT mode the ratio is ≈ the in-range
+    // set size (2–4).
+    let wgtt = run(Scenario::single_drive(
+        SystemConfig::default(),
+        15.0,
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 10_000_000,
+            payload: 1472,
+        }],
+        6,
+    ));
+    assert!(
+        wgtt.world.sys.downlink_copies > res.world.sys.downlink_copies * 3 / 2,
+        "fan-out ratio missing: wgtt {} vs baseline {}",
+        wgtt.world.sys.downlink_copies,
+        res.world.sys.downlink_copies
+    );
+}
+
+#[test]
+fn switch_records_have_sane_structure() {
+    let res = run(Scenario::single_drive(
+        SystemConfig::default(),
+        15.0,
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 20_000_000,
+            payload: 1472,
+        }],
+        7,
+    ));
+    for rec in res.world.ctrl.engine.history() {
+        assert_ne!(rec.from, rec.to, "{rec:?}");
+        assert!(rec.completed_at > rec.issued_at, "{rec:?}");
+        assert!(
+            rec.execution_time() < wgtt_sim::SimDuration::from_millis(200),
+            "pathological switch: {rec:?}"
+        );
+    }
+}

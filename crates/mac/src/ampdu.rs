@@ -1,0 +1,140 @@
+//! A-MPDU aggregation policy.
+//!
+//! Given the MPDUs pending for one client and the Block ACK window state,
+//! decide how many to pack into the next aggregate: bounded by the BA
+//! window (64), the maximum A-MPDU length (65,535 B), and a duration cap
+//! that keeps aggregates from monopolizing the medium at low MCS (real
+//! drivers cap at ~4 ms TXOP).
+
+use crate::timing::{ampdu_airtime, MAX_AMPDU_BYTES, MAX_AMPDU_MPDUS, MPDU_DELIMITER_BYTES};
+use wgtt_phy::mcs::{GuardInterval, Mcs};
+use wgtt_sim::SimDuration;
+
+/// Aggregation limits.
+#[derive(Debug, Clone, Copy)]
+pub struct AmpduPolicy {
+    /// Maximum MPDUs per aggregate (≤ Block ACK window).
+    pub max_mpdus: usize,
+    /// Maximum aggregate size in bytes.
+    pub max_bytes: usize,
+    /// Maximum time on air for one aggregate.
+    pub max_duration: SimDuration,
+}
+
+impl Default for AmpduPolicy {
+    fn default() -> Self {
+        AmpduPolicy {
+            max_mpdus: MAX_AMPDU_MPDUS,
+            max_bytes: MAX_AMPDU_BYTES,
+            max_duration: SimDuration::from_millis(4),
+        }
+    }
+}
+
+impl AmpduPolicy {
+    /// How many of the leading `pending_lens` MPDUs fit in one aggregate at
+    /// `mcs`. Always admits at least one MPDU if any are pending (a lone
+    /// oversized frame is sent unaggregated rather than starved).
+    pub fn take_count(
+        &self,
+        pending_lens: &[usize],
+        mcs: Mcs,
+        gi: GuardInterval,
+        window_available: usize,
+    ) -> usize {
+        let cap = self
+            .max_mpdus
+            .min(window_available)
+            .min(pending_lens.len());
+        if cap == 0 {
+            return 0;
+        }
+        let mut bytes = 0usize;
+        let mut count = 0usize;
+        for &len in &pending_lens[..cap] {
+            let next_bytes = bytes + len + MPDU_DELIMITER_BYTES;
+            if count > 0 {
+                if next_bytes > self.max_bytes {
+                    break;
+                }
+                let airtime = ampdu_airtime(&pending_lens[..count + 1], mcs, gi);
+                if airtime > self.max_duration {
+                    break;
+                }
+            }
+            bytes = next_bytes;
+            count += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_full_window_when_small() {
+        let p = AmpduPolicy::default();
+        let lens = vec![1500; 100];
+        // At MCS7 / 65 Mbit/s, 4 ms fits ~21 full MPDUs; byte cap allows 43.
+        let n = p.take_count(&lens, Mcs(7), GuardInterval::Long, 64);
+        assert!(n >= 20, "took {n}");
+        assert!(n <= 64);
+    }
+
+    #[test]
+    fn respects_window_availability() {
+        let p = AmpduPolicy::default();
+        let lens = vec![1500; 100];
+        assert_eq!(p.take_count(&lens, Mcs(7), GuardInterval::Long, 5), 5);
+        assert_eq!(p.take_count(&lens, Mcs(7), GuardInterval::Long, 0), 0);
+    }
+
+    #[test]
+    fn respects_byte_cap() {
+        let p = AmpduPolicy {
+            max_bytes: 10_000,
+            max_duration: SimDuration::from_secs(1),
+            ..AmpduPolicy::default()
+        };
+        let lens = vec![1500; 64];
+        // (1500+4)·6 = 9024 ≤ 10000; 7 MPDUs = 10528 > 10000.
+        assert_eq!(p.take_count(&lens, Mcs(7), GuardInterval::Long, 64), 6);
+    }
+
+    #[test]
+    fn duration_cap_binds_at_low_mcs() {
+        let p = AmpduPolicy::default();
+        let lens = vec![1500; 64];
+        // MCS0 = 6.5 Mbit/s: 4 ms fits only ~2 MPDUs.
+        let n = p.take_count(&lens, Mcs(0), GuardInterval::Long, 64);
+        assert!(n <= 3, "took {n} at MCS0");
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn always_admits_one() {
+        let p = AmpduPolicy {
+            max_bytes: 100, // smaller than one MPDU
+            ..AmpduPolicy::default()
+        };
+        let lens = vec![1500];
+        assert_eq!(p.take_count(&lens, Mcs(0), GuardInterval::Long, 64), 1);
+    }
+
+    #[test]
+    fn empty_pending_takes_nothing() {
+        let p = AmpduPolicy::default();
+        assert_eq!(p.take_count(&[], Mcs(7), GuardInterval::Long, 64), 0);
+    }
+
+    #[test]
+    fn more_fits_at_higher_mcs() {
+        let p = AmpduPolicy::default();
+        let lens = vec![1500; 64];
+        let low = p.take_count(&lens, Mcs(1), GuardInterval::Long, 64);
+        let high = p.take_count(&lens, Mcs(7), GuardInterval::Long, 64);
+        assert!(high > low, "{high} vs {low}");
+    }
+}

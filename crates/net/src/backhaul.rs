@@ -1,0 +1,146 @@
+//! The wired Ethernet backhaul.
+//!
+//! All APs and the controller hang off one switched gigabit LAN (paper §4).
+//! For the timescales WGTT cares about — a 17–21 ms switching protocol, a
+//! 30 ms retransmission timeout — what matters is per-hop latency: wire
+//! serialization at 1 Gbit/s, switch store-and-forward, and host stack
+//! processing jitter. The model is a per-message transit delay:
+//!
+//! `delay = base + wire(len) + jitter`, with `jitter ~ Exp(mean_jitter)`.
+//!
+//! Control messages can optionally be dropped with a configurable
+//! probability to exercise the switch protocol's timeout path (the paper's
+//! `stop`/`ack` loss handling, §3.1.2).
+
+use wgtt_sim::{SimDuration, SimRng};
+
+/// Backhaul latency/loss model.
+#[derive(Debug, Clone)]
+pub struct Backhaul {
+    /// Link rate, bit/s (1 GbE).
+    pub rate_bps: u64,
+    /// Fixed per-message latency: propagation, switch forwarding, NIC ring
+    /// and kernel handoff.
+    pub base_delay: SimDuration,
+    /// Mean of the exponential host-processing jitter.
+    pub jitter_mean: SimDuration,
+    /// Probability an individual message is lost (default 0; raised in
+    /// fault-injection experiments).
+    pub loss_prob: f64,
+    rng: SimRng,
+}
+
+impl Backhaul {
+    /// Creates a backhaul with the given RNG stream.
+    pub fn new(rng: SimRng) -> Self {
+        Backhaul {
+            rate_bps: 1_000_000_000,
+            base_delay: SimDuration::from_micros(150),
+            jitter_mean: SimDuration::from_micros(100),
+            loss_prob: 0.0,
+            rng,
+        }
+    }
+
+    /// Samples the transit delay for a message of `len_bytes`, or `None` if
+    /// the message is lost.
+    pub fn transit(&mut self, len_bytes: usize) -> Option<SimDuration> {
+        if self.rng.chance(self.loss_prob) {
+            return None;
+        }
+        let wire = SimDuration::for_bits(len_bytes as u64 * 8, self.rate_bps);
+        let jitter =
+            SimDuration::from_secs_f64(self.rng.exponential(self.jitter_mean.as_secs_f64()));
+        Some(self.base_delay + wire + jitter)
+    }
+
+    /// Samples a transit delay, treating loss as "never arrives" is not an
+    /// option for the caller — convenience for reliable contexts (e.g. TCP
+    /// over the wired segment where losses are negligible).
+    ///
+    /// Panics if `loss_prob >= 1.0`, where a delay can never be drawn.
+    pub fn transit_reliable(&mut self, len_bytes: usize) -> SimDuration {
+        assert!(
+            self.loss_prob < 1.0,
+            "transit_reliable cannot terminate with loss_prob >= 1.0"
+        );
+        loop {
+            if let Some(d) = self.transit(len_bytes) {
+                return d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bh(seed: u64) -> Backhaul {
+        Backhaul::new(SimRng::new(seed))
+    }
+
+    #[test]
+    fn delay_includes_base_and_wire() {
+        let mut b = bh(1);
+        b.jitter_mean = SimDuration::from_nanos(1); // effectively zero
+        let d = b.transit(1500).unwrap();
+        // 1500 B at 1 Gbit/s = 12 µs wire + 150 µs base.
+        assert!(d >= SimDuration::from_micros(162));
+        assert!(d < SimDuration::from_micros(170));
+    }
+
+    #[test]
+    fn bigger_messages_take_longer_on_average() {
+        let mut b = bh(2);
+        let avg = |b: &mut Backhaul, len: usize| -> f64 {
+            (0..500)
+                .map(|_| b.transit(len).unwrap().as_secs_f64())
+                .sum::<f64>()
+                / 500.0
+        };
+        let small = avg(&mut b, 64);
+        let large = avg(&mut b, 150_000);
+        assert!(large > small + 1e-3, "{large} vs {small}");
+    }
+
+    #[test]
+    fn no_loss_by_default() {
+        let mut b = bh(3);
+        assert!((0..1000).all(|_| b.transit(100).is_some()));
+    }
+
+    #[test]
+    fn loss_probability_respected() {
+        let mut b = bh(4);
+        b.loss_prob = 0.3;
+        let lost = (0..2000).filter(|_| b.transit(100).is_none()).count();
+        let frac = lost as f64 / 2000.0;
+        assert!((frac - 0.3).abs() < 0.05, "loss frac {frac}");
+    }
+
+    #[test]
+    fn reliable_never_loses() {
+        let mut b = bh(5);
+        b.loss_prob = 0.9;
+        for _ in 0..50 {
+            let _ = b.transit_reliable(100); // must terminate
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn reliable_rejects_total_loss() {
+        let mut b = bh(5);
+        b.loss_prob = 1.0;
+        let _ = b.transit_reliable(100);
+    }
+
+    #[test]
+    fn jitter_varies_delay() {
+        let mut b = bh(6);
+        let a = b.transit(100).unwrap();
+        let c = b.transit(100).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,277 @@
+//! Effective SNR (Halperin et al., SIGCOMM 2010).
+//!
+//! Plain average SNR (RSSI) over-estimates delivery probability on a
+//! frequency-selective channel: one deeply faded subcarrier ruins a frame
+//! even when the average looks healthy. Effective SNR fixes this by mapping
+//! each subcarrier's SNR to an uncoded bit error rate for the modulation in
+//! use, averaging the *error rates*, and mapping the average back to the
+//! SNR that would produce it on a flat channel:
+//!
+//! ```text
+//! ESNR_m = BER_m⁻¹( mean_k BER_m(SNR_k) )
+//! ```
+//!
+//! This is the metric the WGTT controller compares across APs (§3.1.1 of
+//! the paper).
+
+use crate::csi::Csi;
+use crate::pathloss::linear_to_db;
+
+/// Modulation schemes used by 802.11n single-stream MCS 0–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// Binary phase shift keying (MCS 0).
+    Bpsk,
+    /// Quadrature PSK (MCS 1–2).
+    Qpsk,
+    /// 16-point QAM (MCS 3–4).
+    Qam16,
+    /// 64-point QAM (MCS 5–7).
+    Qam64,
+}
+
+impl Modulation {
+    /// Bits carried per subcarrier per symbol.
+    pub fn bits_per_symbol(self) -> u32 {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+}
+
+/// Complementary error function.
+///
+/// Abramowitz & Stegun 7.1.26-based rational approximation with |ε| ≤
+/// 1.5·10⁻⁷, extended to the full real line by symmetry. Accurate enough
+/// for BER work, where the inputs live within a few tens of dB.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let tau = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// The Gaussian Q-function, `Q(x) = ½·erfc(x/√2)`.
+#[inline]
+pub fn q_func(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Uncoded bit error rate for a modulation at symbol SNR `snr` (linear).
+///
+/// These are the standard Gray-coded approximations used by the ESNR paper:
+///
+/// * BPSK:   `Q(√(2γ))`
+/// * QPSK:   `Q(√γ)`
+/// * 16-QAM: `¾·Q(√(γ/5))`
+/// * 64-QAM: `7⁄12·Q(√(γ/21))`
+pub fn ber(modulation: Modulation, snr_linear: f64) -> f64 {
+    let g = snr_linear.max(0.0);
+    match modulation {
+        Modulation::Bpsk => q_func((2.0 * g).sqrt()),
+        Modulation::Qpsk => q_func(g.sqrt()),
+        Modulation::Qam16 => 0.75 * q_func((g / 5.0).sqrt()),
+        Modulation::Qam64 => (7.0 / 12.0) * q_func((g / 21.0).sqrt()),
+    }
+}
+
+/// Inverse of [`ber`]: the (linear) SNR at which the modulation attains the
+/// given bit error rate. Solved by bisection — `ber` is strictly decreasing
+/// in SNR.
+pub fn ber_inverse(modulation: Modulation, target_ber: f64) -> f64 {
+    // Outside the achievable range, clamp to the search bounds.
+    let (mut lo, mut hi) = (1e-9, 1e9);
+    if target_ber >= ber(modulation, lo) {
+        return lo;
+    }
+    if target_ber <= ber(modulation, hi) {
+        return hi;
+    }
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection suits dB scale
+        if ber(modulation, mid) > target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi / lo < 1.0 + 1e-12 {
+            break;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Effective SNR in dB for a modulation given per-subcarrier linear SNRs.
+pub fn esnr_db(modulation: Modulation, snr_linear: &[f64]) -> f64 {
+    if snr_linear.is_empty() {
+        return -300.0;
+    }
+    let mean_ber =
+        snr_linear.iter().map(|&s| ber(modulation, s)).sum::<f64>() / snr_linear.len() as f64;
+    let e = linear_to_db(ber_inverse(modulation, mean_ber));
+    // When every tone's BER underflows to zero the inversion saturates at
+    // its search bound; physically the effective SNR can never exceed the
+    // best tone.
+    let max_tone = snr_linear.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    e.min(linear_to_db(max_tone))
+}
+
+/// Effective SNR in dB straight from a CSI measurement.
+pub fn esnr_from_csi(modulation: Modulation, csi: &Csi) -> f64 {
+    esnr_db(modulation, &csi.per_subcarrier_snr_linear())
+}
+
+/// The scalar ESNR used by the WGTT controller for AP ranking.
+///
+/// The paper computes "the" ESNR of each reading; ranking quality is
+/// insensitive to the reference modulation as long as it is applied
+/// uniformly, and 16-QAM sits in the middle of the operating range, so we
+/// adopt it as the reference.
+pub fn controller_esnr_db(csi: &Csi) -> f64 {
+    esnr_from_csi(Modulation::Qam16, csi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Cplx;
+    use crate::pathloss::db_to_linear;
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(−x) = 2 − erfc(x).
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(5.0) < 1e-11);
+        assert!((erfc(-1.0) + erfc(1.0) - 2.0).abs() < 1e-7);
+        // erfc(1) ≈ 0.157299.
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+        // erfc(0.5) ≈ 0.479500.
+        assert!((erfc(0.5) - 0.4795).abs() < 1e-4);
+    }
+
+    #[test]
+    fn q_func_reference() {
+        // Q(0) = 0.5, Q(1.6449) ≈ 0.05.
+        assert!((q_func(0.0) - 0.5).abs() < 1e-6);
+        assert!((q_func(1.6449) - 0.05).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ber_ordering_by_modulation() {
+        // At a fixed SNR, denser constellations have a higher BER.
+        let g = db_to_linear(12.0);
+        assert!(ber(Modulation::Bpsk, g) < ber(Modulation::Qpsk, g));
+        assert!(ber(Modulation::Qpsk, g) < ber(Modulation::Qam16, g));
+        assert!(ber(Modulation::Qam16, g) < ber(Modulation::Qam64, g));
+    }
+
+    #[test]
+    fn ber_decreasing_in_snr() {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            let mut prev = ber(m, db_to_linear(-5.0));
+            for db in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
+                let b = ber(m, db_to_linear(db));
+                assert!(b < prev);
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn ber_inverse_roundtrip() {
+        for m in [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ] {
+            for db in [2.0, 8.0, 14.0, 20.0, 26.0] {
+                let g = db_to_linear(db);
+                let b = ber(m, g);
+                if b > 1e-14 {
+                    let back = ber_inverse(m, b);
+                    assert!(
+                        (linear_to_db(back) - db).abs() < 0.01,
+                        "{m:?} {db} dB -> {} dB",
+                        linear_to_db(back)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_channel_esnr_equals_snr() {
+        let snrs = vec![db_to_linear(18.0); 56];
+        let e = esnr_db(Modulation::Qam16, &snrs);
+        assert!((e - 18.0).abs() < 0.05, "esnr {e}");
+    }
+
+    #[test]
+    fn esnr_below_mean_on_selective_channel() {
+        // 55 subcarriers at 25 dB, one at −5 dB: the mean SNR stays ≈24.9 dB
+        // but ESNR must drop noticeably below it.
+        let mut snrs = vec![db_to_linear(25.0); 55];
+        snrs.push(db_to_linear(-5.0));
+        let e = esnr_db(Modulation::Qam16, &snrs);
+        assert!(e < 20.0, "esnr {e}");
+        // And ESNR never exceeds the best subcarrier.
+        assert!(e > -5.1);
+    }
+
+    #[test]
+    fn esnr_from_csi_consistent() {
+        let csi = Csi {
+            h: vec![Cplx::ONE; 56],
+            mean_snr_db: 21.0,
+        };
+        let e = esnr_from_csi(Modulation::Qam16, &csi);
+        assert!((e - 21.0).abs() < 0.05);
+        let c = controller_esnr_db(&csi);
+        assert!((c - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_floor() {
+        assert_eq!(esnr_db(Modulation::Qpsk, &[]), -300.0);
+    }
+
+    #[test]
+    fn esnr_saturates_at_best_tone() {
+        // BER underflow at very high SNR must not blow ESNR past the best
+        // subcarrier.
+        let snrs = vec![db_to_linear(34.5)];
+        let e = esnr_db(Modulation::Bpsk, &snrs);
+        assert!((e - 34.5).abs() < 0.01, "esnr {e}");
+    }
+
+    #[test]
+    fn bits_per_symbol() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+    }
+}

@@ -1,0 +1,365 @@
+//! Small-scale multipath fading.
+//!
+//! This is the millisecond-scale structure that defines the paper's
+//! *vehicular picocell regime* (Fig 2): alternating constructive and
+//! destructive multipath on the spatial scale of one RF wavelength (≈12 cm
+//! at 2.4 GHz), which at driving speed translates into channel coherence
+//! times of a few milliseconds.
+//!
+//! The model is a classic tapped delay line:
+//!
+//! * a small number of taps with an exponential power-delay profile sets the
+//!   delay spread, and therefore the *frequency selectivity* across the 56
+//!   OFDM subcarriers that makes ESNR a better predictor than plain RSSI;
+//! * each tap's complex gain evolves by a Jakes-style sum of sinusoids whose
+//!   Doppler shifts scale with vehicle speed, which sets the *coherence
+//!   time*;
+//! * the first tap carries a Rician line-of-sight component (roadside APs
+//!   usually see the car), later taps are Rayleigh.
+//!
+//! Gains are a deterministic function of `(tap parameters, time)`, so a
+//! discrete-event simulation can sample the channel at arbitrary instants
+//! without integrating state forward — and two APs observing the same
+//! client get independent processes by construction (independent RNG
+//! forks).
+
+use crate::complex::Cplx;
+use serde::{Deserialize, Serialize};
+use wgtt_sim::SimRng;
+
+/// Configuration of the tapped-delay-line fading process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FadingConfig {
+    /// Number of resolvable multipath taps.
+    pub num_taps: usize,
+    /// RMS delay spread in nanoseconds. Outdoor picocell ≈ 50–150 ns; the
+    /// paper notes the small cells keep delay spread indoor-like, within the
+    /// standard 802.11 cyclic prefix.
+    pub rms_delay_spread_ns: f64,
+    /// Rician K-factor of the first (LOS) tap, dB. Roadside LOS ≈ 3–9 dB.
+    pub rician_k_db: f64,
+    /// Number of sinusoids per tap in the sum-of-sinusoids Doppler model.
+    pub num_sinusoids: usize,
+}
+
+impl Default for FadingConfig {
+    fn default() -> Self {
+        FadingConfig {
+            num_taps: 5,
+            rms_delay_spread_ns: 80.0,
+            rician_k_db: 5.0,
+            num_sinusoids: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sinusoid {
+    /// cos(angle of arrival) — multiplies the maximum Doppler shift.
+    cos_aoa: f64,
+    /// Initial phase.
+    phase: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Tap {
+    /// Mean power (all taps sum to 1).
+    power: f64,
+    /// Excess delay, seconds.
+    delay_s: f64,
+    /// Rician K (linear); 0 for pure Rayleigh taps.
+    k: f64,
+    /// Scattered component sinusoids.
+    sinusoids: Vec<Sinusoid>,
+    /// LOS component angle-of-arrival cosine and phase.
+    los_cos_aoa: f64,
+    los_phase: f64,
+}
+
+impl Tap {
+    /// Complex gain of this tap at absolute time `t_s` with maximum Doppler
+    /// `fd_hz`.
+    fn gain(&self, t_s: f64, fd_hz: f64) -> Cplx {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let n = self.sinusoids.len() as f64;
+        let mut scattered = Cplx::ZERO;
+        for s in &self.sinusoids {
+            scattered += Cplx::from_phase(two_pi * fd_hz * s.cos_aoa * t_s + s.phase);
+        }
+        scattered = scattered.scale((1.0 / n).sqrt());
+        let scattered_amp = (self.power / (self.k + 1.0)).sqrt();
+        let los_amp = (self.power * self.k / (self.k + 1.0)).sqrt();
+        let los = Cplx::from_phase(two_pi * fd_hz * self.los_cos_aoa * t_s + self.los_phase)
+            .scale(los_amp);
+        scattered.scale(scattered_amp) + los
+    }
+}
+
+/// A frequency-selective, time-varying fading channel between one AP and
+/// one client.
+#[derive(Debug, Clone)]
+pub struct TappedDelayLine {
+    taps: Vec<Tap>,
+}
+
+impl TappedDelayLine {
+    /// Builds a channel realization. All randomness (tap phases, arrival
+    /// angles) is drawn once here from `rng`, so the process is afterwards a
+    /// pure function of time.
+    pub fn new(cfg: &FadingConfig, rng: &mut SimRng) -> Self {
+        assert!(cfg.num_taps >= 1, "need at least one tap");
+        assert!(cfg.num_sinusoids >= 4, "too few sinusoids for smooth fading");
+        let k_lin = 10f64.powf(cfg.rician_k_db / 10.0);
+        // Exponential power-delay profile sampled at uniform tap spacing.
+        // Tap spacing chosen so the configured number of taps spans ≈3× the
+        // RMS delay spread.
+        let spacing_s = if cfg.num_taps == 1 {
+            0.0
+        } else {
+            3.0 * cfg.rms_delay_spread_ns * 1e-9 / (cfg.num_taps - 1) as f64
+        };
+        let decay = cfg.rms_delay_spread_ns * 1e-9;
+        let mut powers: Vec<f64> = (0..cfg.num_taps)
+            .map(|i| {
+                let delay = i as f64 * spacing_s;
+                if decay > 0.0 {
+                    (-delay / decay).exp()
+                } else {
+                    if i == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .collect();
+        let total: f64 = powers.iter().sum();
+        for p in &mut powers {
+            *p /= total;
+        }
+
+        let taps = powers
+            .into_iter()
+            .enumerate()
+            .map(|(i, power)| {
+                let sinusoids = (0..cfg.num_sinusoids)
+                    .map(|_| Sinusoid {
+                        // Uniform angle of arrival over the circle.
+                        cos_aoa: rng.phase().cos(),
+                        phase: rng.phase(),
+                    })
+                    .collect();
+                Tap {
+                    power,
+                    delay_s: i as f64 * spacing_s,
+                    k: if i == 0 { k_lin } else { 0.0 },
+                    sinusoids,
+                    los_cos_aoa: rng.phase().cos(),
+                    los_phase: rng.phase(),
+                }
+            })
+            .collect();
+        TappedDelayLine { taps }
+    }
+
+    /// Number of taps.
+    pub fn num_taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Complex frequency response at the given subcarrier offsets (Hz from
+    /// carrier), at absolute time `t_s` seconds, with maximum Doppler
+    /// `fd_hz = v/λ`.
+    ///
+    /// `H_k(t) = Σ_i g_i(t) · e^{−j2π f_k τ_i}`; mean `|H_k|²` is 1, so the
+    /// result multiplies a large-scale SNR directly.
+    pub fn freq_response(&self, t_s: f64, fd_hz: f64, subcarriers_hz: &[f64]) -> Vec<Cplx> {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let gains: Vec<(Cplx, f64)> = self
+            .taps
+            .iter()
+            .map(|tap| (tap.gain(t_s, fd_hz), tap.delay_s))
+            .collect();
+        subcarriers_hz
+            .iter()
+            .map(|&f| {
+                let mut h = Cplx::ZERO;
+                for &(g, delay) in &gains {
+                    h += g * Cplx::from_phase(-two_pi * f * delay);
+                }
+                h
+            })
+            .collect()
+    }
+
+    /// Flat-fading power gain (|h|², averaged response at the carrier) —
+    /// convenient for coarse RSSI-style measurements.
+    pub fn power_gain(&self, t_s: f64, fd_hz: f64) -> f64 {
+        self.freq_response(t_s, fd_hz, &[0.0])[0].abs2()
+    }
+}
+
+/// Maximum Doppler shift for a vehicle speed and carrier wavelength.
+#[inline]
+pub fn doppler_hz(speed_mps: f64, wavelength_m: f64) -> f64 {
+    speed_mps / wavelength_m
+}
+
+/// Approximate channel coherence time (Clarke's model): `0.423 / f_d`.
+#[inline]
+pub fn coherence_time_s(fd_hz: f64) -> f64 {
+    if fd_hz <= 0.0 {
+        f64::INFINITY
+    } else {
+        0.423 / fd_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdl(seed: u64) -> TappedDelayLine {
+        TappedDelayLine::new(&FadingConfig::default(), &mut SimRng::new(seed))
+    }
+
+    fn ht20_subcarriers() -> Vec<f64> {
+        crate::csi::subcarrier_offsets_hz().to_vec()
+    }
+
+    #[test]
+    fn mean_power_is_unity() {
+        // Average |H|² over many realizations and times ≈ 1.
+        let subs = ht20_subcarriers();
+        let mut acc = 0.0;
+        let mut n = 0;
+        for seed in 0..40 {
+            let ch = tdl(seed);
+            for step in 0..20 {
+                let t = step as f64 * 0.013;
+                for h in ch.freq_response(t, 50.0, &subs) {
+                    acc += h.abs2();
+                    n += 1;
+                }
+            }
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean power {mean}");
+    }
+
+    #[test]
+    fn deterministic_in_time() {
+        let ch = tdl(7);
+        let subs = ht20_subcarriers();
+        let a = ch.freq_response(1.234, 60.0, &subs);
+        let b = ch.freq_response(1.234, 60.0, &subs);
+        assert_eq!(a.len(), 56);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re, y.re);
+            assert_eq!(x.im, y.im);
+        }
+    }
+
+    #[test]
+    fn different_seeds_are_independent() {
+        let a = tdl(1).power_gain(0.5, 50.0);
+        let b = tdl(2).power_gain(0.5, 50.0);
+        assert!((a - b).abs() > 1e-9);
+    }
+
+    #[test]
+    fn channel_decorrelates_beyond_coherence_time() {
+        // At fd = 54 Hz (15 mph at 2.4 GHz) coherence ≈ 7.8 ms. The gain
+        // should be strongly correlated at dt ≪ Tc and visibly changed at
+        // dt ≫ Tc.
+        let fd = 54.0;
+        let tc = coherence_time_s(fd);
+        let mut small_dt_diff = 0.0;
+        let mut large_dt_diff = 0.0;
+        let mut n = 0.0;
+        for seed in 0..30 {
+            let ch = tdl(seed);
+            for i in 0..10 {
+                let t = 0.05 * i as f64;
+                let g0 = ch.power_gain(t, fd);
+                small_dt_diff += (ch.power_gain(t + tc * 0.02, fd) - g0).abs();
+                large_dt_diff += (ch.power_gain(t + tc * 5.0, fd) - g0).abs();
+                n += 1.0;
+            }
+        }
+        assert!(
+            small_dt_diff / n < large_dt_diff / n / 3.0,
+            "small {small_dt_diff} vs large {large_dt_diff}"
+        );
+    }
+
+    #[test]
+    fn zero_speed_freezes_channel() {
+        let ch = tdl(3);
+        let g0 = ch.power_gain(0.0, 0.0);
+        let g1 = ch.power_gain(10.0, 0.0);
+        assert!((g0 - g1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_selectivity_present() {
+        // With ~80 ns delay spread, subcarriers across 17.5 MHz must see
+        // meaningfully different gains.
+        let ch = tdl(11);
+        let subs = ht20_subcarriers();
+        let h = ch.freq_response(0.2, 30.0, &subs);
+        let powers: Vec<f64> = h.iter().map(|x| 10.0 * x.abs2().max(1e-12).log10()).collect();
+        let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min > 1.0, "spread {}", max - min);
+    }
+
+    #[test]
+    fn single_tap_is_flat() {
+        let cfg = FadingConfig {
+            num_taps: 1,
+            ..FadingConfig::default()
+        };
+        let ch = TappedDelayLine::new(&cfg, &mut SimRng::new(4));
+        let subs = ht20_subcarriers();
+        let h = ch.freq_response(0.3, 40.0, &subs);
+        let p0 = h[0].abs2();
+        for x in &h {
+            assert!((x.abs2() - p0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_k_reduces_fade_depth() {
+        let deep = FadingConfig {
+            rician_k_db: -20.0,
+            ..FadingConfig::default()
+        };
+        let shallow = FadingConfig {
+            rician_k_db: 15.0,
+            num_taps: 1,
+            ..FadingConfig::default()
+        };
+        let min_gain = |cfg: &FadingConfig| {
+            let mut min: f64 = f64::INFINITY;
+            for seed in 0..10 {
+                let ch = TappedDelayLine::new(cfg, &mut SimRng::new(seed));
+                for i in 0..400 {
+                    min = min.min(ch.power_gain(i as f64 * 0.002, 54.0));
+                }
+            }
+            min
+        };
+        assert!(min_gain(&shallow) > min_gain(&deep) * 5.0);
+    }
+
+    #[test]
+    fn doppler_helpers() {
+        // 15 mph = 6.7 m/s, λ = 0.122 m → fd ≈ 55 Hz.
+        let fd = doppler_hz(6.7056, 0.1218);
+        assert!((fd - 55.0).abs() < 1.0);
+        // Coherence time ≈ 7.7 ms — same order as the paper's 2–3 ms claim.
+        assert!((coherence_time_s(fd) - 0.0077).abs() < 0.001);
+        assert_eq!(coherence_time_s(0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests on the PHY substrate's mathematical invariants.
+
+use proptest::prelude::*;
+use wgtt_phy::esnr::{ber, ber_inverse, esnr_db, Modulation};
+use wgtt_phy::pathloss::{db_to_linear, linear_to_db, PathLoss};
+use wgtt_phy::{FadingConfig, GuardInterval, Mcs, PerModel, TappedDelayLine};
+use wgtt_sim::SimRng;
+
+fn modulations() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Bpsk),
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64),
+    ]
+}
+
+proptest! {
+    /// ESNR is bounded by the best and worst subcarrier SNRs: averaging
+    /// error rates can't do better than the best tone or worse than the
+    /// worst.
+    #[test]
+    fn esnr_bounded_by_extremes(
+        m in modulations(),
+        snrs_db in proptest::collection::vec(-5.0f64..35.0, 1..56),
+    ) {
+        let lin: Vec<f64> = snrs_db.iter().map(|&d| db_to_linear(d)).collect();
+        let e = esnr_db(m, &lin);
+        let min = snrs_db.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = snrs_db.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e <= max + 0.1, "esnr {e} above max tone {max}");
+        prop_assert!(e >= min - 0.1, "esnr {e} below min tone {min}");
+    }
+
+    /// BER is monotone decreasing in SNR for every modulation.
+    #[test]
+    fn ber_monotone(m in modulations(), a in -10.0f64..40.0, delta in 0.1f64..20.0) {
+        let lo = ber(m, db_to_linear(a));
+        let hi = ber(m, db_to_linear(a + delta));
+        prop_assert!(hi <= lo + 1e-15);
+    }
+
+    /// BER inversion round-trips within the numerically meaningful range.
+    #[test]
+    fn ber_inverse_roundtrip(m in modulations(), snr_db in 0.0f64..28.0) {
+        let b = ber(m, db_to_linear(snr_db));
+        prop_assume!(b > 1e-12);
+        let back = linear_to_db(ber_inverse(m, b));
+        prop_assert!((back - snr_db).abs() < 0.05, "{snr_db} -> {back}");
+    }
+
+    /// Frame success probability is monotone in ESNR and length-ordered:
+    /// longer frames never succeed more often.
+    #[test]
+    fn per_model_monotonicity(
+        mcs in 0u8..8,
+        esnr in -5.0f64..35.0,
+        delta in 0.1f64..10.0,
+        len in 64usize..4000,
+        extra in 1usize..4000,
+    ) {
+        let per = PerModel::default();
+        let m = Mcs(mcs);
+        prop_assert!(per.success_prob(m, esnr + delta, len) >= per.success_prob(m, esnr, len));
+        prop_assert!(per.success_prob(m, esnr, len + extra) <= per.success_prob(m, esnr, len) + 1e-12);
+        let p = per.success_prob(m, esnr, len);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Capacity never exceeds the top PHY rate and is non-negative.
+    #[test]
+    fn capacity_bounded(snr_db in -10.0f64..40.0) {
+        let per = PerModel::default();
+        let csi = wgtt_phy::Csi {
+            h: vec![wgtt_phy::Cplx::ONE; 56],
+            mean_snr_db: snr_db,
+        };
+        let cap = per.capacity_bps(GuardInterval::Short, &csi, 1500);
+        prop_assert!(cap >= 0.0);
+        prop_assert!(cap <= Mcs(7).data_rate_bps(GuardInterval::Short) as f64 + 1.0);
+    }
+
+    /// Path loss is monotone in distance for any positive exponent.
+    #[test]
+    fn pathloss_monotone(n in 1.5f64..4.0, d in 1.0f64..200.0, extra in 0.1f64..100.0) {
+        let pl = PathLoss { exponent: n, ..PathLoss::default() };
+        prop_assert!(pl.loss_db(d + extra) > pl.loss_db(d));
+    }
+
+    /// A fading realization is a pure function of time: identical queries
+    /// give identical responses, and different seeds differ.
+    #[test]
+    fn fading_is_deterministic(seed in 0u64..1000, t in 0.0f64..30.0) {
+        let cfg = FadingConfig::default();
+        let a = TappedDelayLine::new(&cfg, &mut SimRng::new(seed));
+        let b = TappedDelayLine::new(&cfg, &mut SimRng::new(seed));
+        prop_assert_eq!(a.power_gain(t, 50.0), b.power_gain(t, 50.0));
+        let c = TappedDelayLine::new(&cfg, &mut SimRng::new(seed + 1));
+        prop_assert_ne!(a.power_gain(t, 50.0), c.power_gain(t, 50.0));
+    }
+
+    /// dB/linear conversions round-trip.
+    #[test]
+    fn db_roundtrip(db in -100.0f64..100.0) {
+        prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+    }
+}

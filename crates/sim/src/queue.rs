@@ -1,0 +1,239 @@
+//! The future event list.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by
+//! time, with a monotonically increasing sequence number breaking ties so
+//! that events scheduled for the same instant pop in FIFO (insertion) order.
+//! Deterministic tie-breaking is essential: the WGTT controller and APs
+//! frequently schedule several actions for the same nanosecond (e.g. a
+//! control packet arrival and a queue service completion), and run-to-run
+//! reproducibility of every experiment depends on a stable order.
+//!
+//! Cancellation is supported through [`EventKey`] tombstones, which is how
+//! protocol timers (e.g. the controller's 30 ms `stop` retransmission
+//! timeout) are disarmed when the awaited `ack` arrives first.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifies a scheduled event so it can later be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered future event list with stable FIFO tie-breaking and
+/// tombstone-based cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of events currently live in the heap (pushed, not
+    /// yet popped or cancelled). Cancellation removes from this set and the
+    /// heap entry is dropped lazily when it surfaces.
+    pending: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`, returning a key usable with
+    /// [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+        self.pending.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. had not already popped or been cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.pending.remove(&key.0)
+    }
+
+    /// Time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| {
+            self.pending.remove(&e.seq);
+            (e.time, e.event)
+        })
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of live events still pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let k1 = q.push(t(1), "x");
+        q.push(t(2), "y");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(k1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "y")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let k = q.push(t(1), ());
+        assert!(q.cancel(k));
+        assert!(!q.cancel(k));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let k = q.push(t(1), "x");
+        q.push(t(2), "y");
+        assert_eq!(q.pop(), Some((t(1), "x")));
+        // `k` already fired: cancelling must not disturb remaining events.
+        assert!(!q.cancel(k));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "y")));
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let k = q.push(t(1), "gone");
+        q.push(t(5), "kept");
+        q.cancel(k);
+        assert_eq!(q.peek_time(), Some(t(5)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(t(1), 1);
+        q.push(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(5), 5);
+        assert_eq!(q.pop(), Some((t(5), 5)));
+        q.push(t(7), 7);
+        q.push(t(6), 6);
+        assert_eq!(q.pop(), Some((t(6), 6)));
+        assert_eq!(q.pop(), Some((t(7), 7)));
+        assert_eq!(q.pop(), Some((t(10), 10)));
+    }
+}

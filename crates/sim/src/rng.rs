@@ -1,0 +1,292 @@
+//! Deterministic random number generation for simulations.
+//!
+//! Every experiment run owns a [`SimRng`] seeded from the run configuration,
+//! so results are exactly reproducible. The wrapper also provides the
+//! distributions the PHY and protocol models need — normal, exponential,
+//! Rayleigh, and Rician — implemented directly (Box–Muller and friends) so
+//! the only external dependency is `rand` itself.
+//!
+//! Independent sub-streams (e.g. one per client–AP wireless link, one per
+//! processing-delay model) are derived with [`SimRng::fork`], which hashes a
+//! label into a child seed. Forked streams are statistically independent and
+//! stable across runs regardless of the order other components draw in —
+//! this is what keeps, say, AP 3's fading trace identical whether or not a
+//! second client is added to the experiment.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic RNG with the distribution helpers used across the WGTT
+/// model.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator identified by `label`.
+    ///
+    /// The child seed depends only on the parent *seed* and the label (not
+    /// on how many values the parent has drawn), so forked streams are
+    /// stable under unrelated changes to the simulation.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed via splitmix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = self.seed ^ h;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Derives an independent child generator from an integer index,
+    /// convenient for per-entity streams ("link 3", "client 1", ...).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
+        self.fork(&format!("{label}#{index}"))
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..16)`.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        debug_assert!(std_dev >= 0.0);
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Exponential sample with the given mean (`1/λ`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -mean * u.ln()
+    }
+
+    /// Rayleigh-distributed amplitude with scale `sigma`
+    /// (mean power = `2*sigma^2`).
+    pub fn rayleigh(&mut self, sigma: f64) -> f64 {
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        sigma * (-2.0 * u.ln()).sqrt()
+    }
+
+    /// Rician-distributed amplitude with K-factor `k` (linear, not dB) and
+    /// total mean power `omega`.
+    ///
+    /// Models a channel with a line-of-sight component of power
+    /// `k/(k+1)*omega` plus scattered power `omega/(k+1)`; `k = 0`
+    /// degenerates to Rayleigh fading.
+    pub fn rician(&mut self, k: f64, omega: f64) -> f64 {
+        debug_assert!(k >= 0.0 && omega > 0.0);
+        let los = (k * omega / (k + 1.0)).sqrt();
+        let sigma = (omega / (2.0 * (k + 1.0))).sqrt();
+        let x = los + sigma * self.standard_normal();
+        let y = sigma * self.standard_normal();
+        (x * x + y * y).sqrt()
+    }
+
+    /// A uniformly random phase in `[0, 2π)`.
+    pub fn phase(&mut self) -> f64 {
+        self.inner.gen::<f64>() * 2.0 * std::f64::consts::PI
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_stable_and_independent_of_draws() {
+        let parent1 = SimRng::new(99);
+        let mut parent2 = SimRng::new(99);
+        // Drain some values from parent2 before forking.
+        for _ in 0..10 {
+            parent2.next_u64();
+        }
+        let mut c1 = parent1.fork("link");
+        let mut c2 = parent2.fork("link");
+        for _ in 0..16 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_labels_are_distinct() {
+        let parent = SimRng::new(5);
+        let mut a = parent.fork("alpha");
+        let mut b = parent.fork("beta");
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut i0 = parent.fork_indexed("link", 0);
+        let mut i1 = parent.fork_indexed("link", 1);
+        assert_ne!(i0.next_u64(), i1.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        // Exponential samples are non-negative.
+        assert!((0..100).all(|_| r.exponential(1.0) >= 0.0));
+    }
+
+    #[test]
+    fn rayleigh_mean_power() {
+        let mut r = SimRng::new(17);
+        let sigma = 1.5;
+        let n = 20_000;
+        let pwr = (0..n).map(|_| r.rayleigh(sigma).powi(2)).sum::<f64>() / n as f64;
+        assert!((pwr - 2.0 * sigma * sigma).abs() < 0.2, "power {pwr}");
+    }
+
+    #[test]
+    fn rician_mean_power_and_k_limit() {
+        let mut r = SimRng::new(19);
+        let n = 20_000;
+        // Total power should equal omega regardless of K.
+        for &k in &[0.0, 1.0, 6.0] {
+            let pwr = (0..n).map(|_| r.rician(k, 2.0).powi(2)).sum::<f64>() / n as f64;
+            assert!((pwr - 2.0).abs() < 0.15, "K={k} power {pwr}");
+        }
+        // Large K concentrates amplitude near sqrt(omega): variance shrinks.
+        let var_k0: f64 = {
+            let s: Vec<f64> = (0..n).map(|_| r.rician(0.0, 1.0)).collect();
+            let m = s.iter().sum::<f64>() / n as f64;
+            s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64
+        };
+        let var_k20: f64 = {
+            let s: Vec<f64> = (0..n).map(|_| r.rician(20.0, 1.0)).collect();
+            let m = s.iter().sum::<f64>() / n as f64;
+            s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64
+        };
+        assert!(var_k20 < var_k0 / 4.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,149 @@
+//! Video conferencing QoE (paper §5.4, Fig 24).
+//!
+//! The paper runs a two-party call (one endpoint in the car) and measures
+//! delivered frames per second, sampled every second: Skype-style calls
+//! target ~30 fps at higher per-frame sizes; Hangouts-style calls reduce
+//! resolution and push ~60 fps. We replay the delivery timeline of a
+//! bidirectional CBR flow against a frame schedule: a frame counts as
+//! delivered in the second its last byte arrives.
+
+use wgtt_core::client::DeliveryRecord;
+use wgtt_sim::SimDuration;
+
+/// Conferencing application profile.
+#[derive(Debug, Clone, Copy)]
+pub struct ConferenceConfig {
+    /// Target frame rate.
+    pub fps: u32,
+    /// Media bitrate, bit/s (frame size = bitrate / fps).
+    pub bitrate_bps: f64,
+}
+
+impl ConferenceConfig {
+    /// Skype-style: ~30 fps at 1.2 Mbit/s.
+    pub fn skype() -> Self {
+        ConferenceConfig {
+            fps: 30,
+            bitrate_bps: 1_200_000.0,
+        }
+    }
+
+    /// Hangouts-style: ~60 fps with reduced resolution (same bitrate, so
+    /// frames are half the size and survive worse channels).
+    pub fn hangouts() -> Self {
+        ConferenceConfig {
+            fps: 60,
+            bitrate_bps: 1_200_000.0,
+        }
+    }
+
+    /// Bytes per frame.
+    pub fn frame_bytes(&self) -> f64 {
+        self.bitrate_bps / 8.0 / self.fps as f64
+    }
+}
+
+/// Per-second delivered frame rates over the observation window — the
+/// population behind the paper's Fig 24 CDF.
+pub fn per_second_fps(
+    deliveries: &[DeliveryRecord],
+    cfg: &ConferenceConfig,
+    window: SimDuration,
+) -> Vec<f64> {
+    let secs = window.as_secs_f64().floor() as usize;
+    if secs == 0 {
+        return Vec::new();
+    }
+    let frame_bytes = cfg.frame_bytes();
+    let mut per_sec = vec![0u32; secs];
+    let mut cum_bytes = 0f64;
+    let mut frames_done = 0u64;
+    for d in deliveries {
+        cum_bytes += d.bytes as f64;
+        let total_frames = (cum_bytes / frame_bytes) as u64;
+        if total_frames > frames_done {
+            let sec = d.at.as_secs_f64() as usize;
+            if sec < secs {
+                per_sec[sec] += (total_frames - frames_done) as u32;
+            }
+            frames_done = total_frames;
+        }
+    }
+    per_sec
+        .into_iter()
+        .map(|f| (f as f64).min(cfg.fps as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_net::FlowId;
+    use wgtt_sim::SimTime;
+
+    fn steady(rate_bps: f64, secs: f64) -> Vec<DeliveryRecord> {
+        let step = 0.005;
+        let bytes = (rate_bps * step / 8.0) as usize;
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let mut seq = 0;
+        while t < secs {
+            out.push(DeliveryRecord {
+                at: SimTime::from_secs_f64(t),
+                flow: FlowId(0),
+                seq,
+                bytes,
+            });
+            seq += 1;
+            t += step;
+        }
+        out
+    }
+
+    #[test]
+    fn profiles_differ_in_frame_size() {
+        let s = ConferenceConfig::skype();
+        let h = ConferenceConfig::hangouts();
+        assert!((s.frame_bytes() - 5000.0).abs() < 1.0);
+        assert!((h.frame_bytes() - 2500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_rate_delivery_hits_target_fps() {
+        let cfg = ConferenceConfig::skype();
+        let d = steady(2_000_000.0, 10.0);
+        let fps = per_second_fps(&d, &cfg, SimDuration::from_secs(10));
+        assert_eq!(fps.len(), 10);
+        // Frame cadence capped at the target.
+        for &f in &fps[1..] {
+            assert_eq!(f, 30.0, "{fps:?}");
+        }
+    }
+
+    #[test]
+    fn half_rate_delivery_halves_fps() {
+        let cfg = ConferenceConfig::skype();
+        let d = steady(600_000.0, 10.0);
+        let fps = per_second_fps(&d, &cfg, SimDuration::from_secs(10));
+        let mean = wgtt_sim::stats::mean(&fps[1..]);
+        assert!((mean - 15.0).abs() < 2.0, "mean fps {mean}");
+    }
+
+    #[test]
+    fn hangouts_sustains_higher_fps_at_same_rate() {
+        let d = steady(900_000.0, 10.0);
+        let s = per_second_fps(&d, &ConferenceConfig::skype(), SimDuration::from_secs(10));
+        let h = per_second_fps(&d, &ConferenceConfig::hangouts(), SimDuration::from_secs(10));
+        let ms = wgtt_sim::stats::mean(&s[1..]);
+        let mh = wgtt_sim::stats::mean(&h[1..]);
+        assert!(mh > ms * 1.5, "skype {ms} vs hangouts {mh}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = ConferenceConfig::skype();
+        assert!(per_second_fps(&[], &cfg, SimDuration::ZERO).is_empty());
+        let z = per_second_fps(&[], &cfg, SimDuration::from_secs(3));
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+}

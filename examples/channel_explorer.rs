@@ -1,0 +1,59 @@
+//! Explores the PHY substrate directly: walks a virtual client along the
+//! road and prints each AP's mean SNR, instantaneous ESNR, and the oracle
+//! best AP — the raw material behind the paper's Fig 2 and Fig 10.
+//!
+//! ```sh
+//! cargo run --release --example channel_explorer
+//! ```
+
+use wgtt::phy::{
+    controller_esnr_db, DeploymentConfig, GuardInterval, LinkConfig, PerModel, Position,
+    WirelessLink,
+};
+use wgtt::sim::{SimRng, SimTime};
+
+fn main() {
+    let dep = DeploymentConfig::default().build();
+    let root = SimRng::new(1);
+    let links: Vec<WirelessLink> = dep
+        .aps
+        .iter()
+        .enumerate()
+        .map(|(a, site)| {
+            let mut r = root.fork(&format!("link/{a}/0"));
+            WirelessLink::new(*site, LinkConfig::default(), &mut r)
+        })
+        .collect();
+    let per = PerModel::default();
+
+    println!("Walking the near lane at 15 mph-equivalent Doppler; ESNR per AP (dB):\n");
+    print!("   x   ");
+    for a in 0..links.len() {
+        print!("  AP{a} ");
+    }
+    println!("  best  capacity");
+    let speed = 6.7;
+    for step in 0..30 {
+        let x = -4.0 + step as f64 * 2.0;
+        let pos = Position::new(x, dep.lane_near_y, 1.5);
+        let t = SimTime::from_millis(step * 300);
+        let esnr: Vec<f64> = links
+            .iter()
+            .map(|l| controller_esnr_db(&l.csi(t, &pos, speed)))
+            .collect();
+        let (best, _) = esnr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("not NaN"))
+            .expect("non-empty");
+        let cap = per.capacity_bps(GuardInterval::Short, &links[best].csi(t, &pos, speed), 1500);
+        print!("{:>6.1} ", x);
+        for e in &esnr {
+            print!("{:>5.1} ", e.max(-9.9));
+        }
+        println!("  AP{best}   {:>5.1} Mbit/s", cap / 1e6);
+    }
+    println!(
+        "\nCells are metres wide and overlap at mid-SNR — the vehicular picocell regime."
+    );
+}

@@ -1,0 +1,59 @@
+//! A configurable drive-by with a live throughput/AP timeline — the
+//! simulation equivalent of the paper's Figs 14/15.
+//!
+//! ```sh
+//! cargo run --release --example drive_by -- [mph] [wgtt|baseline] [tcp|udp]
+//! cargo run --release --example drive_by -- 25 baseline udp
+//! ```
+
+use wgtt::core::{run, FlowSpec, Mode, Scenario, SystemConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mph: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15.0);
+    let mode = match args.get(2).map(String::as_str) {
+        Some("baseline") => Mode::Enhanced80211r,
+        _ => Mode::Wgtt,
+    };
+    let tcp = !matches!(args.get(3).map(String::as_str), Some("udp"));
+
+    let mut cfg = SystemConfig::default();
+    cfg.mode = mode;
+    let flows = if tcp {
+        vec![FlowSpec::DownlinkTcp { limit: None }]
+    } else {
+        vec![FlowSpec::DownlinkUdp {
+            rate_bps: 30_000_000,
+            payload: 1472,
+        }]
+    };
+    let scenario = Scenario::single_drive(cfg, mph, flows, 7);
+    let duration = scenario.duration;
+    let result = run(scenario);
+    let m = &result.world.clients[0].metrics;
+
+    println!(
+        "{} {} drive at {mph} mph — mean {:.2} Mbit/s, {} switches\n",
+        match mode {
+            Mode::Wgtt => "WGTT",
+            Mode::Enhanced80211r => "Enhanced 802.11r",
+        },
+        if tcp { "TCP" } else { "UDP" },
+        m.mean_downlink_bps(duration) / 1e6,
+        m.switch_count(),
+    );
+
+    // ASCII timeline: 500 ms bins, one row each, with the serving AP.
+    println!("  t      AP  throughput");
+    let rates = m.downlink.rates();
+    for chunk in rates.chunks(5) {
+        let t = chunk[0].0;
+        let mbps = chunk.iter().map(|(_, v)| v / 1e6).sum::<f64>() / chunk.len() as f64;
+        let ap = m
+            .serving_at(t + wgtt::sim::SimDuration::from_millis(250))
+            .map(|a| a.0.to_string())
+            .unwrap_or_else(|| "-".into());
+        let bar = "#".repeat((mbps / 1.2).round() as usize);
+        println!("  {:>5.1}s {:>2}  {:>5.1} {}", t.as_secs_f64(), ap, mbps, bar);
+    }
+}

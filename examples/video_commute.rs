@@ -1,0 +1,53 @@
+//! Streams a 720p video to a commuting client (the paper's §5.4 online
+//! video case study) and reports the rebuffer ratio under both roaming
+//! systems at a few speeds.
+//!
+//! ```sh
+//! cargo run --release --example video_commute
+//! ```
+
+use wgtt::core::{run, FlowSpec, Mode, Scenario, SystemConfig};
+use wgtt::workloads::video::{replay_video, VideoConfig};
+
+fn main() {
+    let player = VideoConfig::default();
+    println!(
+        "720p stream ({:.1} Mbit/s media, {} ms pre-buffer)\n",
+        player.bitrate_bps / 1e6,
+        player.prebuffer.as_millis()
+    );
+    println!("speed   system             rebuffer  stalls  playback-start");
+    for mph in [5.0, 15.0, 25.0] {
+        for mode in [Mode::Wgtt, Mode::Enhanced80211r] {
+            let mut cfg = SystemConfig::default();
+            cfg.mode = mode;
+            let mut scenario = Scenario::single_drive(
+                cfg,
+                mph,
+                vec![FlowSpec::DownlinkTcp { limit: None }],
+                9,
+            );
+            scenario.log_deliveries = true;
+            let window = scenario.duration;
+            let result = run(scenario);
+            let log = result.world.clients[0]
+                .delivery_log
+                .as_ref()
+                .expect("delivery log enabled");
+            let qoe = replay_video(log, &player, window);
+            println!(
+                "{:>3.0} mph {:<18} {:>7.2}  {:>6}  {}",
+                mph,
+                match mode {
+                    Mode::Wgtt => "WGTT",
+                    Mode::Enhanced80211r => "Enhanced 802.11r",
+                },
+                qoe.rebuffer_ratio(),
+                qoe.rebuffer_events,
+                qoe.playback_started
+                    .map(|t| format!("{:.1}s", t.as_secs_f64()))
+                    .unwrap_or_else(|| "never".into()),
+            );
+        }
+    }
+}
