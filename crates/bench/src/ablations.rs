@@ -104,9 +104,9 @@ pub fn report(fast: bool) -> String {
         "no-ctrl-priority",
         "shadowing-4db",
     ]
-        .iter()
-        .map(|name| run_experiment(name, fast))
-        .collect();
+    .iter()
+    .map(|name| run_experiment(name, fast))
+    .collect();
     save_json("ablations", &rows);
     let table = crate::common::render_table(
         &[

@@ -69,18 +69,17 @@ where
     if seeds.len() <= 1 {
         return seeds.into_iter().map(|s| run(build(s))).collect();
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let build = &build;
         let handles: Vec<_> = seeds
             .iter()
-            .map(|&seed| scope.spawn(move |_| run(build(seed))))
+            .map(|&seed| scope.spawn(move || run(build(seed))))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep run panicked"))
             .collect()
     })
-    .expect("sweep scope failed")
 }
 
 /// Mean of per-run values produced by `f`.

@@ -8,7 +8,9 @@
 //! deployed design) versus a 3-channel plan (1/6/11-style striping) on the
 //! same drives.
 
-use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive, UDP_PAYLOAD};
+use crate::common::{
+    mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive, UDP_PAYLOAD,
+};
 use serde::Serialize;
 use wgtt_core::config::Mode;
 use wgtt_core::runner::{FlowSpec, Scenario};
@@ -35,8 +37,12 @@ pub fn run_experiment(channels: usize, fast: bool) -> ChannelPlanRow {
         s.config.channel_stride = channels;
         s
     };
-    let tcp_runs = sweep_seeds(seeds.clone(), |seed| with_plan(tcp_drive(Mode::Wgtt, 15.0, seed)));
-    let udp_runs = sweep_seeds(seeds.clone(), |seed| with_plan(udp_drive(Mode::Wgtt, 15.0, seed)));
+    let tcp_runs = sweep_seeds(seeds.clone(), |seed| {
+        with_plan(tcp_drive(Mode::Wgtt, 15.0, seed))
+    });
+    let udp_runs = sweep_seeds(seeds.clone(), |seed| {
+        with_plan(udp_drive(Mode::Wgtt, 15.0, seed))
+    });
     let up_runs = sweep_seeds(seeds, |seed| {
         with_plan(Scenario::single_drive(
             crate::common::config(Mode::Wgtt),
@@ -53,7 +59,10 @@ pub fn run_experiment(channels: usize, fast: bool) -> ChannelPlanRow {
         tcp_mbps: mean_over(&tcp_runs, |r| r.downlink_bps(0)) / 1e6,
         udp_mbps: mean_over(&udp_runs, |r| r.downlink_bps(0)) / 1e6,
         uplink_loss: mean_over(&up_runs, |r| {
-            r.world.flows[0].up_sink.as_ref().map_or(0.0, |s| s.loss_rate())
+            r.world.flows[0]
+                .up_sink
+                .as_ref()
+                .map_or(0.0, |s| s.loss_rate())
         }),
         ba_forwarded: mean_over(&udp_runs, |r| {
             r.world.clients[0].metrics.ba_forwarded_applied as f64
@@ -69,7 +78,13 @@ pub fn report(fast: bool) -> String {
         .collect();
     save_json("ext_multichannel", &rows);
     let table = crate::common::render_table(
-        &["channels", "TCP (Mb/s)", "UDP (Mb/s)", "uplink loss", "BA fwd"],
+        &[
+            "channels",
+            "TCP (Mb/s)",
+            "UDP (Mb/s)",
+            "uplink loss",
+            "BA fwd",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -83,9 +98,7 @@ pub fn report(fast: bool) -> String {
             })
             .collect::<Vec<_>>(),
     );
-    format!(
-        "Extension (§7) — single-channel vs 3-channel striping under WGTT\n{table}"
-    )
+    format!("Extension (§7) — single-channel vs 3-channel striping under WGTT\n{table}")
 }
 
 #[cfg(test)]

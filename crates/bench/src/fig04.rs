@@ -76,6 +76,7 @@ pub fn run_experiment(mph: f64, seed: u64) -> StallResult {
         seed,
         log_deliveries: true,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     };
     let duration = scenario.duration;
     let res = run(scenario);

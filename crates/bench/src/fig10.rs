@@ -110,9 +110,8 @@ pub fn run_experiment(seed: u64) -> Heatmap {
 pub fn report(_fast: bool) -> String {
     let h = run_experiment(42);
     save_json("fig10_heatmap", &h);
-    let mut out = String::from(
-        "Fig 10 — ESNR heatmap (near lane): per-AP coverage peaks and overlap\n",
-    );
+    let mut out =
+        String::from("Fig 10 — ESNR heatmap (near lane): per-AP coverage peaks and overlap\n");
     for (a, (&peak, cov)) in h.peak_x.iter().zip(&h.coverage).enumerate() {
         out.push_str(&format!(
             "  AP{a}: peak at x={peak:>5.1} m  usable {:.1}..{:.1} m\n",

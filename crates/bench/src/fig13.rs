@@ -62,6 +62,7 @@ fn stationary_scenario(mode: Mode, tcp: bool, seed: u64) -> Scenario {
         seed,
         log_deliveries: false,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     }
 }
 

@@ -66,6 +66,7 @@ fn convoy_scenario(mode: Mode, n: usize, tcp: bool, uplink: bool, seed: u64) -> 
         seed,
         log_deliveries: false,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     }
 }
 
@@ -77,8 +78,9 @@ pub fn run_fig17(tcp: bool, fast: bool) -> Vec<MultiClientPoint> {
         .iter()
         .map(|&n| {
             let per_client = |mode| {
-                let results =
-                    sweep_seeds(seeds.clone(), |seed| convoy_scenario(mode, n, tcp, false, seed));
+                let results = sweep_seeds(seeds.clone(), |seed| {
+                    convoy_scenario(mode, n, tcp, false, seed)
+                });
                 let mut acc = 0.0;
                 for r in &results {
                     for c in 0..n {
@@ -104,7 +106,12 @@ pub fn run_fig18(seed: u64) -> UplinkLoss {
         let res = wgtt_core::runner::run(scenario);
         (0..3)
             .map(|c| {
-                let flow = res.world.flows.iter().find(|f| f.client == c).expect("flow");
+                let flow = res
+                    .world
+                    .flows
+                    .iter()
+                    .find(|f| f.client == c)
+                    .expect("flow");
                 let sink = flow.up_sink.as_ref().expect("uplink sink");
                 sink.loss_rate()
             })

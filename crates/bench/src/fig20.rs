@@ -86,6 +86,7 @@ pub fn measure(pattern: &str, mode: Mode, tcp: bool, seed: u64) -> f64 {
         seed,
         log_deliveries: false,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     };
     let duration = scenario.duration;
     let res = run(scenario);

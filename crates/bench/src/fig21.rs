@@ -211,7 +211,12 @@ mod tests {
         // The U-shape of the paper: 10 ms beats the noisy 1 ms extreme and
         // the stale 300 ms extreme; the basin between 10 and 100 ms is
         // shallow in our channel (within ~10 %).
-        assert!(at(10.0) <= at(1.0), "1 ms {} vs 10 ms {}", at(1.0), at(10.0));
+        assert!(
+            at(10.0) <= at(1.0),
+            "1 ms {} vs 10 ms {}",
+            at(1.0),
+            at(10.0)
+        );
         assert!(
             at(10.0) < at(300.0),
             "300 ms {} vs 10 ms {}",

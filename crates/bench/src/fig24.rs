@@ -93,9 +93,7 @@ pub fn report(fast: bool) -> String {
             })
             .collect::<Vec<_>>(),
     );
-    format!(
-        "Fig 24 — conferencing delivered fps (paper: Skype ≈20 fps p85, Hangouts ≈56)\n{table}"
-    )
+    format!("Fig 24 — conferencing delivered fps (paper: Skype ≈20 fps p85, Hangouts ≈56)\n{table}")
 }
 
 #[cfg(test)]
@@ -108,7 +106,11 @@ mod tests {
         let skype = pts.iter().find(|p| p.profile == "skype").unwrap();
         let hang = pts.iter().find(|p| p.profile == "hangouts").unwrap();
         // The call is usable most of the time.
-        assert!(skype.quantiles[1] >= 15.0, "skype median {:?}", skype.quantiles);
+        assert!(
+            skype.quantiles[1] >= 15.0,
+            "skype median {:?}",
+            skype.quantiles
+        );
         // Higher-cadence small frames deliver more fps at the same bitrate.
         assert!(
             hang.quantiles[2] > skype.quantiles[2],

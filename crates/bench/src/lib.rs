@@ -28,6 +28,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -60,5 +61,6 @@ pub fn all_experiments() -> Vec<(&'static str, ReportFn)> {
         ("table5_web", table5::report),
         ("ablations", ablations::report),
         ("ext_multichannel", ext_multichannel::report),
+        ("resilience", resilience::report),
     ]
 }

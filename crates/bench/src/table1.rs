@@ -52,7 +52,11 @@ pub fn run_experiment(rate_mbps: u64, seeds: std::ops::Range<u64>) -> SwitchTime
 
 /// Runs and renders Table 1.
 pub fn report(fast: bool) -> String {
-    let rates: &[u64] = if fast { &[50, 90] } else { &[50, 60, 70, 80, 90] };
+    let rates: &[u64] = if fast {
+        &[50, 90]
+    } else {
+        &[50, 60, 70, 80, 90]
+    };
     let seeds = crate::common::seeds_for(fast, 3);
     let rows: Vec<SwitchTimeRow> = rates
         .iter()
@@ -88,10 +92,7 @@ mod tests {
         let high = run_experiment(90, 0..1);
         for r in [&low, &high] {
             assert!(r.count >= 5, "{r:?}");
-            assert!(
-                (12.0..28.0).contains(&r.mean_ms),
-                "mean out of band: {r:?}"
-            );
+            assert!((12.0..28.0).contains(&r.mean_ms), "mean out of band: {r:?}");
             assert!((1.0..8.0).contains(&r.std_ms), "std out of band: {r:?}");
         }
         // Flat across load: means within a few ms of each other.

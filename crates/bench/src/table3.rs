@@ -60,9 +60,7 @@ pub fn report(fast: bool) -> String {
             })
             .collect::<Vec<_>>(),
     );
-    format!(
-        "Table 3 — link-layer ACK collision rate (paper: ≤0.004 %, i.e. negligible)\n{table}"
-    )
+    format!("Table 3 — link-layer ACK collision rate (paper: ≤0.004 %, i.e. negligible)\n{table}")
 }
 
 #[cfg(test)]

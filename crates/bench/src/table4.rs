@@ -46,7 +46,11 @@ fn measure(mode: Mode, mph: f64, seeds: std::ops::Range<u64>) -> f64 {
 
 /// Runs Table 4.
 pub fn run_experiment(fast: bool) -> Vec<VideoRow> {
-    let speeds: &[f64] = if fast { &[5.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0] };
+    let speeds: &[f64] = if fast {
+        &[5.0, 20.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0]
+    };
     let seeds = seeds_for(fast, 2);
     speeds
         .iter()
@@ -75,7 +79,9 @@ pub fn report(fast: bool) -> String {
             })
             .collect::<Vec<_>>(),
     );
-    format!("Table 4 — video rebuffer ratio (paper: WGTT 0.00 everywhere; 802.11r 0.54–0.69)\n{table}")
+    format!(
+        "Table 4 — video rebuffer ratio (paper: WGTT 0.00 everywhere; 802.11r 0.54–0.69)\n{table}"
+    )
 }
 
 #[cfg(test)]

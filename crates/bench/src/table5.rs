@@ -23,7 +23,11 @@ pub struct WebRow {
 
 /// Runs Table 5.
 pub fn run_experiment(fast: bool) -> Vec<WebRow> {
-    let speeds: &[f64] = if fast { &[5.0, 20.0] } else { &[5.0, 10.0, 15.0, 20.0] };
+    let speeds: &[f64] = if fast {
+        &[5.0, 20.0]
+    } else {
+        &[5.0, 10.0, 15.0, 20.0]
+    };
     let seeds = seeds_for(fast, 5);
     let web = WebConfig::default();
     speeds

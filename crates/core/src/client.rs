@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn position_follows_trajectory() {
         let c = client();
-        assert_eq!(c.position(SimTime::from_secs(10)), Position::new(1.0, 2.0, 1.5));
+        assert_eq!(
+            c.position(SimTime::from_secs(10)),
+            Position::new(1.0, 2.0, 1.5)
+        );
         assert_eq!(c.speed(SimTime::ZERO), 0.0);
     }
 
@@ -241,8 +244,14 @@ mod tests {
         let mut c = client();
         assert_eq!(c.rssi_db(ApId(0)), None);
         assert_eq!(c.best_rssi_ap(), None);
-        c.rssi.entry(ApId(0)).or_insert_with(|| Ewma::new(0.5)).update(10.0);
-        c.rssi.entry(ApId(1)).or_insert_with(|| Ewma::new(0.5)).update(20.0);
+        c.rssi
+            .entry(ApId(0))
+            .or_insert_with(|| Ewma::new(0.5))
+            .update(10.0);
+        c.rssi
+            .entry(ApId(1))
+            .or_insert_with(|| Ewma::new(0.5))
+            .update(20.0);
         assert_eq!(c.best_rssi_ap().unwrap().0, ApId(1));
         assert_eq!(c.rssi_db(ApId(0)), Some(10.0));
     }

@@ -9,6 +9,7 @@
 
 use crate::cyclic::IndexAllocator;
 use crate::dedup::Deduplicator;
+use crate::health::{ApHealth, HealthConfig};
 use crate::selection::{ApSelector, SelectionConfig};
 use crate::switching::SwitchEngine;
 use std::collections::HashMap;
@@ -29,6 +30,8 @@ pub struct ControllerState {
     pub engine: SwitchEngine,
     /// Uplink de-duplication filter.
     pub dedup: Deduplicator,
+    /// AP liveness tracking (CSI staleness + abandon blacklist).
+    pub health: ApHealth,
 }
 
 impl ControllerState {
@@ -41,6 +44,7 @@ impl ControllerState {
             serving: HashMap::new(),
             engine: SwitchEngine::new(),
             dedup: Deduplicator::default(),
+            health: ApHealth::new(HealthConfig::default()),
         }
     }
 
@@ -54,23 +58,18 @@ impl ControllerState {
 
     /// Ingests a CSI report from an AP.
     pub fn on_csi(&mut self, now: SimTime, ap: ApId, client: ClientId, esnr_db: f64) {
+        self.health.on_csi(ap, now);
         self.selector_mut(client).on_reading(ap, now, esnr_db);
     }
 
     /// Assigns the next downlink index for a client.
     pub fn assign_index(&mut self, client: ClientId) -> u16 {
-        self.allocators
-            .entry(client)
-            .or_default()
-            .allocate()
+        self.allocators.entry(client).or_default().allocate()
     }
 
     /// Index the next downlink packet will get (without consuming it).
     pub fn peek_index(&mut self, client: ClientId) -> u16 {
-        self.allocators
-            .entry(client)
-            .or_default()
-            .peek()
+        self.allocators.entry(client).or_default().peek()
     }
 
     /// The serving AP for a client.
@@ -82,9 +81,7 @@ impl ControllerState {
     /// within the fan-out horizon plus (always) the serving AP.
     pub fn fanout(&mut self, now: SimTime, client: ClientId) -> Vec<ApId> {
         const FANOUT_HORIZON: wgtt_sim::SimDuration = wgtt_sim::SimDuration::from_millis(100);
-        let mut set = self
-            .selector_mut(client)
-            .heard_within(now, FANOUT_HORIZON);
+        let mut set = self.selector_mut(client).heard_within(now, FANOUT_HORIZON);
         if let Some(s) = self.serving(client) {
             if !set.contains(&s) {
                 set.push(s);

@@ -380,8 +380,7 @@ mod tests {
             q.insert(pkt(&mut f, i));
         }
         assert_eq!(q.backlog(), 4);
-        let got: Vec<u16> = std::iter::from_fn(|| q.pop_head().map(|p| p.index.unwrap()))
-            .collect();
+        let got: Vec<u16> = std::iter::from_fn(|| q.pop_head().map(|p| p.index.unwrap())).collect();
         assert_eq!(got, vec![4094, 4095, 0, 1]);
     }
 
@@ -430,8 +429,7 @@ mod tests {
         q.insert(pkt(&mut f, 3900)); // would make the window 3901 wide
         assert!(index_fwd_dist(q.head(), q.tail()) < INDEX_SPACE / 2);
         // The newest content survives; the expired prefix is gone.
-        let got: Vec<u16> =
-            std::iter::from_fn(|| q.pop_head().map(|p| p.index.unwrap())).collect();
+        let got: Vec<u16> = std::iter::from_fn(|| q.pop_head().map(|p| p.index.unwrap())).collect();
         assert!(got.contains(&3900));
         assert!(!got.contains(&0));
         assert_eq!(q.backlog(), 0);

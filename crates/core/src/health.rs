@@ -1,0 +1,202 @@
+//! Controller-side AP health tracking.
+//!
+//! The controller has two cheap, always-on signals about whether an AP is
+//! alive: the stream of CSI reports the AP relays (a live AP near the
+//! client reports every millisecond), and the fate of switch commands
+//! (a `stop`/`start` that times out through the full retry ladder means
+//! some hop of the exchange is gone). [`ApHealth`] folds both into a
+//! per-AP verdict the selection layer consumes:
+//!
+//! * **CSI staleness** — an AP that has reported at least once but has
+//!   been silent longer than `csi_staleness` is *stale*. If the serving
+//!   AP is stale while other APs still report fresh CSI, the serving AP
+//!   is presumed dead and the controller performs an emergency re-attach
+//!   instead of addressing `stop` messages to a corpse.
+//! * **Abandon blacklisting** — an AP implicated in `abandon_threshold`
+//!   abandoned switches is blacklisted for `blacklist_cooldown`; the
+//!   selector excludes blacklisted APs so the controller never re-wedges
+//!   on a dead target. Any CSI heard from a blacklisted AP is proof of
+//!   life and lifts the blacklist early.
+
+use std::collections::HashMap;
+use wgtt_net::ApId;
+use wgtt_sim::{SimDuration, SimTime};
+
+/// Health-tracking knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// An AP silent this long (after having reported at least once) is
+    /// considered stale. Must sit well above the CSI report interval
+    /// (1 ms) and the selection window (10 ms) so range-driven silence
+    /// during normal driving does not trip it before selection has
+    /// already switched away.
+    pub csi_staleness: SimDuration,
+    /// How long an abandoned-switch blacklist entry lasts without proof
+    /// of life.
+    pub blacklist_cooldown: SimDuration,
+    /// Abandoned switches implicating an AP before it is blacklisted.
+    pub abandon_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            csi_staleness: SimDuration::from_millis(120),
+            blacklist_cooldown: SimDuration::from_secs(1),
+            abandon_threshold: 1,
+        }
+    }
+}
+
+/// Per-AP liveness state at the controller.
+#[derive(Debug)]
+pub struct ApHealth {
+    cfg: HealthConfig,
+    /// Most recent CSI report per AP (any client).
+    last_csi: HashMap<ApId, SimTime>,
+    /// Blacklist expiry per AP.
+    blacklisted_until: HashMap<ApId, SimTime>,
+    /// Abandoned switches implicating each AP since its last proof of
+    /// life.
+    abandon_counts: HashMap<ApId, u32>,
+}
+
+impl ApHealth {
+    /// Creates a tracker.
+    pub fn new(cfg: HealthConfig) -> Self {
+        ApHealth {
+            cfg,
+            last_csi: HashMap::new(),
+            blacklisted_until: HashMap::new(),
+            abandon_counts: HashMap::new(),
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Ingests a CSI report from `ap` — proof of life: clears any
+    /// blacklist entry and the abandon tally.
+    pub fn on_csi(&mut self, ap: ApId, now: SimTime) {
+        self.last_csi.insert(ap, now);
+        self.blacklisted_until.remove(&ap);
+        self.abandon_counts.remove(&ap);
+    }
+
+    /// Time of the last CSI report from `ap`.
+    pub fn last_csi(&self, ap: ApId) -> Option<SimTime> {
+        self.last_csi.get(&ap).copied()
+    }
+
+    /// Whether `ap` has gone silent past the staleness horizon. An AP
+    /// never heard from is *not* stale (there is nothing to compare
+    /// against — it may simply be out of range of every client).
+    pub fn csi_stale(&self, ap: ApId, now: SimTime) -> bool {
+        self.last_csi
+            .get(&ap)
+            .is_some_and(|&t| now.saturating_since(t) >= self.cfg.csi_staleness)
+    }
+
+    /// Records that an abandoned switch implicated `ap`; blacklists it
+    /// once the tally reaches the threshold. Returns whether the AP is
+    /// blacklisted afterwards.
+    pub fn on_abandon(&mut self, ap: ApId, now: SimTime) -> bool {
+        let count = self.abandon_counts.entry(ap).or_insert(0);
+        *count += 1;
+        if *count >= self.cfg.abandon_threshold {
+            self.blacklisted_until
+                .insert(ap, now + self.cfg.blacklist_cooldown);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `ap` is currently blacklisted.
+    pub fn is_blacklisted(&self, ap: ApId, now: SimTime) -> bool {
+        self.blacklisted_until.get(&ap).is_some_and(|&t| now < t)
+    }
+
+    /// All currently blacklisted APs, sorted (deterministic iteration).
+    pub fn blacklisted(&self, now: SimTime) -> Vec<ApId> {
+        let mut v: Vec<ApId> = self
+            .blacklisted_until
+            .iter()
+            .filter(|(_, &t)| now < t)
+            .map(|(&ap, _)| ap)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn tracker() -> ApHealth {
+        ApHealth::new(HealthConfig::default())
+    }
+
+    #[test]
+    fn never_heard_is_not_stale() {
+        let h = tracker();
+        assert!(!h.csi_stale(ApId(0), t(10_000)));
+    }
+
+    #[test]
+    fn staleness_after_silence() {
+        let mut h = tracker();
+        h.on_csi(ApId(0), t(100));
+        assert!(!h.csi_stale(ApId(0), t(150)));
+        assert!(h.csi_stale(ApId(0), t(220)));
+        h.on_csi(ApId(0), t(221));
+        assert!(!h.csi_stale(ApId(0), t(230)));
+    }
+
+    #[test]
+    fn abandon_blacklists_until_cooldown() {
+        let mut h = tracker();
+        assert!(h.on_abandon(ApId(3), t(100)));
+        assert!(h.is_blacklisted(ApId(3), t(100)));
+        assert!(h.is_blacklisted(ApId(3), t(1099)));
+        assert!(!h.is_blacklisted(ApId(3), t(1100)));
+        assert_eq!(h.blacklisted(t(500)), vec![ApId(3)]);
+        assert!(h.blacklisted(t(2000)).is_empty());
+    }
+
+    #[test]
+    fn csi_is_proof_of_life() {
+        let mut h = tracker();
+        h.on_abandon(ApId(2), t(100));
+        assert!(h.is_blacklisted(ApId(2), t(200)));
+        h.on_csi(ApId(2), t(300));
+        assert!(!h.is_blacklisted(ApId(2), t(300)));
+        // The abandon tally also resets.
+        let mut strict = ApHealth::new(HealthConfig {
+            abandon_threshold: 2,
+            ..HealthConfig::default()
+        });
+        strict.on_abandon(ApId(1), t(0));
+        strict.on_csi(ApId(1), t(10));
+        assert!(!strict.on_abandon(ApId(1), t(20)), "tally should restart");
+        assert!(strict.on_abandon(ApId(1), t(30)));
+    }
+
+    #[test]
+    fn threshold_above_one_requires_repeats() {
+        let mut h = ApHealth::new(HealthConfig {
+            abandon_threshold: 3,
+            ..HealthConfig::default()
+        });
+        assert!(!h.on_abandon(ApId(5), t(10)));
+        assert!(!h.on_abandon(ApId(5), t(20)));
+        assert!(h.on_abandon(ApId(5), t(30)));
+    }
+}

@@ -39,6 +39,7 @@ pub mod config;
 pub mod controller;
 pub mod cyclic;
 pub mod dedup;
+pub mod health;
 pub mod metrics;
 pub mod runner;
 pub mod selection;
@@ -46,7 +47,8 @@ pub mod switching;
 pub mod world;
 
 pub use config::{BaselineConfig, Mode, SystemConfig};
+pub use health::{ApHealth, HealthConfig};
 pub use runner::{run, ClientSpec, FlowSpec, RunResult, Scenario, TrajectorySpec};
 pub use selection::{ApSelector, SelectionConfig, WindowEstimator};
-pub use switching::{SwitchEngine, SwitchMsg, SwitchRecord, SwitchTimings};
+pub use switching::{AbandonRecord, SwitchEngine, SwitchMsg, SwitchRecord, SwitchTimings};
 pub use world::{prime_events, Ev, FlowKind, WgttWorld};

@@ -53,6 +53,11 @@ pub struct ClientMetrics {
     pub capacity_loss_bps_sum: f64,
     /// Number of oracle capacity samples.
     pub capacity_samples: u64,
+    /// Completed failovers after a serving-AP crash: `(completion time,
+    /// latency from the crash instant to re-attachment)`.
+    pub failovers: Vec<(SimTime, SimDuration)>,
+    /// Total time spent detached because of AP faults.
+    pub blackout_total: SimDuration,
 }
 
 impl ClientMetrics {
@@ -78,7 +83,25 @@ impl ClientMetrics {
             capacity_best_bps_sum: 0.0,
             capacity_loss_bps_sum: 0.0,
             capacity_samples: 0,
+            failovers: Vec::new(),
+            blackout_total: SimDuration::ZERO,
         }
+    }
+
+    /// Mean failover latency (crash → re-attach), if any failover completed.
+    pub fn mean_failover(&self) -> Option<SimDuration> {
+        if self.failovers.is_empty() {
+            return None;
+        }
+        let total: f64 = self.failovers.iter().map(|&(_, d)| d.as_secs_f64()).sum();
+        Some(SimDuration::from_secs_f64(
+            total / self.failovers.len() as f64,
+        ))
+    }
+
+    /// Worst-case failover latency.
+    pub fn max_failover(&self) -> Option<SimDuration> {
+        self.failovers.iter().map(|&(_, d)| d).max()
     }
 
     /// Mean channel-capacity loss, bit/s (Fig 4's dashed-area metric and
@@ -208,6 +231,18 @@ pub struct SystemMetrics {
     pub downlink_copies: u64,
     /// Packets discarded from stale AP queues by `start(c, k)`.
     pub flushed_packets: u64,
+    /// Injected AP crashes that took effect.
+    pub ap_crashes: u64,
+    /// Injected AP reboots that took effect.
+    pub ap_reboots: u64,
+    /// Switches abandoned after the full retry ladder.
+    pub abandoned_switches: u64,
+    /// Emergency direct re-attaches (stale serving AP bypassed the
+    /// `stop` leg of the switch protocol).
+    pub emergency_reattaches: u64,
+    /// Switch decisions refused because the target was blacklisted — each
+    /// one is a wedge-loop iteration the health layer prevented.
+    pub re_wedged_switches: u64,
 }
 
 #[cfg(test)]

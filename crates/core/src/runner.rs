@@ -11,7 +11,7 @@ use wgtt_net::{CbrSource, TcpConfig, TcpSender};
 use wgtt_phy::geom::Position;
 use wgtt_phy::mobility::{ConstantSpeed, Stationary};
 use wgtt_phy::Trajectory;
-use wgtt_sim::{SimDuration, SimTime, Simulator};
+use wgtt_sim::{FaultSchedule, SimDuration, SimTime, Simulator};
 
 /// How one client moves.
 #[derive(Debug, Clone)]
@@ -82,6 +82,7 @@ pub struct ClientSpec {
 }
 
 /// A full experiment.
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// System configuration (mode, selection, PHY, ablations).
     pub config: SystemConfig,
@@ -97,6 +98,10 @@ pub struct Scenario {
     /// their page load mid-drive, like a passenger opening a page while
     /// already moving.
     pub flow_start: SimDuration,
+    /// Injected faults (AP outages, backhaul impairments, partitions, CSI
+    /// drops). The default empty schedule leaves runs bit-identical to the
+    /// fault-free engine.
+    pub faults: FaultSchedule,
 }
 
 impl Scenario {
@@ -124,6 +129,7 @@ impl Scenario {
             seed,
             log_deliveries: false,
             flow_start: SimDuration::from_millis(1),
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -141,7 +147,9 @@ pub struct RunResult {
 impl RunResult {
     /// Mean downlink goodput of client `c`, bit/s.
     pub fn downlink_bps(&self, c: usize) -> f64 {
-        self.world.clients[c].metrics.mean_downlink_bps(self.duration)
+        self.world.clients[c]
+            .metrics
+            .mean_downlink_bps(self.duration)
     }
 
     /// Mean uplink goodput of client `c`, bit/s.
@@ -196,6 +204,7 @@ pub fn run(scenario: Scenario) -> RunResult {
         traffic_until,
         scenario.log_deliveries,
     );
+    world.faults = scenario.faults;
     let start = SimTime::ZERO + scenario.flow_start;
     for (c, spec) in scenario.clients.iter().enumerate() {
         for flow in &spec.flows {

@@ -124,9 +124,18 @@ impl ApSelector {
 
     /// The best AP right now by the window statistic, with its score.
     pub fn best(&mut self, now: SimTime) -> Option<(ApId, f64)> {
+        self.best_excluding(now, &[])
+    }
+
+    /// The best AP excluding the given set — used when the health layer
+    /// has blacklisted APs that must not be switch targets.
+    pub fn best_excluding(&mut self, now: SimTime, excluded: &[ApId]) -> Option<(ApId, f64)> {
         let aps = self.in_range(now);
         let mut best: Option<(ApId, f64)> = None;
         for ap in aps {
+            if excluded.contains(&ap) {
+                continue;
+            }
             if let Some(s) = self.score(ap, now) {
                 if best.is_none_or(|(_, bs)| s > bs) {
                     best = Some((ap, s));
@@ -142,12 +151,25 @@ impl ApSelector {
     /// responsibility via [`ApSelector::record_switch`] once the protocol
     /// actually starts.
     pub fn decide(&mut self, now: SimTime, current: Option<ApId>) -> Option<ApId> {
+        self.decide_excluding(now, current, &[])
+    }
+
+    /// Like [`ApSelector::decide`] but never returns an AP from
+    /// `excluded` — the health layer's blacklist of dead or wedged APs.
+    /// `current` being excluded does not suppress the decision: switching
+    /// *away* from a blacklisted AP is exactly what the caller wants.
+    pub fn decide_excluding(
+        &mut self,
+        now: SimTime,
+        current: Option<ApId>,
+        excluded: &[ApId],
+    ) -> Option<ApId> {
         if let (Some(last), hysteresis) = (self.last_switch, self.cfg.hysteresis) {
             if now.saturating_since(last) < hysteresis {
                 return None;
             }
         }
-        let (best_ap, best_score) = self.best(now)?;
+        let (best_ap, best_score) = self.best_excluding(now, excluded)?;
         match current {
             None => Some(best_ap),
             Some(cur) if cur == best_ap => None,
@@ -327,8 +349,10 @@ mod tests {
 
     #[test]
     fn mean_estimator_differs_from_median() {
-        let mut cfg = SelectionConfig::default();
-        cfg.estimator = WindowEstimator::Mean;
+        let cfg = SelectionConfig {
+            estimator: WindowEstimator::Mean,
+            ..SelectionConfig::default()
+        };
         let mut s = ApSelector::new(cfg);
         // Values [0, 0, 30]: median = 0 (upper median of 3 = index 1),
         // mean = 10.

@@ -139,12 +139,36 @@ impl SwitchRecord {
     }
 }
 
+/// Record of a switch the engine gave up on after exhausting the `stop`
+/// retry budget — the forensic trail the dead-AP failover logic (and any
+/// operator staring at a wedged client) works from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbandonRecord {
+    /// Client whose switch was abandoned.
+    pub client: ClientId,
+    /// AP the `stop` messages were addressed to.
+    pub from: ApId,
+    /// AP the switch was trying to hand over to.
+    pub to: ApId,
+    /// When the switch was first issued.
+    pub issued_at: SimTime,
+    /// When the retry budget ran out.
+    pub abandoned_at: SimTime,
+    /// `stop` retransmissions spent before giving up.
+    pub retries: u32,
+}
+
 /// Controller-side switch protocol engine.
 #[derive(Debug, Default)]
 pub struct SwitchEngine {
     pending: HashMap<ClientId, PendingSwitch>,
     issued_at: HashMap<ClientId, SimTime>,
     history: Vec<SwitchRecord>,
+    /// Every abandoned switch, in order.
+    abandon_log: Vec<AbandonRecord>,
+    /// First `abandon_log` entry not yet drained via
+    /// [`SwitchEngine::next_unprocessed_abandon`].
+    abandon_cursor: usize,
     /// `ack` wait before retransmitting `stop`.
     timeout: SimDuration,
 }
@@ -156,6 +180,8 @@ impl SwitchEngine {
             pending: HashMap::new(),
             issued_at: HashMap::new(),
             history: Vec::new(),
+            abandon_log: Vec::new(),
+            abandon_cursor: 0,
             timeout: SimDuration::from_millis(30),
         }
     }
@@ -210,13 +236,28 @@ impl SwitchEngine {
     /// Called when the retransmission timer fires. If the switch is still
     /// unacknowledged, returns the `stop` to retransmit; after
     /// [`SwitchEngine::MAX_RETRIES`] the switch is abandoned and `None` is
-    /// returned with the in-flight slot cleared.
+    /// returned with the in-flight slot cleared. The abandon is never
+    /// silent: an [`AbandonRecord`] lands in [`SwitchEngine::abandoned`]
+    /// and is delivered once through
+    /// [`SwitchEngine::next_unprocessed_abandon`] so the caller can react
+    /// (blacklist the dead hop, re-attach the client) instead of re-arming
+    /// the timer into a wedge.
     pub fn on_timeout(&mut self, now: SimTime, client: ClientId) -> Option<SwitchMsg> {
         let p = self.pending.get_mut(&client)?;
         if now.saturating_since(p.sent_at) < self.timeout {
             return None;
         }
         if p.retries >= Self::MAX_RETRIES {
+            let p = *p;
+            let issued = self.issued_at.get(&client).copied().unwrap_or(p.sent_at);
+            self.abandon_log.push(AbandonRecord {
+                client,
+                from: p.from,
+                to: p.to,
+                issued_at: issued,
+                abandoned_at: now,
+                retries: p.retries,
+            });
             self.abort(client);
             return None;
         }
@@ -254,6 +295,20 @@ impl SwitchEngine {
     /// All completed switches.
     pub fn history(&self) -> &[SwitchRecord] {
         &self.history
+    }
+
+    /// All abandoned switches, in order (the full forensic log).
+    pub fn abandoned(&self) -> &[AbandonRecord] {
+        &self.abandon_log
+    }
+
+    /// The next abandoned switch not yet handled by the caller, if any.
+    /// Each record is returned exactly once; [`SwitchEngine::abandoned`]
+    /// still exposes the full log afterwards.
+    pub fn next_unprocessed_abandon(&mut self) -> Option<AbandonRecord> {
+        let rec = self.abandon_log.get(self.abandon_cursor).copied()?;
+        self.abandon_cursor += 1;
+        Some(rec)
     }
 }
 
@@ -334,6 +389,47 @@ mod tests {
     }
 
     #[test]
+    fn abandon_leaves_a_record() {
+        let mut e = SwitchEngine::new();
+        e.issue(t(0), C, ApId(3), ApId(5));
+        let mut at = 30;
+        for _ in 0..SwitchEngine::MAX_RETRIES {
+            e.on_timeout(t(at), C);
+            at += 30;
+        }
+        assert!(e.abandoned().is_empty(), "not abandoned before the cap");
+        assert!(e.on_timeout(t(at), C).is_none());
+        let log = e.abandoned().to_vec();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].client, C);
+        assert_eq!(log[0].from, ApId(3));
+        assert_eq!(log[0].to, ApId(5));
+        assert_eq!(log[0].issued_at, t(0));
+        assert_eq!(log[0].abandoned_at, t(at));
+        assert_eq!(log[0].retries, SwitchEngine::MAX_RETRIES);
+        // Drained exactly once.
+        assert_eq!(e.next_unprocessed_abandon(), Some(log[0]));
+        assert_eq!(e.next_unprocessed_abandon(), None);
+        assert_eq!(e.abandoned().len(), 1, "log persists after draining");
+    }
+
+    #[test]
+    fn timeouts_after_abandon_stay_quiet() {
+        let mut e = SwitchEngine::new();
+        e.issue(t(0), C, ApId(0), ApId(1));
+        let mut at = 30;
+        for _ in 0..=SwitchEngine::MAX_RETRIES {
+            e.on_timeout(t(at), C);
+            at += 30;
+        }
+        // Stale timer firings after the abandon must not retransmit,
+        // re-arm, or duplicate the abandon record.
+        assert!(e.on_timeout(t(at), C).is_none());
+        assert!(e.on_timeout(t(at + 30), C).is_none());
+        assert_eq!(e.abandoned().len(), 1);
+    }
+
+    #[test]
     fn ack_without_pending_is_ignored() {
         let mut e = SwitchEngine::new();
         assert!(e.on_ack(t(10), C).is_none());
@@ -359,8 +455,7 @@ mod tests {
         let samples: Vec<f64> = (0..2000)
             .map(|_| {
                 let backhaul = 0.0009; // three ~0.3 ms hops
-                (timings.sample_stop(&mut rng) + timings.sample_start(&mut rng))
-                    .as_secs_f64()
+                (timings.sample_stop(&mut rng) + timings.sample_start(&mut rng)).as_secs_f64()
                     + backhaul
             })
             .collect();

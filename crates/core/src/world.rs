@@ -37,7 +37,7 @@ use wgtt_phy::esnr::esnr_from_csi;
 use wgtt_phy::geom::Deployment;
 use wgtt_phy::mcs::Mcs;
 use wgtt_phy::{controller_esnr_db, Modulation, WirelessLink};
-use wgtt_sim::{Ctx, SimDuration, SimRng, SimTime, World};
+use wgtt_sim::{Ctx, FaultEdge, FaultSchedule, SimDuration, SimRng, SimTime, World};
 
 /// Identifies a radio transmitter for busy-tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,9 +129,17 @@ pub enum Ev {
     /// De-duplicated uplink packet reaches the server.
     PacketAtServer(Packet),
     /// `stop(c)` control packet arrives at the old AP.
-    StopAtAp { ap: usize, client: usize, to_ap: usize },
+    StopAtAp {
+        ap: usize,
+        client: usize,
+        to_ap: usize,
+    },
     /// Old AP finished processing the stop (kernel query done).
-    StopDone { ap: usize, client: usize, to_ap: usize },
+    StopDone {
+        ap: usize,
+        client: usize,
+        to_ap: usize,
+    },
     /// `start(c, k)` arrives at the new AP.
     StartAtAp { ap: usize, client: usize, k: u16 },
     /// New AP finished processing the start.
@@ -139,9 +147,17 @@ pub enum Ev {
     /// `ack` arrives back at the controller.
     AckAtController { client: usize },
     /// CSI report arrives at the controller.
-    CsiAtController { ap: usize, client: usize, esnr_db: f64 },
+    CsiAtController {
+        ap: usize,
+        client: usize,
+        esnr_db: f64,
+    },
     /// Forwarded Block ACK arrives at the serving AP.
-    BaForwardAtAp { ap: usize, client: usize, ba: BlockAckFrame },
+    BaForwardAtAp {
+        ap: usize,
+        client: usize,
+        ba: BlockAckFrame,
+    },
     /// Resolve one DCF contention round.
     ContentionRound,
     /// A radio transmission completes.
@@ -157,15 +173,29 @@ pub enum Ev {
     /// Baseline: client evaluates roaming.
     RoamCheck { client: usize },
     /// Baseline: reassociation request reaches the air.
-    RoamReqArrive { client: usize, target: usize, retries: u32 },
+    RoamReqArrive {
+        client: usize,
+        target: usize,
+        retries: u32,
+    },
     /// Baseline: reassociation response heads back.
-    RoamRespArrive { client: usize, target: usize, retries: u32 },
+    RoamRespArrive {
+        client: usize,
+        target: usize,
+        retries: u32,
+    },
     /// Client keep-alive probe timer.
     ProbeTick { client: usize },
     /// Client reorder-buffer release timeout.
     ReorderFlush { client: usize },
     /// Baseline: handover downtime over — data may flow via the new AP.
     RoamComplete { client: usize, target: usize },
+    /// Fault injection: an AP crashes (state wiped, radio dark).
+    ApCrash(usize),
+    /// Fault injection: a crashed AP comes back with blank state.
+    ApReboot(usize),
+    /// Retry timer for an emergency re-attach after a serving-AP death.
+    ReattachTimeout { client: usize },
 }
 
 /// The world.
@@ -194,6 +224,19 @@ pub struct WgttWorld {
     pub sys: SystemMetrics,
     /// Traffic stops at this time.
     pub traffic_until: SimTime,
+    /// Injected fault schedule (empty by default; an empty schedule leaves
+    /// every RNG stream untouched, so healthy runs stay bit-identical).
+    pub faults: FaultSchedule,
+    /// RNG stream reserved for fault decisions (CSI drops), forked off the
+    /// root so fault draws never perturb the main `rng` sequence.
+    fault_rng: SimRng,
+    /// Ground truth: which APs are currently crashed.
+    ap_down: Vec<bool>,
+    /// Emergency re-attaches in progress: client → (target AP, retries).
+    pending_reattach: HashMap<usize, (usize, u32)>,
+    /// Clients whose serving AP crashed, keyed by the crash instant —
+    /// resolved into failover-latency samples when they re-attach.
+    pending_failover: HashMap<usize, SimTime>,
     rng: SimRng,
     in_flight: HashMap<u64, AirTx>,
     next_tx_id: u64,
@@ -220,7 +263,14 @@ impl WgttWorld {
         log_deliveries: bool,
     ) -> Self {
         let deployment = cfg.deployment.build();
-        Self::new_with_deployment(cfg, deployment, trajectories, seed, traffic_until, log_deliveries)
+        Self::new_with_deployment(
+            cfg,
+            deployment,
+            trajectories,
+            seed,
+            traffic_until,
+            log_deliveries,
+        )
     }
 
     /// Like [`WgttWorld::new`] but with an explicit (possibly irregular)
@@ -264,6 +314,7 @@ impl WgttWorld {
             })
             .collect();
         let ctrl = ControllerState::new(cfg.selection);
+        let n_aps = deployment.aps.len();
         WgttWorld {
             deployment,
             links,
@@ -276,6 +327,11 @@ impl WgttWorld {
             factory: PacketFactory::new(),
             sys: SystemMetrics::default(),
             traffic_until,
+            faults: FaultSchedule::default(),
+            fault_rng: root.fork("faults"),
+            ap_down: vec![false; n_aps],
+            pending_reattach: HashMap::new(),
+            pending_failover: HashMap::new(),
             rng: root.fork("world"),
             in_flight: HashMap::new(),
             next_tx_id: 0,
@@ -291,8 +347,8 @@ impl WgttWorld {
     /// Registers a flow, returning its index.
     pub fn add_flow(&mut self, client: usize, kind: FlowKind) -> usize {
         let id = FlowId(self.flows.len() as u32);
-        let up_sink = matches!(kind, FlowKind::UpUdp(_))
-            .then(|| UdpSink::new(SimDuration::from_millis(100)));
+        let up_sink =
+            matches!(kind, FlowKind::UpUdp(_)).then(|| UdpSink::new(SimDuration::from_millis(100)));
         // Make sure the client has matching endpoint state.
         match &kind {
             FlowKind::DownTcp(_) => {
@@ -364,18 +420,33 @@ impl WgttWorld {
         lossy: bool,
         ev: impl FnOnce() -> Ev,
     ) {
-        let delay = if lossy {
+        if lossy {
             let keep = !self.rng.chance(self.cfg.control_loss_prob);
             if !keep {
                 return;
             }
+        }
+        // Layer on any scheduled backhaul impairment; a no-op impairment
+        // takes the exact healthy code path (same RNG draws).
+        let imp = self.faults.backhaul_at(ctx.now());
+        let delay = if imp.is_noop() {
             self.backhaul.transit(bytes)
         } else {
-            self.backhaul.transit(bytes)
+            self.backhaul.transit_impaired(
+                bytes,
+                imp.extra_loss_prob,
+                imp.extra_latency,
+                imp.extra_jitter_mean,
+            )
         };
         if let Some(d) = delay {
             ctx.schedule_in(d, ev());
         }
+    }
+
+    /// Whether `ap` can exchange backhaul messages with the controller.
+    fn ap_reachable(&self, ap: usize, now: SimTime) -> bool {
+        !self.ap_down[ap] && !self.faults.partitioned(ap, now)
     }
 
     /// Serving AP according to the control plane.
@@ -428,6 +499,9 @@ impl WgttWorld {
     }
 
     fn on_packet_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, packet: Packet) {
+        if !self.ap_reachable(ap, ctx.now()) {
+            return;
+        }
         let client = packet.client;
         let gi = self.cfg.gi;
         if self.trace {
@@ -454,6 +528,13 @@ impl WgttWorld {
     fn issue_switch(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, from: usize, to: usize) {
         let client = ClientId(c as u32);
         let now = ctx.now();
+        if self.ctrl.health.is_blacklisted(ApId(to as u32), now) {
+            // Defense in depth: selection already excludes blacklisted
+            // targets, so reaching here means a wedge loop was about to
+            // re-issue a switch to a dead AP.
+            self.sys.re_wedged_switches += 1;
+            return;
+        }
         if self
             .ctrl
             .engine
@@ -474,16 +555,29 @@ impl WgttWorld {
     }
 
     fn on_stop_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+        if !self.ap_reachable(ap, ctx.now()) {
+            return; // lost; the controller's switch timeout drives retries
+        }
         // Control packets are prioritized past data queues; without
         // priority they wait behind the backlog.
         let mut delay = self.cfg.switch_timings.sample_stop(&mut self.rng);
         if !self.cfg.control_priority {
             delay += self.cfg.no_priority_penalty;
         }
-        ctx.schedule_in(delay, Ev::StopDone { ap, client: c, to_ap });
+        ctx.schedule_in(
+            delay,
+            Ev::StopDone {
+                ap,
+                client: c,
+                to_ap,
+            },
+        );
     }
 
     fn on_stop_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+        if self.ap_down[ap] {
+            return; // crashed while processing the stop
+        }
         let gi = self.cfg.gi;
         let flush = self.cfg.flush_on_switch;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
@@ -502,16 +596,21 @@ impl WgttWorld {
         // frames, sent over the old link per §3.1.2) still needs Block ACK
         // tracking and link-layer retries.
         let _ = was_serving;
-        self.sys.control_packets += 1;
-        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
-            ap: to_ap,
-            client: c,
-            k,
-        });
+        if !self.faults.partitioned(ap, ctx.now()) {
+            self.sys.control_packets += 1;
+            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
+                ap: to_ap,
+                client: c,
+                k,
+            });
+        }
         self.ensure_round(ctx);
     }
 
     fn on_start_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+        if !self.ap_reachable(ap, ctx.now()) {
+            return;
+        }
         let mut delay = self.cfg.switch_timings.sample_start(&mut self.rng);
         if !self.cfg.control_priority {
             delay += self.cfg.no_priority_penalty;
@@ -520,6 +619,9 @@ impl WgttWorld {
     }
 
     fn on_start_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+        if self.ap_down[ap] {
+            return; // crashed while processing the start
+        }
         let gi = self.cfg.gi;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
         let before = st.cyclic.backlog();
@@ -534,20 +636,32 @@ impl WgttWorld {
         st.nic_queue.clear();
         st.scoreboard.flush();
         st.assoc.install_shared_association(ctx.now());
-        self.sys.control_packets += 1;
-        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::AckAtController {
-            client: c,
-        });
+        if !self.faults.partitioned(ap, ctx.now()) {
+            self.sys.control_packets += 1;
+            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || {
+                Ev::AckAtController { client: c }
+            });
+        }
         self.ensure_round(ctx);
     }
 
     fn on_ack_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
         let client = ClientId(c as u32);
-        if let Some(rec) = self.ctrl.engine.on_ack(ctx.now(), client) {
+        let now = ctx.now();
+        if let Some(rec) = self.ctrl.engine.on_ack(now, client) {
             self.ctrl.serving.insert(client, rec.to);
             self.clients[c].serving = Some(rec.to);
-            let now = ctx.now();
             self.clients[c].metrics.record_assoc(now, Some(rec.to));
+            self.resolve_failover(c, now);
+        } else if let Some((target, _)) = self.pending_reattach.remove(&c) {
+            // Emergency re-attach completed: the new AP acked the direct
+            // start(c, k).
+            let ap = ApId(target as u32);
+            self.ctrl.serving.insert(client, ap);
+            self.clients[c].serving = Some(ap);
+            self.clients[c].metrics.record_assoc(now, Some(ap));
+            self.resolve_failover(c, now);
+            self.ensure_round(ctx);
         }
     }
 
@@ -573,7 +687,165 @@ impl WgttWorld {
         } else if self.ctrl.engine.in_flight(client) {
             // Timer fired early relative to a retransmission; re-arm.
             ctx.schedule_in(self.ctrl.engine.timeout(), Ev::SwitchTimeout { client: c });
+        } else {
+            self.drain_abandons(ctx);
         }
+    }
+
+    /// Processes switch abandonments the engine recorded: counts them,
+    /// feeds the health tracker (stale APs implicated in an abandon get
+    /// blacklisted), and — when the abandoning client's serving AP is the
+    /// stale one — performs an emergency re-attach instead of letting the
+    /// selection loop re-issue a `stop` to the corpse.
+    ///
+    /// Health actions only engage under a non-empty fault schedule so
+    /// fault-free runs remain bit-identical to the pre-fault engine.
+    fn drain_abandons(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let faulty = !self.faults.is_empty();
+        while let Some(rec) = self.ctrl.engine.next_unprocessed_abandon() {
+            self.sys.abandoned_switches += 1;
+            if !faulty {
+                continue;
+            }
+            for ap in [rec.from, rec.to] {
+                if self.ctrl.health.csi_stale(ap, now) {
+                    self.ctrl.health.on_abandon(ap, now);
+                }
+            }
+            let c = rec.client.0 as usize;
+            if self.clients[c].serving == Some(rec.from)
+                && self.ctrl.health.csi_stale(rec.from, now)
+                && !self.pending_reattach.contains_key(&c)
+            {
+                let excluded = self.ctrl.health.blacklisted(now);
+                let target = self
+                    .ctrl
+                    .selector_mut(rec.client)
+                    .best_excluding(now, &excluded)
+                    .map(|(ap, _)| ap)
+                    .filter(|&ap| ap != rec.from && !self.ctrl.health.csi_stale(ap, now));
+                if let Some(t) = target {
+                    self.emergency_reattach(ctx, c, t.0 as usize);
+                }
+            }
+        }
+    }
+
+    /// Re-attaches a client whose serving AP is presumed dead: skips the
+    /// `stop` leg (there is nobody to stop) and sends `start(c, k)`
+    /// directly to the new AP, with its own retry timer.
+    fn emergency_reattach(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize) {
+        let now = ctx.now();
+        let client = ClientId(c as u32);
+        self.ctrl.engine.abort(client);
+        if let Some(old) = self.clients[c].serving.take() {
+            let o = old.0 as usize;
+            if !self.ap_down[o] {
+                // The old AP is merely presumed dead; make sure it stops
+                // serving if it is in fact alive.
+                let gi = self.cfg.gi;
+                let st = self.aps[o].client_mut(client, gi);
+                st.serving = false;
+                st.draining = false;
+                st.drain_cyclic = false;
+            }
+        }
+        self.ctrl.serving.remove(&client);
+        self.clients[c].metrics.record_assoc(now, None);
+        self.ctrl.selector_mut(client).record_switch(now);
+        let k = self.ctrl.peek_index(client);
+        self.sys.emergency_reattaches += 1;
+        self.sys.control_packets += 1;
+        self.pending_reattach.insert(c, (target, 0));
+        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
+            ap: target,
+            client: c,
+            k,
+        });
+        ctx.schedule_in(
+            self.ctrl.engine.timeout(),
+            Ev::ReattachTimeout { client: c },
+        );
+    }
+
+    fn on_reattach_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        let Some(&(target, retries)) = self.pending_reattach.get(&c) else {
+            return; // answered (or superseded) already
+        };
+        let now = ctx.now();
+        if retries >= crate::switching::SwitchEngine::MAX_RETRIES
+            || self.ctrl.health.csi_stale(ApId(target as u32), now)
+        {
+            // Give up on this target; the selection loop's first-association
+            // path re-attaches once fresh CSI identifies a live AP.
+            self.pending_reattach.remove(&c);
+            return;
+        }
+        let client = ClientId(c as u32);
+        let k = self.ctrl.peek_index(client);
+        self.pending_reattach.insert(c, (target, retries + 1));
+        self.sys.control_packets += 1;
+        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
+            ap: target,
+            client: c,
+            k,
+        });
+        ctx.schedule_in(
+            self.ctrl.engine.timeout(),
+            Ev::ReattachTimeout { client: c },
+        );
+    }
+
+    /// Closes the failover-latency book for a client that just re-attached.
+    fn resolve_failover(&mut self, c: usize, now: SimTime) {
+        if let Some(crash_at) = self.pending_failover.remove(&c) {
+            let latency = now.saturating_since(crash_at);
+            let m = &mut self.clients[c].metrics;
+            m.failovers.push((now, latency));
+            m.blackout_total += latency;
+        }
+    }
+
+    // ---------- fault injection ----------
+
+    fn on_ap_crash(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize) {
+        if self.ap_down[ap] {
+            return;
+        }
+        self.ap_down[ap] = true;
+        self.sys.ap_crashes += 1;
+        // Volatile AP state is gone: NIC queues, scoreboards, associations.
+        self.aps[ap] = ApState::new(ApId(ap as u32));
+        let now = ctx.now();
+        for c in 0..self.clients.len() {
+            if self.clients[c].serving == Some(ApId(ap as u32)) {
+                self.pending_failover.entry(c).or_insert(now);
+            }
+        }
+    }
+
+    fn on_ap_reboot(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize) {
+        if !self.ap_down[ap] {
+            return;
+        }
+        self.ap_down[ap] = false;
+        self.sys.ap_reboots += 1;
+        if self.cfg.mode == Mode::Wgtt {
+            // The controller re-pushes the shared association state the
+            // crash wiped (§4.3), so the AP is usable again immediately.
+            let now = ctx.now();
+            let gi = self.cfg.gi;
+            for c in 0..self.clients.len() {
+                if self.clients[c].serving.is_some() || self.pending_reattach.contains_key(&c) {
+                    self.aps[ap]
+                        .client_mut(ClientId(c as u32), gi)
+                        .assoc
+                        .install_shared_association(now);
+                }
+            }
+        }
+        self.ensure_round(ctx);
     }
 
     // ---------- selection ----------
@@ -581,13 +853,43 @@ impl WgttWorld {
     fn on_selection_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         if self.cfg.mode == Mode::Wgtt {
+            let faulty = !self.faults.is_empty();
             for c in 0..self.clients.len() {
                 let client = ClientId(c as u32);
-                if self.ctrl.engine.in_flight(client) {
+                if self.ctrl.engine.in_flight(client) || self.pending_reattach.contains_key(&c) {
                     continue;
                 }
                 let current = self.ctrl.serving(client);
-                let decision = self.ctrl.selector_mut(client).decide(now, current);
+                // Health layer (fault runs only, to keep fault-free runs
+                // bit-identical): a serving AP gone CSI-silent past the
+                // staleness horizon is presumed dead — re-attach directly
+                // instead of addressing a stop to it.
+                if faulty {
+                    if let Some(cur) = current {
+                        if self.ctrl.health.csi_stale(cur, now) {
+                            let excluded = self.ctrl.health.blacklisted(now);
+                            let target = self
+                                .ctrl
+                                .selector_mut(client)
+                                .best_excluding(now, &excluded)
+                                .map(|(ap, _)| ap)
+                                .filter(|&ap| ap != cur && !self.ctrl.health.csi_stale(ap, now));
+                            if let Some(t) = target {
+                                self.emergency_reattach(ctx, c, t.0 as usize);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                let excluded = if faulty {
+                    self.ctrl.health.blacklisted(now)
+                } else {
+                    Vec::new()
+                };
+                let decision = self
+                    .ctrl
+                    .selector_mut(client)
+                    .decide_excluding(now, current, &excluded);
                 let Some(target) = decision else { continue };
                 match current {
                     None => {
@@ -595,6 +897,9 @@ impl WgttWorld {
                         // is usable at every AP instantly (§4.3).
                         let gi = self.cfg.gi;
                         for ap in 0..self.aps.len() {
+                            if self.ap_down[ap] {
+                                continue; // re-installed on reboot
+                            }
                             self.aps[ap]
                                 .client_mut(client, gi)
                                 .assoc
@@ -606,6 +911,7 @@ impl WgttWorld {
                         self.clients[c].serving = Some(target);
                         self.clients[c].metrics.record_assoc(now, Some(target));
                         self.ctrl.selector_mut(client).record_switch(now);
+                        self.resolve_failover(c, now);
                         self.ensure_round(ctx);
                     }
                     Some(cur) => {
@@ -632,7 +938,7 @@ impl WgttWorld {
             // Oracle: instantaneous ESNR argmax over in-range APs.
             let mut best: Option<(usize, f64)> = None;
             for ap in 0..self.aps.len() {
-                if !self.in_radio_range(ap, c, now) {
+                if self.ap_down[ap] || !self.in_radio_range(ap, c, now) {
                     continue;
                 }
                 let e = controller_esnr_db(&self.csi(ap, c, now));
@@ -645,10 +951,10 @@ impl WgttWorld {
                 // Capacity-loss integral (Figs 4, 21): the best link's
                 // instantaneous capacity minus what the serving link offers.
                 let gi = self.cfg.gi;
-                let best_cap =
-                    self.cfg
-                        .per_model
-                        .capacity_bps(gi, &self.csi(oracle, c, now), 1500);
+                let best_cap = self
+                    .cfg
+                    .per_model
+                    .capacity_bps(gi, &self.csi(oracle, c, now), 1500);
                 let serv_cap = match serving {
                     Some(s) if s == oracle => best_cap,
                     Some(s) => self
@@ -747,7 +1053,7 @@ impl WgttWorld {
             .collect();
         let mut contenders: Vec<(NodeKey, u32)> = Vec::new();
         for ap in 0..self.aps.len() {
-            if self.aps[ap].has_work() && !busy.contains(&NodeKey::Ap(ap)) {
+            if !self.ap_down[ap] && self.aps[ap].has_work() && !busy.contains(&NodeKey::Ap(ap)) {
                 let draw = self.aps[ap].backoff.draw(&mut self.rng);
                 contenders.push((NodeKey::Ap(ap), draw));
             }
@@ -782,12 +1088,15 @@ impl WgttWorld {
             match n {
                 NodeKey::Ap(ap) => {
                     let txp = w.deployment.aps[ap].position;
-                    // Receiver: the client this AP would serve (first with
-                    // work); fall back to the boresight patch.
+                    // Receiver: the client this AP would serve (lowest id
+                    // with work — `find` on the HashMap would make the CS
+                    // geometry, and hence multi-client results, depend on
+                    // iteration order); fall back to the boresight patch.
                     let rx = w.aps[ap]
                         .clients
                         .iter()
-                        .find(|(_, s)| s.has_downlink_work())
+                        .filter(|(_, s)| s.has_downlink_work())
+                        .min_by_key(|(c, _)| c.0)
                         .map(|(c, _)| w.client_pos(c.0 as usize, now))
                         .unwrap_or(w.deployment.aps[ap].boresight_target);
                     (txp, rx)
@@ -811,10 +1120,7 @@ impl WgttWorld {
         let chan_of = |w: &WgttWorld, n: NodeKey| -> usize {
             match n {
                 NodeKey::Ap(ap) => w.cfg.channel_of(ap),
-                NodeKey::Client(c) => w
-                    .serving_of(c)
-                    .map(|s| w.cfg.channel_of(s))
-                    .unwrap_or(0),
+                NodeKey::Client(c) => w.serving_of(c).map(|s| w.cfg.channel_of(s)).unwrap_or(0),
             }
         };
         let active: Vec<(wgtt_phy::Position, wgtt_phy::Position, usize)> = self
@@ -908,7 +1214,10 @@ impl WgttWorld {
         let gi = self.cfg.gi;
         let now = ctx.now();
         let max_dur = SimDuration::from_millis(4);
-        let st = self.aps[ap].clients.get_mut(&client).expect("picked client exists");
+        let st = self.aps[ap]
+            .clients
+            .get_mut(&client)
+            .expect("picked client exists");
         if st.serving || (st.draining && st.drain_cyclic) {
             st.refill_nic();
         }
@@ -1001,8 +1310,7 @@ impl WgttWorld {
             mcs = mcs.down().unwrap_or(mcs);
         }
         let count = cl.uplink_queue.len().min(UPLINK_BURST);
-        let entries: Vec<crate::client::UplinkEntry> =
-            cl.uplink_queue.drain(..count).collect();
+        let entries: Vec<crate::client::UplinkEntry> = cl.uplink_queue.drain(..count).collect();
         let lens: Vec<usize> = entries
             .iter()
             .map(|e| e.packet.len_bytes + overhead::DOT11)
@@ -1063,6 +1371,9 @@ impl WgttWorld {
     ) {
         let gi = self.cfg.gi;
         let now = ctx.now();
+        if self.ap_down[ap] {
+            return; // crashed mid-transmission: the PPDU died with it
+        }
         let client = ClientId(c as u32);
         let csi = self.csi(ap, c, start);
         let listening = self.client_listens_to(ap, c);
@@ -1130,10 +1441,10 @@ impl WgttWorld {
             // BA travels client→AP on the reciprocal channel at the
             // 24 Mbit/s basic control rate (QPSK-3/4-like robustness).
             let e_qpsk = esnr_from_csi(Modulation::Qpsk, &csi);
-            let p_ba = self
-                .cfg
-                .per_model
-                .success_prob(Mcs(2), e_qpsk, wgtt_mac::timing::BLOCK_ACK_BYTES);
+            let p_ba =
+                self.cfg
+                    .per_model
+                    .success_prob(Mcs(2), e_qpsk, wgtt_mac::timing::BLOCK_ACK_BYTES);
             ba_received = self.rng.chance(p_ba);
         }
 
@@ -1145,6 +1456,7 @@ impl WgttWorld {
         if ba.is_some() {
             for other in 0..self.aps.len() {
                 if other == ap
+                    || self.ap_down[other]
                     || !self.in_radio_range(other, c, now)
                     || !self.same_channel(other, c)
                 {
@@ -1152,11 +1464,10 @@ impl WgttWorld {
                 }
                 let other_csi = self.csi(other, c, start);
                 let e = esnr_from_csi(Modulation::Qpsk, &other_csi);
-                let p = self.cfg.per_model.success_prob(
-                    Mcs(2),
-                    e,
-                    wgtt_mac::timing::BLOCK_ACK_BYTES,
-                );
+                let p =
+                    self.cfg
+                        .per_model
+                        .success_prob(Mcs(2), e, wgtt_mac::timing::BLOCK_ACK_BYTES);
                 if self.rng.chance(p) {
                     overheard_by.push(other);
                     let esnr = controller_esnr_db(&other_csi);
@@ -1168,10 +1479,9 @@ impl WgttWorld {
             let esnr = controller_esnr_db(&csi);
             self.report_csi(ctx, ap, c, esnr, now);
         }
-        let st = self.aps[ap]
-            .clients
-            .get_mut(&client)
-            .expect("tx implies client state");
+        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+            return; // state wiped by a crash/reboot cycle mid-flight
+        };
         if ba_received {
             let frame = ba.expect("ba exists when received");
             st.seen_bas.insert((frame.start_seq, frame.bitmap));
@@ -1200,7 +1510,10 @@ impl WgttWorld {
                 // Block ACK forwarding: monitor-mode neighbours that
                 // overheard it relay it over the backhaul (§3.2.1).
                 if self.cfg.mode == Mode::Wgtt && self.cfg.ba_forwarding {
-                    for _other in &overheard_by {
+                    for other in &overheard_by {
+                        if self.faults.partitioned(*other, now) {
+                            continue; // monitor cut off from the backhaul
+                        }
                         self.backhaul_send(ctx, 100, false, move || Ev::BaForwardAtAp {
                             ap,
                             client: c,
@@ -1209,10 +1522,9 @@ impl WgttWorld {
                     }
                 }
             }
-            let st = self.aps[ap]
-                .clients
-                .get_mut(&client)
-                .expect("client state");
+            let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+                return;
+            };
             st.ratectl.on_tx_result(now, mcs, false);
             // Without an acknowledgement the AP must assume nothing got
             // through: the entire aggregate is retransmitted (§3.2.1's
@@ -1238,7 +1550,9 @@ impl WgttWorld {
         now: SimTime,
     ) {
         let client = ClientId(c as u32);
-        let st = self.aps[ap].clients.get_mut(&client).expect("client state");
+        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+            return;
+        };
         for (seq, packet, retries) in unacked.into_iter().rev() {
             if retries > MPDU_RETRY_LIMIT {
                 st.scoreboard.drop_seq(seq);
@@ -1255,7 +1569,7 @@ impl WgttWorld {
     }
 
     fn on_ba_forward_at_ap(&mut self, ap: usize, c: usize, ba: BlockAckFrame) {
-        if self.cfg.mode != Mode::Wgtt || !self.cfg.ba_forwarding {
+        if self.cfg.mode != Mode::Wgtt || !self.cfg.ba_forwarding || self.ap_down[ap] {
             return;
         }
         let client = ClientId(c as u32);
@@ -1351,14 +1665,25 @@ impl WgttWorld {
     ) {
         let now = ctx.now();
         if self.trace {
-            eprintln!("[{now}] client_tx c={c} n={} mcs={mcs} collided={collided} kinds={:?}",
-                entries.len(), entries.iter().map(|e| match e.packet.payload { Payload::TcpAck{..} => 'A', Payload::Udp{..} => 'U', Payload::Raw => 'P', _ => '?' }).collect::<String>());
+            eprintln!(
+                "[{now}] client_tx c={c} n={} mcs={mcs} collided={collided} kinds={:?}",
+                entries.len(),
+                entries
+                    .iter()
+                    .map(|e| match e.packet.payload {
+                        Payload::TcpAck { .. } => 'A',
+                        Payload::Udp { .. } => 'U',
+                        Payload::Raw => 'P',
+                        _ => '?',
+                    })
+                    .collect::<String>()
+            );
         }
         let client = ClientId(c as u32);
         // Reception per AP.
         let mut per_ap_received: Vec<(usize, Vec<u16>)> = Vec::new();
         for ap in 0..self.aps.len() {
-            if !self.in_radio_range(ap, c, start) || !self.same_channel(ap, c) {
+            if self.ap_down[ap] || !self.in_radio_range(ap, c, start) || !self.same_channel(ap, c) {
                 continue;
             }
             let csi = self.csi(ap, c, start);
@@ -1388,20 +1713,34 @@ impl WgttWorld {
         // Forwarding to the controller (uplink diversity).
         let serving = self.serving_of(c);
         if std::env::var("WGTT_DEBUG3").is_ok()
-            && entries.iter().any(|e| matches!(e.packet.payload, Payload::TcpAck { .. }))
+            && entries
+                .iter()
+                .any(|e| matches!(e.packet.payload, Payload::TcpAck { .. }))
         {
-            eprintln!("[{now}] ACK burst: entries={:?} rx={:?} serving={serving:?}",
-                entries.iter().map(|e| (e.seq, e.retries)).collect::<Vec<_>>(),
-                per_ap_received.iter().map(|(a, g)| (*a, g.clone())).collect::<Vec<_>>());
+            eprintln!(
+                "[{now}] ACK burst: entries={:?} rx={:?} serving={serving:?}",
+                entries
+                    .iter()
+                    .map(|e| (e.seq, e.retries))
+                    .collect::<Vec<_>>(),
+                per_ap_received
+                    .iter()
+                    .map(|(a, g)| (*a, g.clone()))
+                    .collect::<Vec<_>>()
+            );
         }
         if self.trace {
-            eprintln!("   received per ap: {:?} serving={serving:?}", per_ap_received.iter().map(|(a,g)| (*a, g.len())).collect::<Vec<_>>());
+            eprintln!(
+                "   received per ap: {:?} serving={serving:?}",
+                per_ap_received
+                    .iter()
+                    .map(|(a, g)| (*a, g.len()))
+                    .collect::<Vec<_>>()
+            );
         }
         for (ap, got) in &per_ap_received {
             let forwards = match self.cfg.mode {
-                Mode::Wgtt => {
-                    self.cfg.uplink_diversity || Some(*ap) == serving
-                }
+                Mode::Wgtt => self.cfg.uplink_diversity || Some(*ap) == serving,
                 Mode::Enhanced80211r => Some(*ap) == serving,
             };
             // Only associated APs bridge data frames.
@@ -1409,11 +1748,14 @@ impl WgttWorld {
                 .clients
                 .get(&client)
                 .is_some_and(|s| s.assoc.state() == AssocState::Associated);
-            if !forwards || !associated {
+            if !forwards || !associated || self.faults.partitioned(*ap, now) {
                 continue;
             }
             for seq in got {
-                let e = entries.iter().find(|e| e.seq == *seq).expect("seq from entries");
+                let e = entries
+                    .iter()
+                    .find(|e| e.seq == *seq)
+                    .expect("seq from entries");
                 if matches!(e.packet.payload, Payload::Raw) {
                     continue; // probes terminate at the AP
                 }
@@ -1526,7 +1868,21 @@ impl WgttWorld {
     }
 
     /// Emits a rate-limited CSI report from `ap` about client `c`.
-    fn report_csi(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, esnr_db: f64, now: SimTime) {
+    fn report_csi(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        esnr_db: f64,
+        now: SimTime,
+    ) {
+        if !self.ap_reachable(ap, now) {
+            return;
+        }
+        let drop_p = self.faults.csi_drop_prob(now);
+        if drop_p > 0.0 && self.fault_rng.chance(drop_p) {
+            return;
+        }
         let gi = self.cfg.gi;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
         let due = st
@@ -1548,7 +1904,11 @@ impl WgttWorld {
     fn on_uplink_copy(&mut self, ctx: &mut Ctx<'_, Ev>, _from_ap: usize, packet: Packet) {
         if self.trace {
             if let Payload::TcpAck { ack, .. } = packet.payload {
-                eprintln!("[{}] ack copy at ctrl: ack={ack} ident={}", ctx.now(), packet.ip_ident);
+                eprintln!(
+                    "[{}] ack copy at ctrl: ack={ack} ident={}",
+                    ctx.now(),
+                    packet.ip_ident
+                );
             }
         }
         self.sys.uplink_copies += 1;
@@ -1854,6 +2214,9 @@ impl WgttWorld {
         let now = ctx.now();
         if self.cfg.mode == Mode::Enhanced80211r {
             for ap in 0..self.aps.len() {
+                if self.ap_down[ap] {
+                    continue;
+                }
                 for c in 0..self.clients.len() {
                     if !self.in_radio_range(ap, c, now) {
                         continue;
@@ -1892,15 +2255,14 @@ impl WgttWorld {
             // Beacon-miss detection: after many missed beacons the client
             // declares the link lost and rescans — the full scan across
             // channels takes on the order of a second on real clients.
-            let beacons_stale = self.clients[c].last_serving_beacon.is_some_and(|t| {
-                now.saturating_since(t) >= self.cfg.baseline.beacon_interval * 12
-            });
+            let beacons_stale = self.clients[c]
+                .last_serving_beacon
+                .is_some_and(|t| now.saturating_since(t) >= self.cfg.baseline.beacon_interval * 12);
             let target = match (serving, best) {
                 (None, Some((ap, _))) => Some(ap),
                 (Some(cur), Some((ap, _))) if ap != cur && hysteresis_ok => {
                     let cur_rssi = self.clients[c].rssi_db(cur).unwrap_or(f64::NEG_INFINITY);
-                    (beacons_stale || cur_rssi < self.cfg.baseline.rssi_threshold_db)
-                        .then_some(ap)
+                    (beacons_stale || cur_rssi < self.cfg.baseline.rssi_threshold_db).then_some(ap)
                 }
                 _ => None,
             };
@@ -1923,7 +2285,10 @@ impl WgttWorld {
             }
         }
         if now < self.traffic_until {
-            ctx.schedule_in(self.cfg.baseline.beacon_interval, Ev::RoamCheck { client: c });
+            ctx.schedule_in(
+                self.cfg.baseline.beacon_interval,
+                Ev::RoamCheck { client: c },
+            );
         }
     }
 
@@ -2037,7 +2402,6 @@ impl WgttWorld {
     // (handled naturally: `draining` + `has_downlink_work`; deliveries
     // fail because `client_listens_to` is false for non-serving APs in
     // baseline mode.)
-
 }
 
 /// Seeds the initial periodic events for a freshly built world.
@@ -2056,6 +2420,17 @@ pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
     for c in 0..n_clients {
         sim.schedule_at(SimTime::from_micros(100), Ev::ProbeTick { client: c });
     }
+    let edges = sim.world().faults.edges();
+    for (t, edge) in edges {
+        match edge {
+            FaultEdge::Crash(ap) => {
+                sim.schedule_at(t, Ev::ApCrash(ap));
+            }
+            FaultEdge::Reboot(ap) => {
+                sim.schedule_at(t, Ev::ApReboot(ap));
+            }
+        }
+    }
     for f in 0..n_flows {
         match &sim.world().flows[f].kind {
             FlowKind::DownUdp(src) => {
@@ -2072,7 +2447,6 @@ pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
         }
     }
 }
-
 
 /// Whether `seq` is still outstanding (un-acked) in the scoreboard.
 fn st_seq_outstanding(st: &crate::ap::ApClientState, seq: u16) -> bool {
@@ -2099,9 +2473,11 @@ impl World for WgttWorld {
             Ev::StartAtAp { ap, client, k } => self.on_start_at_ap(ctx, ap, client, k),
             Ev::StartDone { ap, client, k } => self.on_start_done(ctx, ap, client, k),
             Ev::AckAtController { client } => self.on_ack_at_controller(ctx, client),
-            Ev::CsiAtController { ap, client, esnr_db } => {
-                self.on_csi_at_controller(ap, client, esnr_db, ctx.now())
-            }
+            Ev::CsiAtController {
+                ap,
+                client,
+                esnr_db,
+            } => self.on_csi_at_controller(ap, client, esnr_db, ctx.now()),
             Ev::BaForwardAtAp { ap, client, ba } => self.on_ba_forward_at_ap(ap, client, ba),
             Ev::ContentionRound => self.on_contention_round(ctx),
             Ev::TxDone(id) => self.on_tx_done(ctx, id),
@@ -2123,6 +2499,9 @@ impl World for WgttWorld {
             Ev::ProbeTick { client } => self.on_probe_tick(ctx, client),
             Ev::ReorderFlush { client } => self.on_reorder_flush(ctx, client),
             Ev::RoamComplete { client, target } => self.on_roam_complete(ctx, client, target),
+            Ev::ApCrash(ap) => self.on_ap_crash(ctx, ap),
+            Ev::ApReboot(ap) => self.on_ap_reboot(ctx, ap),
+            Ev::ReattachTimeout { client } => self.on_reattach_timeout(ctx, client),
         }
     }
 }

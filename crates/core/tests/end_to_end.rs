@@ -9,8 +9,10 @@ use wgtt_core::config::{Mode, SystemConfig};
 use wgtt_core::runner::{run, FlowSpec, Scenario};
 
 fn drive_scenario(mode: Mode, mph: f64, flows: Vec<FlowSpec>, seed: u64) -> Scenario {
-    let mut cfg = SystemConfig::default();
-    cfg.mode = mode;
+    let cfg = SystemConfig {
+        mode,
+        ..SystemConfig::default()
+    };
     Scenario::single_drive(cfg, mph, flows, seed)
 }
 
@@ -164,7 +166,11 @@ fn uplink_udp_flows_and_dedups() {
     );
     let flow = &res.world.flows[0];
     let sink = flow.up_sink.as_ref().unwrap();
-    assert_eq!(sink.duplicates(), 0, "duplicates leaked past the controller");
+    assert_eq!(
+        sink.duplicates(),
+        0,
+        "duplicates leaked past the controller"
+    );
 }
 
 #[test]

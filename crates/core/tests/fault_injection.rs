@@ -16,8 +16,10 @@ fn udp_flows() -> Vec<FlowSpec> {
 fn switches_survive_control_packet_loss() {
     // 20% loss on every backhaul control hop: the stop-retransmission
     // timeout must keep the protocol progressing.
-    let mut cfg = SystemConfig::default();
-    cfg.control_loss_prob = 0.2;
+    let cfg = SystemConfig {
+        control_loss_prob: 0.2,
+        ..SystemConfig::default()
+    };
     let scenario = Scenario::single_drive(cfg, 15.0, udp_flows(), 31);
     let res = run(scenario);
     let hist = res.world.ctrl.engine.history();
@@ -38,8 +40,10 @@ fn switches_survive_control_packet_loss() {
 
 #[test]
 fn heavy_control_loss_still_converges() {
-    let mut cfg = SystemConfig::default();
-    cfg.control_loss_prob = 0.5;
+    let cfg = SystemConfig {
+        control_loss_prob: 0.5,
+        ..SystemConfig::default()
+    };
     let scenario = Scenario::single_drive(cfg, 15.0, udp_flows(), 32);
     let res = run(scenario);
     // The client still crosses the array attached to progressing APs.
@@ -49,7 +53,10 @@ fn heavy_control_loss_still_converges() {
         .iter()
         .filter_map(|&(_, ap)| ap)
         .next_back();
-    assert!(final_ap.map_or(0, |a| a.0) >= 5, "stuck early: {final_ap:?}");
+    assert!(
+        final_ap.map_or(0, |a| a.0) >= 5,
+        "stuck early: {final_ap:?}"
+    );
     assert!(res.downlink_bps(0) / 1e6 > 2.0);
 }
 
@@ -57,8 +64,10 @@ fn heavy_control_loss_still_converges() {
 fn lossy_backhaul_data_path_degrades_gracefully() {
     // Drop 5% of ALL backhaul messages (data fan-out included): UDP keeps
     // flowing because every in-range AP holds a copy.
-    let mut cfg = SystemConfig::default();
-    cfg.control_loss_prob = 0.05;
+    let cfg = SystemConfig {
+        control_loss_prob: 0.05,
+        ..SystemConfig::default()
+    };
     let scenario = Scenario::single_drive(cfg, 15.0, udp_flows(), 33);
     let res = run(scenario);
     assert!(res.downlink_bps(0) / 1e6 > 5.0);
@@ -66,8 +75,10 @@ fn lossy_backhaul_data_path_degrades_gracefully() {
 
 #[test]
 fn multichannel_partition_reduces_diversity_but_not_liveness() {
-    let mut cfg = SystemConfig::default();
-    cfg.channel_stride = 3;
+    let cfg = SystemConfig {
+        channel_stride: 3,
+        ..SystemConfig::default()
+    };
     let scenario = Scenario::single_drive(
         cfg,
         15.0,
@@ -88,8 +99,10 @@ fn multichannel_partition_reduces_diversity_but_not_liveness() {
 #[test]
 fn no_flush_ablation_loses_more_packets() {
     let measure = |flush: bool| {
-        let mut cfg = SystemConfig::default();
-        cfg.flush_on_switch = flush;
+        let cfg = SystemConfig {
+            flush_on_switch: flush,
+            ..SystemConfig::default()
+        };
         let res = run(Scenario::single_drive(cfg, 15.0, udp_flows(), 35));
         let sink = res.world.clients[0]
             .udp_sink

@@ -61,6 +61,7 @@ fn opposing_trajectory_enters_from_far_end() {
         seed: 3,
         log_deliveries: false,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     };
     let res = run(scenario);
     // The first association must be with a high-index AP (entering at the
@@ -98,6 +99,7 @@ fn two_clients_get_separate_metrics() {
         seed: 4,
         log_deliveries: false,
         flow_start: SimDuration::from_millis(1),
+        faults: wgtt_sim::FaultSchedule::default(),
     };
     let res = run(scenario);
     // Both parked clients are served by their local AP with good
@@ -106,8 +108,12 @@ fn two_clients_get_separate_metrics() {
         let mbps = res.downlink_bps(c) / 1e6;
         assert!(mbps > 3.0, "client {c} got {mbps} Mbit/s");
     }
-    let a = res.world.clients[0].metrics.serving_at(SimTime::from_secs(4));
-    let b = res.world.clients[1].metrics.serving_at(SimTime::from_secs(4));
+    let a = res.world.clients[0]
+        .metrics
+        .serving_at(SimTime::from_secs(4));
+    let b = res.world.clients[1]
+        .metrics
+        .serving_at(SimTime::from_secs(4));
     assert_ne!(a, b, "both clients on the same AP: {a:?}");
 }
 
@@ -129,8 +135,10 @@ fn limited_tcp_flow_completes_and_records_time() {
 
 #[test]
 fn baseline_mode_uses_single_ap_fanout() {
-    let mut cfg = SystemConfig::default();
-    cfg.mode = Mode::Enhanced80211r;
+    let cfg = SystemConfig {
+        mode: Mode::Enhanced80211r,
+        ..SystemConfig::default()
+    };
     let scenario = Scenario::single_drive(
         cfg,
         15.0,

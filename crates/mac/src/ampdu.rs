@@ -42,10 +42,7 @@ impl AmpduPolicy {
         gi: GuardInterval,
         window_available: usize,
     ) -> usize {
-        let cap = self
-            .max_mpdus
-            .min(window_available)
-            .min(pending_lens.len());
+        let cap = self.max_mpdus.min(window_available).min(pending_lens.len());
         if cap == 0 {
             return 0;
         }

@@ -163,7 +163,10 @@ mod tests {
     fn full_handshake() {
         let mut ap = ApAssoc::new();
         assert_eq!(ap.state(), AssocState::Unauthenticated);
-        assert_eq!(ap.on_frame(t(0), MgmtFrame::AuthReq), Some(MgmtFrame::AuthResp));
+        assert_eq!(
+            ap.on_frame(t(0), MgmtFrame::AuthReq),
+            Some(MgmtFrame::AuthResp)
+        );
         assert_eq!(ap.state(), AssocState::Authenticated);
         assert!(!ap.is_associated());
         assert_eq!(

@@ -94,7 +94,10 @@ impl TxScoreboard {
     /// Sequence of the oldest outstanding MPDU (window start), or the next
     /// fresh sequence when the window is empty.
     pub fn win_start(&self) -> u16 {
-        self.window.front().map(|&(s, _)| s).unwrap_or(self.next_seq)
+        self.window
+            .front()
+            .map(|&(s, _)| s)
+            .unwrap_or(self.next_seq)
     }
 
     /// Number of outstanding (transmitted, not yet acknowledged) MPDUs.
@@ -120,18 +123,27 @@ impl TxScoreboard {
 
     /// Registers an externally assigned sequence number as outstanding
     /// (WGTT assigns MPDU sequences from the controller's index numbers, so
-    /// APs register rather than allocate). Sequences must arrive in forward
-    /// order. Panics if the window is full.
+    /// APs register rather than allocate). Sequences normally arrive in
+    /// forward order, but a bounded step *backward* is legal too: the WGTT
+    /// cyclic queue rewinds its head when backhaul jitter delivers an index
+    /// late (see `CyclicQueue::insert`), so the transmit path may offer,
+    /// say, 0 after 3. The window is kept in transmit order; acknowledgement
+    /// and drop handling scan it positionally, so non-sorted contents are
+    /// fine. Panics if the window is full.
     pub fn register(&mut self, seq: u16) {
         assert!(self.available() > 0, "Block ACK window full");
         debug_assert!(
+            !self.window.iter().any(|&(s, _)| s == seq),
+            "sequence {seq} registered twice: window={:?}",
             self.window
-                .back()
-                .is_none_or(|&(last, _)| seq_fwd_dist(last, seq) < 2048 && last != seq),
-            "sequences must be registered in forward order"
         );
         self.window.push_back((seq & (SEQ_SPACE - 1), false));
-        self.next_seq = seq_add(seq, 1);
+        // `next_seq` tracks the stream high-water mark; a late (rewound)
+        // registration must not drag it backward.
+        let candidate = seq_add(seq, 1);
+        if seq_fwd_dist(self.next_seq, candidate) < SEQ_SPACE / 2 {
+            self.next_seq = candidate;
+        }
     }
 
     /// Sequences that still need (re)transmission: every outstanding,

@@ -73,10 +73,7 @@ pub fn frame_airtime(bytes: usize, mcs: Mcs, gi: GuardInterval) -> SimDuration {
 /// Airtime of an A-MPDU carrying MPDUs of the given sizes (each padded with
 /// its delimiter), at the given MCS.
 pub fn ampdu_airtime(mpdu_bytes: &[usize], mcs: Mcs, gi: GuardInterval) -> SimDuration {
-    let total: usize = mpdu_bytes
-        .iter()
-        .map(|b| b + MPDU_DELIMITER_BYTES)
-        .sum();
+    let total: usize = mpdu_bytes.iter().map(|b| b + MPDU_DELIMITER_BYTES).sum();
     frame_airtime(total, mcs, gi)
 }
 

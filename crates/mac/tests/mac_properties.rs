@@ -15,7 +15,7 @@ proptest! {
     #[test]
     fn cw_bounds(retries in 0u32..64) {
         let cw = contention_window(retries);
-        prop_assert!(cw >= CW_MIN && cw <= CW_MAX);
+        prop_assert!((CW_MIN..=CW_MAX).contains(&cw));
         prop_assert!(contention_window(retries + 1) >= cw);
     }
 

@@ -45,13 +45,43 @@ impl Backhaul {
     /// Samples the transit delay for a message of `len_bytes`, or `None` if
     /// the message is lost.
     pub fn transit(&mut self, len_bytes: usize) -> Option<SimDuration> {
-        if self.rng.chance(self.loss_prob) {
+        self.transit_impaired(len_bytes, 0.0, SimDuration::ZERO, SimDuration::ZERO)
+    }
+
+    /// Like [`Backhaul::transit`] but with fault-injection impairments
+    /// layered on: `extra_loss` composes independently with the base loss
+    /// probability, `extra_latency` adds a fixed delay, and
+    /// `extra_jitter_mean` (when nonzero) adds an extra exponential jitter
+    /// draw. With all three at their zero values the RNG draw sequence is
+    /// identical to the healthy model, so fault-capable runs with an empty
+    /// schedule stay bit-for-bit reproducible against fault-free ones.
+    pub fn transit_impaired(
+        &mut self,
+        len_bytes: usize,
+        extra_loss: f64,
+        extra_latency: SimDuration,
+        extra_jitter_mean: SimDuration,
+    ) -> Option<SimDuration> {
+        // The healthy path must use `loss_prob` verbatim: recomputing it
+        // through `1 - (1-p)(1-0)` perturbs the low bits and could flip a
+        // knife-edge Bernoulli draw.
+        let loss = if extra_loss > 0.0 {
+            1.0 - (1.0 - self.loss_prob) * (1.0 - extra_loss.clamp(0.0, 1.0))
+        } else {
+            self.loss_prob
+        };
+        if self.rng.chance(loss) {
             return None;
         }
         let wire = SimDuration::for_bits(len_bytes as u64 * 8, self.rate_bps);
         let jitter =
             SimDuration::from_secs_f64(self.rng.exponential(self.jitter_mean.as_secs_f64()));
-        Some(self.base_delay + wire + jitter)
+        let extra_jitter = if extra_jitter_mean > SimDuration::ZERO {
+            SimDuration::from_secs_f64(self.rng.exponential(extra_jitter_mean.as_secs_f64()))
+        } else {
+            SimDuration::ZERO
+        };
+        Some(self.base_delay + wire + jitter + extra_latency + extra_jitter)
     }
 
     /// Samples a transit delay, treating loss as "never arrives" is not an
@@ -134,6 +164,37 @@ mod tests {
         let mut b = bh(5);
         b.loss_prob = 1.0;
         let _ = b.transit_reliable(100);
+    }
+
+    #[test]
+    fn impaired_zero_is_identical_to_healthy() {
+        let mut a = bh(7);
+        let mut b = bh(7);
+        a.loss_prob = 0.1;
+        b.loss_prob = 0.1;
+        for _ in 0..500 {
+            assert_eq!(
+                a.transit(300),
+                b.transit_impaired(300, 0.0, SimDuration::ZERO, SimDuration::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn impairments_add_loss_and_latency() {
+        let mut b = bh(8);
+        b.loss_prob = 0.1;
+        let extra_lat = SimDuration::from_millis(5);
+        let mut lost = 0usize;
+        for _ in 0..2000 {
+            match b.transit_impaired(100, 0.5, extra_lat, SimDuration::ZERO) {
+                None => lost += 1,
+                Some(d) => assert!(d >= extra_lat + b.base_delay),
+            }
+        }
+        // Composed loss: 1 - 0.9*0.5 = 0.55.
+        let frac = lost as f64 / 2000.0;
+        assert!((frac - 0.55).abs() < 0.05, "loss frac {frac}");
     }
 
     #[test]

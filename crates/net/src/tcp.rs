@@ -407,8 +407,8 @@ impl TcpSender {
                         // Partial ACK: another hole may be repaired.
                         self.rtx_credit += 1;
                         self.rtx_scan = self.rtx_scan.max(ack);
-                        self.cwnd =
-                            (self.cwnd - acked as f64 + self.cfg.mss as f64).max(self.cfg.mss as f64);
+                        self.cwnd = (self.cwnd - acked as f64 + self.cfg.mss as f64)
+                            .max(self.cfg.mss as f64);
                     }
                 }
                 CongPhase::SlowStart => {
@@ -420,8 +420,7 @@ impl TcpSender {
                 }
                 CongPhase::Avoidance => {
                     // cwnd += MSS²/cwnd per ACKed cwnd of data.
-                    self.cwnd +=
-                        (self.cfg.mss as f64 * self.cfg.mss as f64 / self.cwnd).max(1.0);
+                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64 / self.cwnd).max(1.0);
                     self.dup_acks = 0;
                 }
             }
@@ -547,11 +546,7 @@ impl TcpReceiver {
             // Drain any now-contiguous out-of-order data.
             loop {
                 let mut advanced = false;
-                let keys: Vec<u64> = self
-                    .ooo
-                    .range(..=self.rcv_nxt)
-                    .map(|(&s, _)| s)
-                    .collect();
+                let keys: Vec<u64> = self.ooo.range(..=self.rcv_nxt).map(|(&s, _)| s).collect();
                 for s in keys {
                     let e = self.ooo.remove(&s).expect("key just seen");
                     if e > self.rcv_nxt {
@@ -603,7 +598,10 @@ mod tests {
         }
         // Ack everything: cwnd should grow by the acked amount.
         let acked = s.bytes_in_flight();
-        s.on_ack(t(50), segs.last().unwrap().seq + segs.last().unwrap().len as u64);
+        s.on_ack(
+            t(50),
+            segs.last().unwrap().seq + segs.last().unwrap().len as u64,
+        );
         assert_eq!(s.bytes_in_flight(), 0);
         assert!(s.cwnd_bytes() >= 10 * 1448 + acked - 1448);
         // Now roughly twice as many segments fit.
@@ -654,7 +652,7 @@ mod tests {
             s.on_ack(t(10 + i), 0);
         }
         let _ = s.next_segment(t(13)); // head retransmit
-        // Partial ack: first segment arrives but hole remains.
+                                       // Partial ack: first segment arrives but hole remains.
         s.on_ack(t(30), 1448);
         assert_eq!(s.phase(), CongPhase::FastRecovery);
         let rtx = s.next_segment(t(31)).unwrap();

@@ -78,7 +78,7 @@ proptest! {
                 prop_assert!(s.is_complete(), "completion reverted");
             }
             was_complete = s.is_complete();
-            now = now + SimDuration::from_millis(5 + (i as u64 % 7));
+            now += SimDuration::from_millis(5 + (i as u64 % 7));
             s.on_rto_check(now);
         }
     }

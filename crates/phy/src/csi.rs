@@ -59,8 +59,7 @@ impl Csi {
     /// Average received power SNR across subcarriers, in dB — what a plain
     /// RSSI measurement would report.
     pub fn rssi_snr_db(&self) -> f64 {
-        let mean_gain =
-            self.h.iter().map(|h| h.abs2()).sum::<f64>() / self.h.len().max(1) as f64;
+        let mean_gain = self.h.iter().map(|h| h.abs2()).sum::<f64>() / self.h.len().max(1) as f64;
         self.mean_snr_db + linear_to_db(mean_gain)
     }
 }

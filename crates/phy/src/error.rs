@@ -93,12 +93,7 @@ impl PerModel {
     /// The instantaneous link capacity (bit/s): best over MCS of expected
     /// goodput, given a CSI snapshot. This is the paper's notion of the
     /// "channel capacity" an AP could deliver at an instant (Figs 2, 4, 21).
-    pub fn capacity_bps(
-        &self,
-        gi: crate::mcs::GuardInterval,
-        csi: &Csi,
-        len_bytes: usize,
-    ) -> f64 {
+    pub fn capacity_bps(&self, gi: crate::mcs::GuardInterval, csi: &Csi, len_bytes: usize) -> f64 {
         Mcs::all()
             .map(|m| {
                 let e = esnr_from_csi(m.modulation(), csi);
@@ -109,12 +104,7 @@ impl PerModel {
 
     /// Best MCS for a CSI snapshot (argmax of expected goodput) — an oracle
     /// rate choice used in tests and as a reference for rate control.
-    pub fn best_mcs(
-        &self,
-        gi: crate::mcs::GuardInterval,
-        csi: &Csi,
-        len_bytes: usize,
-    ) -> Mcs {
+    pub fn best_mcs(&self, gi: crate::mcs::GuardInterval, csi: &Csi, len_bytes: usize) -> Mcs {
         Mcs::all()
             .max_by(|a, b| {
                 let ea = esnr_from_csi(a.modulation(), csi);

@@ -108,7 +108,10 @@ impl TappedDelayLine {
     /// pure function of time.
     pub fn new(cfg: &FadingConfig, rng: &mut SimRng) -> Self {
         assert!(cfg.num_taps >= 1, "need at least one tap");
-        assert!(cfg.num_sinusoids >= 4, "too few sinusoids for smooth fading");
+        assert!(
+            cfg.num_sinusoids >= 4,
+            "too few sinusoids for smooth fading"
+        );
         let k_lin = 10f64.powf(cfg.rician_k_db / 10.0);
         // Exponential power-delay profile sampled at uniform tap spacing.
         // Tap spacing chosen so the configured number of taps spans ≈3× the
@@ -308,7 +311,10 @@ mod tests {
         let ch = tdl(11);
         let subs = ht20_subcarriers();
         let h = ch.freq_response(0.2, 30.0, &subs);
-        let powers: Vec<f64> = h.iter().map(|x| 10.0 * x.abs2().max(1e-12).log10()).collect();
+        let powers: Vec<f64> = h
+            .iter()
+            .map(|x| 10.0 * x.abs2().max(1e-12).log10())
+            .collect();
         let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max - min > 1.0, "spread {}", max - min);

@@ -214,9 +214,7 @@ mod tests {
         let d = DeploymentConfig::default().build();
         let o = pattern_trajectories(DrivePattern::Opposing, &d, 15.0, 3.0);
         // They approach, meet near the middle, then separate.
-        let dist = |t: SimTime| {
-            o[0].position(t).distance(&o[1].position(t))
-        };
+        let dist = |t: SimTime| o[0].position(t).distance(&o[1].position(t));
         let t_mid = SimTime::from_secs_f64(72.5 / (2.0 * mph_to_mps(15.0)));
         assert!(dist(t_mid) < dist(SimTime::ZERO));
         assert!(dist(t_mid + wgtt_sim::SimDuration::from_secs(20)) > dist(t_mid));

@@ -205,7 +205,12 @@ mod tests {
         // Only MCS 0–2 deliver; everything above fails.
         let mut ctl = MinstrelLite::new(GuardInterval::Long);
         let mut rng = SimRng::new(2);
-        let chosen = drive(&mut ctl, &mut rng, 3000, |m| if m.0 <= 2 { 0.95 } else { 0.0 });
+        let chosen = drive(
+            &mut ctl,
+            &mut rng,
+            3000,
+            |m| if m.0 <= 2 { 0.95 } else { 0.0 },
+        );
         let tail = &chosen[2000..];
         let low = tail.iter().filter(|m| m.0 <= 2).count();
         assert!(low as f64 / tail.len() as f64 > 0.8);
@@ -230,7 +235,12 @@ mod tests {
         let mut ctl = MinstrelLite::new(GuardInterval::Long);
         let mut rng = SimRng::new(4);
         // Phase 1: bad channel.
-        drive(&mut ctl, &mut rng, 2000, |m| if m.0 == 0 { 0.9 } else { 0.05 });
+        drive(
+            &mut ctl,
+            &mut rng,
+            2000,
+            |m| if m.0 == 0 { 0.9 } else { 0.05 },
+        );
         let bad_best = ctl.best_rate();
         assert!(bad_best <= Mcs(1));
         // Phase 2: channel opens up; probing must climb back.
@@ -252,7 +262,12 @@ mod tests {
     fn reset_clears_memory() {
         let mut ctl = MinstrelLite::new(GuardInterval::Long);
         let mut rng = SimRng::new(6);
-        drive(&mut ctl, &mut rng, 1000, |m| if m.0 == 0 { 1.0 } else { 0.0 });
+        drive(
+            &mut ctl,
+            &mut rng,
+            1000,
+            |m| if m.0 == 0 { 1.0 } else { 0.0 },
+        );
         ctl.reset();
         // After reset, optimistic init ranks MCS7 best again.
         assert_eq!(ctl.best_rate(), Mcs(7));

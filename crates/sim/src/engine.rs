@@ -42,7 +42,11 @@ impl<'a, E> Ctx<'a, E> {
     /// are allowed and run after all earlier-scheduled events for this
     /// instant.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventKey {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at, event)
     }
 

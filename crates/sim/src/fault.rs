@@ -1,0 +1,399 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultSchedule`] is a declarative list of *when things break*: AP
+//! crash/reboot windows, backhaul impairment windows (extra packet loss,
+//! added latency, jitter inflation), controller-link partitions, and CSI
+//! report drop windows. The schedule is pure data — it never draws random
+//! numbers itself — so the same schedule replayed against the same seed
+//! reproduces the identical event sequence bit for bit.
+//!
+//! Random *generation* of schedules (for resilience sweeps) goes through
+//! [`FaultSchedule::random_outages`] with an explicit [`SimRng`], which
+//! callers derive via [`SimRng::fork`] so the fault draws never perturb
+//! the channel/traffic streams. An empty schedule answers every query
+//! with "healthy" without consuming any randomness, which keeps
+//! fault-capable builds bit-identical to fault-free ones.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One AP outage: the AP is dead in `[from, until)` and reboots (with all
+/// soft state lost) at `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApOutage {
+    /// Index of the AP that fails.
+    pub ap: usize,
+    /// Crash instant.
+    pub from: SimTime,
+    /// Reboot instant (exclusive end of the outage).
+    pub until: SimTime,
+}
+
+/// Backhaul impairment window: during `[from, until)` every backhaul
+/// message suffers `extra_loss_prob` additional loss, `extra_latency`
+/// added fixed delay, and exponential jitter with mean
+/// `extra_jitter_mean` on top of the healthy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackhaulFault {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Additional independent loss probability.
+    pub extra_loss_prob: f64,
+    /// Added fixed one-way latency.
+    pub extra_latency: SimDuration,
+    /// Mean of additional exponential jitter (zero = none).
+    pub extra_jitter_mean: SimDuration,
+}
+
+/// Controller-link partition: the AP's radio keeps running but nothing
+/// crosses the wire between it and the controller during `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The partitioned AP.
+    pub ap: usize,
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// CSI-report drop window: each CSI report is independently discarded with
+/// `drop_prob` during `[from, until)` (a flaky CSI extraction tool).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsiDropWindow {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-report drop probability.
+    pub drop_prob: f64,
+}
+
+/// The aggregate backhaul impairment in effect at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BackhaulImpairment {
+    /// Additional loss probability (windows compose independently).
+    pub extra_loss_prob: f64,
+    /// Added fixed latency (windows sum).
+    pub extra_latency: SimDuration,
+    /// Added exponential-jitter mean (windows sum).
+    pub extra_jitter_mean: SimDuration,
+}
+
+impl BackhaulImpairment {
+    /// Whether this impairment changes anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.extra_loss_prob <= 0.0
+            && self.extra_latency == SimDuration::ZERO
+            && self.extra_jitter_mean == SimDuration::ZERO
+    }
+}
+
+/// A crash or reboot edge, for priming simulator events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEdge {
+    /// AP `.0` crashes.
+    Crash(usize),
+    /// AP `.0` comes back up.
+    Reboot(usize),
+}
+
+/// The full fault plan for one run. Empty by default (= healthy run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// AP crash/reboot windows.
+    pub ap_outages: Vec<ApOutage>,
+    /// Backhaul impairment windows.
+    pub backhaul: Vec<BackhaulFault>,
+    /// Controller-link partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// CSI-report drop windows.
+    pub csi_drops: Vec<CsiDropWindow>,
+}
+
+impl FaultSchedule {
+    /// An empty (healthy) schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing is scheduled — the healthy fast path.
+    pub fn is_empty(&self) -> bool {
+        self.ap_outages.is_empty()
+            && self.backhaul.is_empty()
+            && self.partitions.is_empty()
+            && self.csi_drops.is_empty()
+    }
+
+    /// Adds an AP outage window (builder style).
+    pub fn with_ap_outage(mut self, ap: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "outage window must be non-empty");
+        self.ap_outages.push(ApOutage { ap, from, until });
+        self
+    }
+
+    /// Adds a backhaul impairment window (builder style).
+    pub fn with_backhaul_fault(mut self, fault: BackhaulFault) -> Self {
+        assert!(
+            fault.from < fault.until,
+            "backhaul window must be non-empty"
+        );
+        self.backhaul.push(fault);
+        self
+    }
+
+    /// Adds a controller-link partition window (builder style).
+    pub fn with_partition(mut self, ap: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "partition window must be non-empty");
+        self.partitions.push(PartitionWindow { ap, from, until });
+        self
+    }
+
+    /// Adds a CSI drop window (builder style).
+    pub fn with_csi_drops(mut self, from: SimTime, until: SimTime, drop_prob: f64) -> Self {
+        assert!(from < until, "csi window must be non-empty");
+        self.csi_drops.push(CsiDropWindow {
+            from,
+            until,
+            drop_prob,
+        });
+        self
+    }
+
+    /// Whether AP `ap` is dead at `t`.
+    pub fn ap_down(&self, ap: usize, t: SimTime) -> bool {
+        self.ap_outages
+            .iter()
+            .any(|o| o.ap == ap && o.from <= t && t < o.until)
+    }
+
+    /// Whether AP `ap` is cut off from the controller at `t` (either
+    /// explicitly partitioned or outright dead).
+    pub fn partitioned(&self, ap: usize, t: SimTime) -> bool {
+        self.ap_down(ap, t)
+            || self
+                .partitions
+                .iter()
+                .any(|p| p.ap == ap && p.from <= t && t < p.until)
+    }
+
+    /// The combined backhaul impairment at `t`. Loss probabilities compose
+    /// as independent drops; latency and jitter add.
+    pub fn backhaul_at(&self, t: SimTime) -> BackhaulImpairment {
+        let mut imp = BackhaulImpairment::default();
+        let mut keep = 1.0f64;
+        for f in &self.backhaul {
+            if f.from <= t && t < f.until {
+                keep *= 1.0 - f.extra_loss_prob.clamp(0.0, 1.0);
+                imp.extra_latency += f.extra_latency;
+                imp.extra_jitter_mean += f.extra_jitter_mean;
+            }
+        }
+        imp.extra_loss_prob = 1.0 - keep;
+        imp
+    }
+
+    /// CSI-report drop probability at `t` (independent windows compose).
+    pub fn csi_drop_prob(&self, t: SimTime) -> f64 {
+        let mut keep = 1.0f64;
+        for w in &self.csi_drops {
+            if w.from <= t && t < w.until {
+                keep *= 1.0 - w.drop_prob.clamp(0.0, 1.0);
+            }
+        }
+        1.0 - keep
+    }
+
+    /// All crash/reboot edges in time order, for scheduling simulator
+    /// events. Ties break crash-before-reboot, then by AP index, so event
+    /// priming is deterministic.
+    pub fn edges(&self) -> Vec<(SimTime, FaultEdge)> {
+        let mut edges: Vec<(SimTime, FaultEdge)> = Vec::new();
+        for o in &self.ap_outages {
+            edges.push((o.from, FaultEdge::Crash(o.ap)));
+            edges.push((o.until, FaultEdge::Reboot(o.ap)));
+        }
+        edges.sort_by_key(|&(t, e)| {
+            (
+                t,
+                match e {
+                    FaultEdge::Crash(ap) => (0, ap),
+                    FaultEdge::Reboot(ap) => (1, ap),
+                },
+            )
+        });
+        edges
+    }
+
+    /// Generates random AP outages with the given RNG: each AP
+    /// independently crashes at `rate_per_s` (Poisson, approximated per
+    /// candidate slot) over `[0, duration)`, staying down for a uniform
+    /// draw from `outage_len`. Callers should pass a forked stream
+    /// (`rng.fork("faults")`) so schedule generation never disturbs other
+    /// draws.
+    pub fn random_outages(
+        rng: &mut SimRng,
+        n_aps: usize,
+        duration: SimDuration,
+        rate_per_s: f64,
+        outage_len: std::ops::Range<SimDuration>,
+    ) -> Self {
+        let mut sched = FaultSchedule::new();
+        if rate_per_s <= 0.0 {
+            return sched;
+        }
+        for ap in 0..n_aps {
+            // Sample inter-crash gaps from Exp(rate); walk the timeline.
+            let mut t = 0.0f64;
+            let end = duration.as_secs_f64();
+            loop {
+                t += rng.exponential(1.0 / rate_per_s);
+                if t >= end {
+                    break;
+                }
+                let len = rng.range(outage_len.start.as_secs_f64()..outage_len.end.as_secs_f64());
+                let from = SimTime::ZERO + SimDuration::from_secs_f64(t);
+                let until = from + SimDuration::from_secs_f64(len);
+                sched.ap_outages.push(ApOutage { ap, from, until });
+                // Next crash can only happen after the reboot.
+                t += len;
+            }
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_schedule_is_healthy() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert!(!s.ap_down(0, t(100)));
+        assert!(!s.partitioned(3, t(100)));
+        assert!(s.backhaul_at(t(100)).is_noop());
+        assert_eq!(s.csi_drop_prob(t(100)), 0.0);
+        assert!(s.edges().is_empty());
+    }
+
+    #[test]
+    fn outage_window_half_open() {
+        let s = FaultSchedule::new().with_ap_outage(2, t(100), t(300));
+        assert!(!s.ap_down(2, t(99)));
+        assert!(s.ap_down(2, t(100)));
+        assert!(s.ap_down(2, t(299)));
+        assert!(!s.ap_down(2, t(300)));
+        assert!(!s.ap_down(1, t(150)));
+        // A dead AP is also partitioned.
+        assert!(s.partitioned(2, t(150)));
+    }
+
+    #[test]
+    fn edges_ordered_crash_before_reboot() {
+        let s = FaultSchedule::new()
+            .with_ap_outage(1, t(200), t(400))
+            .with_ap_outage(0, t(100), t(200));
+        let e = s.edges();
+        assert_eq!(
+            e,
+            vec![
+                (t(100), FaultEdge::Crash(0)),
+                (t(200), FaultEdge::Crash(1)),
+                (t(200), FaultEdge::Reboot(0)),
+                (t(400), FaultEdge::Reboot(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn backhaul_windows_compose() {
+        let s = FaultSchedule::new()
+            .with_backhaul_fault(BackhaulFault {
+                from: t(0),
+                until: t(1000),
+                extra_loss_prob: 0.5,
+                extra_latency: SimDuration::from_millis(1),
+                extra_jitter_mean: SimDuration::from_micros(200),
+            })
+            .with_backhaul_fault(BackhaulFault {
+                from: t(500),
+                until: t(1500),
+                extra_loss_prob: 0.5,
+                extra_latency: SimDuration::from_millis(2),
+                extra_jitter_mean: SimDuration::ZERO,
+            });
+        let early = s.backhaul_at(t(100));
+        assert!((early.extra_loss_prob - 0.5).abs() < 1e-12);
+        assert_eq!(early.extra_latency, SimDuration::from_millis(1));
+        let overlap = s.backhaul_at(t(700));
+        assert!((overlap.extra_loss_prob - 0.75).abs() < 1e-12);
+        assert_eq!(overlap.extra_latency, SimDuration::from_millis(3));
+        assert!(s.backhaul_at(t(2000)).is_noop());
+    }
+
+    #[test]
+    fn csi_drop_composes() {
+        let s = FaultSchedule::new()
+            .with_csi_drops(t(0), t(100), 0.2)
+            .with_csi_drops(t(50), t(100), 0.5);
+        assert!((s.csi_drop_prob(t(10)) - 0.2).abs() < 1e-12);
+        assert!((s.csi_drop_prob(t(60)) - 0.6).abs() < 1e-12);
+        assert_eq!(s.csi_drop_prob(t(100)), 0.0);
+    }
+
+    #[test]
+    fn partition_does_not_imply_down() {
+        let s = FaultSchedule::new().with_partition(4, t(10), t(20));
+        assert!(s.partitioned(4, t(15)));
+        assert!(!s.ap_down(4, t(15)));
+    }
+
+    #[test]
+    fn random_outages_deterministic_per_seed() {
+        let dur = SimDuration::from_secs(30);
+        let len = SimDuration::from_millis(500)..SimDuration::from_secs(2);
+        let a = FaultSchedule::random_outages(
+            &mut SimRng::new(7).fork("faults"),
+            4,
+            dur,
+            0.2,
+            len.clone(),
+        );
+        let b = FaultSchedule::random_outages(
+            &mut SimRng::new(7).fork("faults"),
+            4,
+            dur,
+            0.2,
+            len.clone(),
+        );
+        assert_eq!(a, b);
+        let c = FaultSchedule::random_outages(&mut SimRng::new(8).fork("faults"), 4, dur, 0.2, len);
+        assert_ne!(a, c);
+        // All windows well-formed and inside a sane horizon.
+        for o in &a.ap_outages {
+            assert!(o.from < o.until);
+            assert!(o.ap < 4);
+        }
+    }
+
+    #[test]
+    fn random_outages_zero_rate_is_empty() {
+        let mut rng = SimRng::new(1);
+        let s = FaultSchedule::random_outages(
+            &mut rng,
+            8,
+            SimDuration::from_secs(10),
+            0.0,
+            SimDuration::from_millis(100)..SimDuration::from_millis(200),
+        );
+        assert!(s.is_empty());
+    }
+}

@@ -31,12 +31,17 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Ctx, Simulator, World};
+pub use fault::{
+    ApOutage, BackhaulFault, BackhaulImpairment, CsiDropWindow, FaultEdge, FaultSchedule,
+    PartitionWindow,
+};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,10 +1,11 @@
 //! Deterministic random number generation for simulations.
 //!
 //! Every experiment run owns a [`SimRng`] seeded from the run configuration,
-//! so results are exactly reproducible. The wrapper also provides the
-//! distributions the PHY and protocol models need — normal, exponential,
-//! Rayleigh, and Rician — implemented directly (Box–Muller and friends) so
-//! the only external dependency is `rand` itself.
+//! so results are exactly reproducible. The generator is self-contained —
+//! xoshiro256** seeded via splitmix64, with the distributions the PHY and
+//! protocol models need (normal, exponential, Rayleigh, Rician) implemented
+//! directly (Box–Muller and friends) — so the simulation core has no
+//! external dependencies at all.
 //!
 //! Independent sub-streams (e.g. one per client–AP wireless link, one per
 //! processing-delay model) are derived with [`SimRng::fork`], which hashes a
@@ -13,23 +14,37 @@
 //! this is what keeps, say, AP 3's fading trace identical whether or not a
 //! second client is added to the experiment.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Deterministic RNG with the distribution helpers used across the WGTT
 /// model.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the seed into xoshiro state with splitmix64, the
+        // initialization the xoshiro authors recommend.
+        let mut state = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
             seed,
         }
     }
@@ -65,18 +80,58 @@ impl SimRng {
         self.fork(&format!("{label}#{index}"))
     }
 
-    /// Uniform sample from a range, e.g. `rng.range(0..16)`.
-    pub fn range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Next raw 32-bit value (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero. Rejection
+    /// sampling, so the distribution is exactly uniform.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform sample from a range, e.g. `rng.range(0..16)` or
+    /// `rng.range(0.0..1.5)`. Half-open and inclusive integer ranges and
+    /// half-open float ranges are supported.
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)` — 53 random mantissa bits.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -86,15 +141,15 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Standard normal sample via Box–Muller.
     pub fn standard_normal(&mut self) -> f64 {
         // Draw u1 in (0, 1] to avoid ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.unit();
+        let u2: f64 = self.unit();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -107,14 +162,14 @@ impl SimRng {
     /// Exponential sample with the given mean (`1/λ`).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.unit();
         -mean * u.ln()
     }
 
     /// Rayleigh-distributed amplitude with scale `sigma`
     /// (mean power = `2*sigma^2`).
     pub fn rayleigh(&mut self, sigma: f64) -> f64 {
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.unit();
         sigma * (-2.0 * u.ln()).sqrt()
     }
 
@@ -135,32 +190,62 @@ impl SimRng {
 
     /// A uniformly random phase in `[0, 2π)`.
     pub fn phase(&mut self) -> f64 {
-        self.inner.gen::<f64>() * 2.0 * std::f64::consts::PI
+        self.unit() * 2.0 * std::f64::consts::PI
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+/// Ranges [`SimRng::range`] can sample from. The stand-in for rand's
+/// `SampleRange`, scoped to the numeric types the simulation uses.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
 }
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
 
 #[cfg(test)]
 mod tests {
@@ -216,6 +301,21 @@ mod tests {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn range_bounds_hold() {
+        let mut r = SimRng::new(8);
+        for _ in 0..1000 {
+            let v = r.range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = r.range(0..=5);
+            assert!(w <= 5);
+            let f = r.range(-2.5f64..4.5);
+            assert!((-2.5..4.5).contains(&f));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(r.range(9u64..=9), 9);
     }
 
     #[test]

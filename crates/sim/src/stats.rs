@@ -230,7 +230,10 @@ impl BinnedSeries {
     /// Creates a series with the given bin width.
     pub fn new(bin: SimDuration) -> Self {
         assert!(bin > SimDuration::ZERO);
-        BinnedSeries { bin, bins: Vec::new() }
+        BinnedSeries {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     /// Adds `amount` to the bin containing time `t`.

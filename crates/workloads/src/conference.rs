@@ -133,7 +133,11 @@ mod tests {
     fn hangouts_sustains_higher_fps_at_same_rate() {
         let d = steady(900_000.0, 10.0);
         let s = per_second_fps(&d, &ConferenceConfig::skype(), SimDuration::from_secs(10));
-        let h = per_second_fps(&d, &ConferenceConfig::hangouts(), SimDuration::from_secs(10));
+        let h = per_second_fps(
+            &d,
+            &ConferenceConfig::hangouts(),
+            SimDuration::from_secs(10),
+        );
         let ms = wgtt_sim::stats::mean(&s[1..]);
         let mh = wgtt_sim::stats::mean(&h[1..]);
         assert!(mh > ms * 1.5, "skype {ms} vs hangouts {mh}");

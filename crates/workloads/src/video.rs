@@ -141,7 +141,7 @@ mod tests {
         let mut t = 0.0;
         let mut seq = 0;
         while t < window_s {
-            let in_gap = gap.map_or(false, |(a, b)| t >= a && t < b);
+            let in_gap = gap.is_some_and(|(a, b)| t >= a && t < b);
             if !in_gap {
                 out.push(DeliveryRecord {
                     at: SimTime::from_secs_f64(t),

@@ -53,7 +53,5 @@ fn main() {
         }
         println!("  AP{best}   {:>5.1} Mbit/s", cap / 1e6);
     }
-    println!(
-        "\nCells are metres wide and overlap at mid-SNR — the vehicular picocell regime."
-    );
+    println!("\nCells are metres wide and overlap at mid-SNR — the vehicular picocell regime.");
 }

@@ -17,8 +17,10 @@ fn main() {
     };
     let tcp = !matches!(args.get(3).map(String::as_str), Some("udp"));
 
-    let mut cfg = SystemConfig::default();
-    cfg.mode = mode;
+    let cfg = SystemConfig {
+        mode,
+        ..SystemConfig::default()
+    };
     let flows = if tcp {
         vec![FlowSpec::DownlinkTcp { limit: None }]
     } else {
@@ -54,6 +56,12 @@ fn main() {
             .map(|a| a.0.to_string())
             .unwrap_or_else(|| "-".into());
         let bar = "#".repeat((mbps / 1.2).round() as usize);
-        println!("  {:>5.1}s {:>2}  {:>5.1} {}", t.as_secs_f64(), ap, mbps, bar);
+        println!(
+            "  {:>5.1}s {:>2}  {:>5.1} {}",
+            t.as_secs_f64(),
+            ap,
+            mbps,
+            bar
+        );
     }
 }

@@ -1,0 +1,74 @@
+//! Crash the serving AP mid-drive and watch the controller recover.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection -- [mph] [crash_ap] [crash_s]
+//! cargo run --release --example fault_injection -- 15 4 3.0
+//! ```
+//!
+//! Runs the same seeded drive twice — once healthy, once with the chosen
+//! AP down for two seconds — and prints the failover latency plus the
+//! health-layer counters that certify the controller never wedged.
+
+use wgtt::core::{run, FlowSpec, Scenario, SystemConfig};
+use wgtt::sim::{FaultSchedule, SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mph: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15.0);
+    let crash_ap: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let crash_s: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+
+    let flows = vec![FlowSpec::DownlinkTcp { limit: None }];
+    let base = Scenario::single_drive(SystemConfig::default(), mph, flows, 7);
+    let duration = base.duration;
+
+    let healthy = run(base.clone());
+
+    let crash_at = SimTime::ZERO + SimDuration::from_secs_f64(crash_s);
+    let mut faulty = base;
+    faulty.faults = FaultSchedule::new().with_ap_outage(
+        crash_ap,
+        crash_at,
+        crash_at + SimDuration::from_secs(2),
+    );
+    let res = run(faulty);
+
+    let hm = &healthy.world.clients[0].metrics;
+    let m = &res.world.clients[0].metrics;
+    println!(
+        "Drive at {mph} mph, AP {crash_ap} down {:.1}–{:.1} s",
+        crash_s,
+        crash_s + 2.0
+    );
+    println!(
+        "  healthy: {:>6.2} Mbit/s, {} switches",
+        hm.mean_downlink_bps(duration) / 1e6,
+        hm.switch_count()
+    );
+    println!(
+        "  faulty:  {:>6.2} Mbit/s, {} switches",
+        m.mean_downlink_bps(duration) / 1e6,
+        m.switch_count()
+    );
+    let sys = &res.world.sys;
+    println!(
+        "  crashes {}  reboots {}  abandoned {}  emergency re-attaches {}  re-wedged {}",
+        sys.ap_crashes,
+        sys.ap_reboots,
+        sys.abandoned_switches,
+        sys.emergency_reattaches,
+        sys.re_wedged_switches
+    );
+    match m.failovers.as_slice() {
+        [] => println!("  no failover needed (AP {crash_ap} was not serving the client)"),
+        fs => {
+            for (at, latency) in fs {
+                println!(
+                    "  failover at {:.2} s: blackout {:.0} ms",
+                    at.as_secs_f64(),
+                    latency.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+}

@@ -81,6 +81,7 @@ fn main() {
             seed: 11,
             log_deliveries: false,
             flow_start: SimDuration::from_millis(1),
+            faults: wgtt_sim::FaultSchedule::default(),
         };
         let duration = scenario.duration;
         let result = run(scenario);

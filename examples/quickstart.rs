@@ -11,14 +11,12 @@ use wgtt::core::{run, FlowSpec, Mode, Scenario, SystemConfig};
 fn main() {
     let seed = 42;
     for mode in [Mode::Wgtt, Mode::Enhanced80211r] {
-        let mut cfg = SystemConfig::default();
-        cfg.mode = mode;
-        let scenario = Scenario::single_drive(
-            cfg,
-            15.0,
-            vec![FlowSpec::DownlinkTcp { limit: None }],
-            seed,
-        );
+        let cfg = SystemConfig {
+            mode,
+            ..SystemConfig::default()
+        };
+        let scenario =
+            Scenario::single_drive(cfg, 15.0, vec![FlowSpec::DownlinkTcp { limit: None }], seed);
         let duration = scenario.duration;
         let result = run(scenario);
         let m = &result.world.clients[0].metrics;

@@ -19,14 +19,12 @@ fn main() {
     println!("speed   system             rebuffer  stalls  playback-start");
     for mph in [5.0, 15.0, 25.0] {
         for mode in [Mode::Wgtt, Mode::Enhanced80211r] {
-            let mut cfg = SystemConfig::default();
-            cfg.mode = mode;
-            let mut scenario = Scenario::single_drive(
-                cfg,
-                mph,
-                vec![FlowSpec::DownlinkTcp { limit: None }],
-                9,
-            );
+            let cfg = SystemConfig {
+                mode,
+                ..SystemConfig::default()
+            };
+            let mut scenario =
+                Scenario::single_drive(cfg, mph, vec![FlowSpec::DownlinkTcp { limit: None }], 9);
             scenario.log_deliveries = true;
             let window = scenario.duration;
             let result = run(scenario);

@@ -5,8 +5,10 @@ use wgtt::core::{run, FlowSpec, Mode, Scenario, SystemConfig};
 use wgtt::workloads::video::{replay_video, VideoConfig};
 
 fn scenario(mode: Mode, mph: f64, flows: Vec<FlowSpec>, seed: u64) -> Scenario {
-    let mut cfg = SystemConfig::default();
-    cfg.mode = mode;
+    let cfg = SystemConfig {
+        mode,
+        ..SystemConfig::default()
+    };
     Scenario::single_drive(cfg, mph, flows, seed)
 }
 
@@ -121,15 +123,14 @@ fn runs_are_deterministic() {
         run(scenario(
             Mode::Wgtt,
             15.0,
-            vec![FlowSpec::DownlinkTcp { limit: Some(500_000) }],
+            vec![FlowSpec::DownlinkTcp {
+                limit: Some(500_000),
+            }],
             77,
         ))
     };
     let (a, b) = (mk(), mk());
     assert_eq!(a.events, b.events);
     assert_eq!(a.downlink_bps(0), b.downlink_bps(0));
-    assert_eq!(
-        a.world.flows[0].completed_at,
-        b.world.flows[0].completed_at
-    );
+    assert_eq!(a.world.flows[0].completed_at, b.world.flows[0].completed_at);
 }

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use wgtt::core::cyclic::{index_add, index_fwd_dist, CyclicQueue, IndexAllocator, INDEX_SPACE};
 use wgtt::core::dedup::Deduplicator;
 use wgtt::mac::blockack::{seq_add, seq_fwd_dist, BlockAckFrame, RxReorder, TxScoreboard};
-use wgtt::net::{ClientId, Direction, FlowId, PacketFactory, Payload, TcpConfig, TcpReceiver, TcpSender};
+use wgtt::net::{
+    ClientId, Direction, FlowId, PacketFactory, Payload, TcpConfig, TcpReceiver, TcpSender,
+};
 use wgtt::sim::stats::TimeWindow;
 use wgtt::sim::{EventQueue, SimDuration, SimTime};
 
@@ -242,7 +244,7 @@ proptest! {
             while let Some(s) = snd.next_segment(now) {
                 segs.push(s);
             }
-            now = now + SimDuration::from_millis(10);
+            now += SimDuration::from_millis(10);
             let mut last_ack = None;
             for s in segs {
                 let lost = loss.get(li % loss.len()).copied().unwrap_or(false);
@@ -251,7 +253,7 @@ proptest! {
                     last_ack = Some(rcv.on_data(s.seq, s.len));
                 }
             }
-            now = now + SimDuration::from_millis(10);
+            now += SimDuration::from_millis(10);
             if let Some(a) = last_ack {
                 snd.on_ack(now, a);
             }

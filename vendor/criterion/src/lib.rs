@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`, covering the API this workspace's
+//! benches call: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`/`finish`), `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up, then
+//! timed in batches until a small wall-clock budget is spent, and the
+//! median per-iteration time is printed. No statistics beyond that — the
+//! goal is usable numbers without crates.io access, not criterion parity.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing collector handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Times `f`, batching iterations adaptively until the budget is
+    /// spent. Mirrors criterion's `iter` contract: `f` is the unit of
+    /// work being measured.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow until one batch takes
+        // at least ~1 ms, so timer overhead is amortized away.
+        let mut batch = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline && self.samples.len() < 256 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch);
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.samples.sort();
+        Some(self.samples[self.samples.len() / 2])
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark registry/driver. `Default` gives the standard configuration.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        match b.median() {
+            Some(t) => println!("bench {name:<40} {}", format_duration(t)),
+            None => println!("bench {name:<40} (no samples)"),
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Grouped benchmarks, mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches by
+    /// wall-clock budget instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

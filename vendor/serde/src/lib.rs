@@ -1,0 +1,247 @@
+//! Offline stand-in for `serde`, scoped to what this workspace needs.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde` cannot be resolved. Every use of serde in this repository is
+//! "derive `Serialize`/`Deserialize`, then `serde_json::to_string_pretty`",
+//! so this crate provides exactly that: a [`Serialize`] trait that renders
+//! straight to compact JSON, a marker [`Deserialize`] trait, and derive
+//! macros re-exported from the companion `serde_derive` stand-in.
+//!
+//! The surface intentionally mirrors the real crate's spelling (`use
+//! serde::{Deserialize, Serialize}` plus `#[derive(...)]`) so swapping the
+//! genuine dependency back in is a two-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Types that can render themselves as compact JSON.
+///
+/// This is the stand-in for serde's `Serialize`; instead of a generic
+/// `Serializer` visitor it writes JSON directly, which is the only format
+/// the workspace emits.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+
+    /// Convenience: the compact JSON encoding as a fresh string.
+    fn to_json_string(&self) -> String {
+        let mut s = String::new();
+        self.serialize_json(&mut s);
+        s
+    }
+}
+
+/// Marker trait mirroring serde's `Deserialize`. Nothing in the workspace
+/// deserializes, so no methods are required; the derive emits nothing.
+pub trait Deserialize {}
+
+/// Escapes `s` per JSON string rules (quotes not included).
+pub fn escape_json_str(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{}` prints "1" for 1.0 — still a valid JSON number.
+                    out.push_str(&self.to_string());
+                } else {
+                    // JSON has no NaN/inf; null matches serde_json's default.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('"');
+        let mut buf = [0u8; 4];
+        escape_json_str(self.encode_utf8(&mut buf), out);
+        out.push('"');
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('"');
+        escape_json_str(self, out);
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_str().serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// String-keyed maps serialize as JSON objects. `HashMap` keys are sorted
+/// first so output is deterministic — this repo's experiments rely on
+/// byte-identical JSON across runs.
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.as_str().serialize_json(out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.as_str().serialize_json(out);
+            out.push(':');
+            self[*k].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(42u32.to_json_string(), "42");
+        assert_eq!((-7i64).to_json_string(), "-7");
+        assert_eq!(1.5f64.to_json_string(), "1.5");
+        assert_eq!(f64::NAN.to_json_string(), "null");
+        assert_eq!(true.to_json_string(), "true");
+        assert_eq!("a\"b".to_json_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u8, 2, 3].to_json_string(), "[1,2,3]");
+        assert_eq!(Some(5u8).to_json_string(), "5");
+        assert_eq!(Option::<u8>::None.to_json_string(), "null");
+        assert_eq!((1u8, "x").to_json_string(), "[1,\"x\"]");
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote`, which
+//! are unavailable without network access) and emits an implementation of
+//! the stand-in `serde::Serialize` trait, which renders compact JSON.
+//!
+//! Supported shapes — exactly the ones this workspace uses:
+//! - structs with named fields  → JSON objects
+//! - tuple structs with one field (newtypes) → the inner value
+//! - tuple structs with several fields → JSON arrays
+//! - enums whose variants are all unit variants → the variant name as a
+//!   JSON string
+//!
+//! `#[derive(Deserialize)]` emits nothing: the workspace never
+//! deserializes, and the stand-in `serde::Deserialize` trait is a marker.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// What the derive input turned out to be.
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitEnum { variants: Vec<String> },
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let (name, shape) = parse_item(input)?;
+    let mut body = String::new();
+    match shape {
+        Shape::NamedStruct { fields } => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+        }
+        Shape::TupleStruct { arity: 1 } => {
+            body.push_str("::serde::Serialize::serialize_json(&self.0, out);\n");
+        }
+        Shape::TupleStruct { arity } => {
+            body.push_str("out.push('[');\n");
+            for i in 0..arity {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');\n");
+        }
+        Shape::UnitEnum { variants } => {
+            body.push_str("let s = match self {\n");
+            for v in &variants {
+                body.push_str(&format!("{name}::{v} => \"\\\"{v}\\\"\",\n"));
+            }
+            body.push_str("};\nout.push_str(s);\n");
+        }
+    }
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}}}\n\
+         }}\n"
+    ))
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name <body>` and classifies it.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive(Serialize) stand-in: `{name}` is generic, which is unsupported"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok((
+                name,
+                Shape::NamedStruct {
+                    fields: parse_named_fields(g.stream())?,
+                },
+            )),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if arity == 0 {
+                    return Err(format!("`{name}` has no fields to serialize"));
+                }
+                Ok((name, Shape::TupleStruct { arity }))
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_unit_variants(&name, g.stream())?;
+                Ok((name, Shape::UnitEnum { variants }))
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("unsupported item kind `{other}`")),
+    }
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and a `pub`/`pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names from a named-struct body: `attrs vis name: Type, ...`.
+/// Commas inside `<...>` generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{field}`, got {other:?}")),
+        }
+        fields.push(field);
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body: comma-separated segments at
+/// angle-depth 0 that actually contain tokens (so a trailing comma does
+/// not count an extra field).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut seg_has_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if seg_has_tokens {
+                    fields += 1;
+                }
+                seg_has_tokens = false;
+            }
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+                seg_has_tokens = true;
+            }
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Variant names from an enum body; errors on data-carrying variants.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                for tt in iter.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(variant);
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "derive(Serialize) stand-in: variant `{enum_name}::{variant}` carries data, which is unsupported"
+                ));
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{variant}`: {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `serde_json`, scoped to what this workspace uses:
+//! `to_string` and `to_string_pretty` over the stand-in `serde::Serialize`
+//! trait (which renders compact JSON directly). Pretty-printing re-formats
+//! the compact encoding with two-space indentation, matching the layout of
+//! the real crate closely enough for the committed experiment artifacts to
+//! stay human-diffable.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error. The stand-in `Serialize` is infallible, so this is
+/// only here to keep call-site signatures (`Result<String, Error>`) intact.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding of `value`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty JSON encoding of `value`, two-space indented.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-formats compact JSON with newlines and two-space indentation.
+/// String-literal aware; empty containers stay on one line.
+fn prettify(compact: &str) -> String {
+    let bytes = compact.as_bytes();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut i = 0usize;
+
+    let push_indent = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { b'}' } else { b']' };
+                if i + 1 < bytes.len() && bytes[i + 1] == close {
+                    // Empty container: keep `{}` / `[]` inline.
+                    out.push(c);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                out.push(c);
+                indent += 1;
+                push_indent(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_shapes() {
+        let v = vec![1u8, 2];
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn pretty_handles_strings_with_structure_chars() {
+        let v = vec!["a{b".to_string(), "c,d".to_string()];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "[\n  \"a{b\",\n  \"c,d\"\n]");
+    }
+
+    #[test]
+    fn empty_containers_inline() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}
