@@ -14,6 +14,7 @@
 //! (`cargo bench -p wgtt-bench`).
 
 pub mod ablations;
+pub mod chaos;
 pub mod common;
 pub mod ext_multichannel;
 pub mod fig02;
@@ -62,5 +63,6 @@ pub fn all_experiments() -> Vec<(&'static str, ReportFn)> {
         ("ablations", ablations::report),
         ("ext_multichannel", ext_multichannel::report),
         ("resilience", resilience::report),
+        ("chaos", chaos::report),
     ]
 }

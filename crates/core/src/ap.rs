@@ -8,6 +8,7 @@
 //! serves all clients round-robin.
 
 use crate::cyclic::CyclicQueue;
+use crate::switching::ApSwitchGuard;
 use std::collections::{HashMap, HashSet, VecDeque};
 use wgtt_mac::blockack::TxScoreboard;
 use wgtt_mac::dcf::Backoff;
@@ -70,6 +71,10 @@ pub struct ApClientState {
     /// Monitor interface enabled (overhears the client even when not
     /// serving — WGTT's BA forwarding source).
     pub monitor: bool,
+    /// Switch-epoch admission guard: rejects stale `stop`/`start`
+    /// generations and suppresses duplicate `start` re-application.
+    /// Wiped with the rest of the soft state on a crash.
+    pub guard: ApSwitchGuard,
 }
 
 impl ApClientState {
@@ -87,16 +92,30 @@ impl ApClientState {
             last_csi_report: None,
             seen_bas: HashSet::new(),
             monitor: true,
+            guard: ApSwitchGuard::default(),
         }
     }
 
     /// Moves packets from the cyclic queue into the NIC queue up to its
     /// cap. Only meaningful while serving.
-    pub fn refill_nic(&mut self) {
+    ///
+    /// Returns the number of packets *discarded* instead of queued because
+    /// their sequence was already in the MAC pipeline (NIC queue or Block
+    /// ACK window): a duplicated backhaul delivery of an already-pulled
+    /// index rewinds the cyclic head (indistinguishable there from a late
+    /// first arrival), and re-queueing it would double-register the
+    /// sequence and retransmit a frame already in flight.
+    pub fn refill_nic(&mut self) -> u64 {
+        let mut dup_drops = 0;
         while self.nic_queue.len() < NIC_QUEUE_CAP {
             match self.cyclic.pop_head() {
                 Some(p) => {
                     let seq = p.index.expect("cyclic packets carry an index");
+                    if self.scoreboard.in_window(seq) || self.nic_queue.iter().any(|e| e.seq == seq)
+                    {
+                        dup_drops += 1;
+                        continue;
+                    }
                     self.nic_queue.push_back(NicEntry {
                         packet: p,
                         seq,
@@ -107,6 +126,7 @@ impl ApClientState {
                 None => break,
             }
         }
+        dup_drops
     }
 
     /// First unsent index — the `k` of `start(c, k)`. Packets in the NIC

@@ -11,7 +11,7 @@ use crate::cyclic::IndexAllocator;
 use crate::dedup::Deduplicator;
 use crate::health::{ApHealth, HealthConfig};
 use crate::selection::{ApSelector, SelectionConfig};
-use crate::switching::SwitchEngine;
+use crate::switching::{AckOutcome, SwitchEngine};
 use std::collections::HashMap;
 use wgtt_net::{ApId, ClientId};
 use wgtt_sim::SimTime;
@@ -60,6 +60,24 @@ impl ControllerState {
     pub fn on_csi(&mut self, now: SimTime, ap: ApId, client: ClientId, esnr_db: f64) {
         self.health.on_csi(ap, now);
         self.selector_mut(client).on_reading(ap, now, esnr_db);
+    }
+
+    /// Processes a switch `ack`: the engine validates source AP and epoch
+    /// before closing, and a genuine completion doubles as epoch-keyed
+    /// proof of life for the target AP (a stale straggler does not).
+    pub fn on_switch_ack(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        from_ap: ApId,
+        epoch: u32,
+    ) -> AckOutcome {
+        let out = self.engine.on_ack(now, client, from_ap, epoch);
+        if let AckOutcome::Completed(rec) = out {
+            self.serving.insert(client, rec.to);
+            self.health.on_ack_proof(rec.to, rec.epoch);
+        }
+        out
     }
 
     /// Assigns the next downlink index for a client.
@@ -134,6 +152,57 @@ mod tests {
         c.on_csi(t(10), ApId(1), client, 15.0);
         c.serving.insert(client, ApId(1));
         assert_eq!(c.fanout(t(11), client), vec![ApId(1)]);
+    }
+
+    #[test]
+    fn switch_ack_validates_and_updates_serving() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        c.serving.insert(client, ApId(0));
+        c.engine.issue(t(0), client, ApId(0), ApId(1));
+        // Stale epoch and wrong source leave serving untouched.
+        assert_eq!(
+            c.on_switch_ack(t(5), client, ApId(1), 0),
+            AckOutcome::StaleEpoch
+        );
+        assert_eq!(
+            c.on_switch_ack(t(6), client, ApId(2), 1),
+            AckOutcome::WrongSource
+        );
+        assert_eq!(c.serving(client), Some(ApId(0)));
+        // The genuine ack completes and flips serving.
+        assert!(matches!(
+            c.on_switch_ack(t(10), client, ApId(1), 1),
+            AckOutcome::Completed(_)
+        ));
+        assert_eq!(c.serving(client), Some(ApId(1)));
+    }
+
+    #[test]
+    fn completed_ack_is_epoch_keyed_proof_of_life() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        // Epoch 1 against ApId(1) was abandoned and blacklisted it.
+        c.engine.issue(t(0), client, ApId(0), ApId(1));
+        c.engine.abort(client);
+        c.health.on_abandon(ApId(1), t(0), 1);
+        assert!(c.health.is_blacklisted(ApId(1), t(10)));
+        // A stale epoch-1 ack straggling in cannot lift the blacklist: the
+        // engine has no pending switch, so it never reaches the health
+        // layer.
+        assert_eq!(
+            c.on_switch_ack(t(15), client, ApId(1), 1),
+            AckOutcome::NoPending
+        );
+        assert!(c.health.is_blacklisted(ApId(1), t(15)));
+        // Epoch 2 switch to the blacklisted AP completes → proof of life.
+        c.engine.issue(t(20), client, ApId(0), ApId(1));
+        assert_eq!(c.engine.current_epoch(client), 2);
+        assert!(matches!(
+            c.on_switch_ack(t(30), client, ApId(1), 2),
+            AckOutcome::Completed(_)
+        ));
+        assert!(!c.health.is_blacklisted(ApId(1), t(30)));
     }
 
     #[test]

@@ -176,6 +176,55 @@ mod tests {
     }
 
     #[test]
+    fn ident_wraparound_survives_full_cycle() {
+        // One client sends a full trip around the 16-bit ident space. With
+        // the default 16,384-entry capacity, every key from the previous
+        // lap has aged out by the time its ident is reused — the wrapped
+        // packet must pass, not be mistaken for a months-old duplicate.
+        let mut d = Deduplicator::default();
+        let c = ClientId(9);
+        for ident in 0..=u16::MAX {
+            assert!(d.check_key(Deduplicator::key(c, ident)));
+        }
+        // Ident 0 again (the wrap): first copy of a *new* packet.
+        assert!(d.check_key(Deduplicator::key(c, 0)));
+        // A duplicate inside the retention window still drops.
+        assert!(!d.check_key(Deduplicator::key(c, 0)));
+        // Retention is bounded by capacity regardless of stream length.
+        assert_eq!(d.len(), 16_384);
+    }
+
+    #[test]
+    fn key_non_collision_for_wide_client_ids() {
+        // Client ids wider than 16 bits must not alias a (client, ident)
+        // pair whose ident happens to carry the overflowing bits: the key
+        // shifts the full 32-bit client id clear of the 16-bit ident.
+        let a = Deduplicator::key(ClientId(0x0001_0000), 0x0000);
+        let b = Deduplicator::key(ClientId(0x0000_0001), 0x0000);
+        assert_ne!(a, b);
+        // The classic concatenation trap: 0xABCD|1234 vs 0xAB|CD12 would
+        // collide under a variable-width pack; the fixed 16-bit shift keeps
+        // them apart.
+        assert_ne!(
+            Deduplicator::key(ClientId(0xABCD), 0x1234),
+            Deduplicator::key(ClientId(0xAB), 0xCD12)
+        );
+        // Spot-exhaustive: distinct (client, ident) pairs spanning the
+        // 16-bit client boundary all produce distinct keys.
+        let clients = [0u32, 1, 0xFFFF, 0x1_0000, 0x1_0001, 0xDEAD_BEEF, u32::MAX];
+        let idents = [0u16, 1, 0x00FF, 0xFF00, u16::MAX];
+        let mut keys = std::collections::HashSet::new();
+        for &c in &clients {
+            for &i in &idents {
+                assert!(
+                    keys.insert(Deduplicator::key(ClientId(c), i)),
+                    "key collision for client {c:#x}, ident {i:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_state() {
         let d = Deduplicator::default();
         assert!(d.is_empty());

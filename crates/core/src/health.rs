@@ -59,6 +59,11 @@ pub struct ApHealth {
     /// Abandoned switches implicating each AP since its last proof of
     /// life.
     abandon_counts: HashMap<ApId, u32>,
+    /// Highest switch epoch implicated in an abandon per AP. An `ack` is
+    /// proof of life only if its epoch is *newer* — a late ack from the
+    /// abandoned (or an earlier) generation must not un-blacklist a dead
+    /// AP.
+    abandon_epochs: HashMap<ApId, u32>,
 }
 
 impl ApHealth {
@@ -69,6 +74,7 @@ impl ApHealth {
             last_csi: HashMap::new(),
             blacklisted_until: HashMap::new(),
             abandon_counts: HashMap::new(),
+            abandon_epochs: HashMap::new(),
         }
     }
 
@@ -99,10 +105,12 @@ impl ApHealth {
             .is_some_and(|&t| now.saturating_since(t) >= self.cfg.csi_staleness)
     }
 
-    /// Records that an abandoned switch implicated `ap`; blacklists it
-    /// once the tally reaches the threshold. Returns whether the AP is
-    /// blacklisted afterwards.
-    pub fn on_abandon(&mut self, ap: ApId, now: SimTime) -> bool {
+    /// Records that an abandoned switch of generation `epoch` implicated
+    /// `ap`; blacklists it once the tally reaches the threshold. Returns
+    /// whether the AP is blacklisted afterwards.
+    pub fn on_abandon(&mut self, ap: ApId, now: SimTime, epoch: u32) -> bool {
+        let e = self.abandon_epochs.entry(ap).or_insert(0);
+        *e = (*e).max(epoch);
         let count = self.abandon_counts.entry(ap).or_insert(0);
         *count += 1;
         if *count >= self.cfg.abandon_threshold {
@@ -112,6 +120,20 @@ impl ApHealth {
         } else {
             false
         }
+    }
+
+    /// Ingests a *validated* switch/re-attach completion from `ap` as
+    /// potential proof of life. Only an epoch strictly newer than the
+    /// newest abandon implicating the AP counts — a duplicated or
+    /// reordered ack from the generation that was abandoned (or earlier)
+    /// is no evidence the AP is back. Returns whether the blacklist entry
+    /// was lifted.
+    pub fn on_ack_proof(&mut self, ap: ApId, epoch: u32) -> bool {
+        if epoch <= self.abandon_epochs.get(&ap).copied().unwrap_or(0) {
+            return false;
+        }
+        self.abandon_counts.remove(&ap);
+        self.blacklisted_until.remove(&ap).is_some()
     }
 
     /// Whether `ap` is currently blacklisted.
@@ -163,7 +185,7 @@ mod tests {
     #[test]
     fn abandon_blacklists_until_cooldown() {
         let mut h = tracker();
-        assert!(h.on_abandon(ApId(3), t(100)));
+        assert!(h.on_abandon(ApId(3), t(100), 1));
         assert!(h.is_blacklisted(ApId(3), t(100)));
         assert!(h.is_blacklisted(ApId(3), t(1099)));
         assert!(!h.is_blacklisted(ApId(3), t(1100)));
@@ -174,7 +196,7 @@ mod tests {
     #[test]
     fn csi_is_proof_of_life() {
         let mut h = tracker();
-        h.on_abandon(ApId(2), t(100));
+        h.on_abandon(ApId(2), t(100), 1);
         assert!(h.is_blacklisted(ApId(2), t(200)));
         h.on_csi(ApId(2), t(300));
         assert!(!h.is_blacklisted(ApId(2), t(300)));
@@ -183,10 +205,13 @@ mod tests {
             abandon_threshold: 2,
             ..HealthConfig::default()
         });
-        strict.on_abandon(ApId(1), t(0));
+        strict.on_abandon(ApId(1), t(0), 1);
         strict.on_csi(ApId(1), t(10));
-        assert!(!strict.on_abandon(ApId(1), t(20)), "tally should restart");
-        assert!(strict.on_abandon(ApId(1), t(30)));
+        assert!(
+            !strict.on_abandon(ApId(1), t(20), 2),
+            "tally should restart"
+        );
+        assert!(strict.on_abandon(ApId(1), t(30), 3));
     }
 
     #[test]
@@ -195,8 +220,25 @@ mod tests {
             abandon_threshold: 3,
             ..HealthConfig::default()
         });
-        assert!(!h.on_abandon(ApId(5), t(10)));
-        assert!(!h.on_abandon(ApId(5), t(20)));
-        assert!(h.on_abandon(ApId(5), t(30)));
+        assert!(!h.on_abandon(ApId(5), t(10), 1));
+        assert!(!h.on_abandon(ApId(5), t(20), 2));
+        assert!(h.on_abandon(ApId(5), t(30), 3));
+    }
+
+    /// A late ack from the abandoned epoch (duplicated or reordered on
+    /// the wire) must not lift the blacklist; only a strictly newer
+    /// generation's completion counts as proof of life.
+    #[test]
+    fn stale_epoch_ack_cannot_unblacklist() {
+        let mut h = tracker();
+        assert!(h.on_abandon(ApId(4), t(100), 7));
+        assert!(h.is_blacklisted(ApId(4), t(200)));
+        assert!(!h.on_ack_proof(ApId(4), 7), "abandoned epoch is stale");
+        assert!(!h.on_ack_proof(ApId(4), 3), "older epoch is stale");
+        assert!(h.is_blacklisted(ApId(4), t(200)));
+        assert!(h.on_ack_proof(ApId(4), 8), "newer epoch is proof of life");
+        assert!(!h.is_blacklisted(ApId(4), t(200)));
+        // With the blacklist clear, another stale ack is still a no-op.
+        assert!(!h.on_ack_proof(ApId(4), 5));
     }
 }

@@ -41,6 +41,7 @@ pub mod cyclic;
 pub mod dedup;
 pub mod health;
 pub mod metrics;
+pub mod protocol_check;
 pub mod runner;
 pub mod selection;
 pub mod switching;

@@ -243,6 +243,28 @@ pub struct SystemMetrics {
     /// Switch decisions refused because the target was blacklisted — each
     /// one is a wedge-loop iteration the health layer prevented.
     pub re_wedged_switches: u64,
+    /// Control messages dropped because they carried an epoch older than
+    /// the receiver had already seen — stragglers from superseded switches
+    /// that would have mis-stopped, mis-started, or mis-completed.
+    pub stale_control_dropped: u64,
+    /// Control messages recognized as duplicates of an already-applied
+    /// exchange (same epoch): re-acked or ignored without re-mutating
+    /// queue state.
+    pub dup_control_dropped: u64,
+    /// Switch completions whose target AP turned out not to have applied
+    /// that generation's `start` — an actually-applied misattribution
+    /// (the ABA the epoch guard exists to prevent). A consistency
+    /// tripwire: must stay zero under any duplication/reordering rate.
+    pub mis_switches: u64,
+    /// Backhaul frames the duplication fault delivered twice.
+    pub backhaul_dup_deliveries: u64,
+    /// Duplicate data deliveries discarded at the NIC refill boundary
+    /// because the frame's sequence was still in the AP's MAC pipeline
+    /// (NIC queue or Block ACK window) — queueing it would double-register
+    /// the sequence and retransmit a frame already in flight.
+    pub dup_data_dropped: u64,
+    /// Backhaul frames the reordering fault held back.
+    pub backhaul_reorders: u64,
 }
 
 #[cfg(test)]

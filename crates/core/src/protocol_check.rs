@@ -1,0 +1,612 @@
+//! Small-scope exhaustive interleaving checker for the switch control
+//! plane.
+//!
+//! The three-step switch protocol (§3.1.2) runs over a backhaul that may
+//! lose, delay, duplicate, or reorder control frames. The simulator only
+//! ever samples one interleaving per seed; this module instead *enumerates*
+//! every delivery schedule of one or two overlapping switches within small
+//! budgets (bounded duplications, drops, and retransmission timeouts) and
+//! checks safety invariants on each one — the "small scope hypothesis"
+//! style of checking: protocol bugs of this shape show up in tiny
+//! configurations if they exist at all.
+//!
+//! The checker drives the *production* control-plane state machines — the
+//! real [`SwitchEngine`] and the real [`ApSwitchGuard`] — not a
+//! re-implementation, so what it certifies is the code the simulator runs.
+//! A [`CheckerConfig::epoch_guard`]`= false` mode bypasses the guards and
+//! forges the pre-epoch controller behaviour (complete the pending switch
+//! on *any* ack), replicating the engine as it existed before epochs; the
+//! test suite uses it to demonstrate the checker actually catches the
+//! stale-`start`/foreign-`ack` ABA family this PR fixes.
+//!
+//! Invariants checked on every transition / terminal state:
+//!
+//! * **At most one AP serving** the client at any instant.
+//! * **Queue heads only move forward across generations** — a `start`
+//!   from a superseded switch epoch never repositions a queue head after
+//!   a newer generation has been applied ([`ViolationKind::StaleHeadWrite`]).
+//! * **An epoch-N ack never completes epoch-M** — every completion's
+//!   target AP must actually have applied that generation's `start`
+//!   ([`ViolationKind::ForeignAck`]).
+//! * **No silent wedges** — every abandoned switch surfaces an
+//!   [`crate::switching::AbandonRecord`]; a quiescent run that completed
+//!   all its switches ends with exactly the last target serving at the
+//!   handoff index ([`ViolationKind::TerminalMismatch`]).
+
+use crate::switching::{
+    AckOutcome, ApSwitchGuard, StartVerdict, StopVerdict, SwitchEngine, SwitchMsg,
+};
+use wgtt_net::{ApId, ClientId};
+use wgtt_sim::{SimDuration, SimTime};
+
+/// The single client every scenario switches. The value is arbitrary but
+/// deliberately non-zero so index/id mix-ups would surface.
+const CLIENT: ClientId = ClientId(7);
+
+/// Deterministic ground-truth handoff index for a switch generation —
+/// stands in for "where the old AP's queue head happened to be". Distinct
+/// per epoch so a stale generation's `k` is distinguishable.
+fn k_of(epoch: u32) -> u16 {
+    (epoch as u16) * 10
+}
+
+/// A checker scenario: which switches run, over how hostile a network.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Number of APs in the scenario.
+    pub n_aps: usize,
+    /// The switch sequence as `(from, to)` AP indices. The first is issued
+    /// immediately; each subsequent one is issued the moment the previous
+    /// resolves (completes or is abandoned), so its control frames overlap
+    /// the predecessor's stragglers.
+    pub switches: Vec<(usize, usize)>,
+    /// APs that silently eat every control frame addressed to them
+    /// (crashed: reachable only in the sense that the wire accepts the
+    /// frame). Drives the abandon/no-wedge paths.
+    pub dead_aps: Vec<usize>,
+    /// Budget of network-duplicated deliveries per schedule.
+    pub max_dups: u32,
+    /// Budget of dropped frames per schedule.
+    pub max_drops: u32,
+    /// Budget of retransmission-timer firings per schedule. Eleven are
+    /// needed to walk a switch through the full retry ladder to abandon.
+    pub max_timeouts: u32,
+    /// `true` runs the shipped engine (epoch-validated acks, AP-side
+    /// guards). `false` replicates the pre-epoch engine: guards bypassed,
+    /// any ack completes the pending switch.
+    pub epoch_guard: bool,
+    /// Hard cap on explored schedules (the DFS stops cleanly there).
+    pub max_schedules: u64,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            n_aps: 3,
+            switches: vec![(0, 1), (1, 2)],
+            dead_aps: Vec::new(),
+            max_dups: 1,
+            max_drops: 1,
+            max_timeouts: 1,
+            epoch_guard: true,
+            max_schedules: 1_000_000,
+        }
+    }
+}
+
+/// What a schedule did at one step. Traces are attached to violations so
+/// a failure is replayable by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Deliver (and consume) the in-flight frame at this net index.
+    Deliver(usize),
+    /// Deliver a duplicate copy, leaving the original in flight.
+    Duplicate(usize),
+    /// Drop the in-flight frame at this net index.
+    Drop(usize),
+    /// Fire the controller's retransmission timer.
+    Timeout,
+}
+
+/// An invariant the protocol broke on some schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two APs believed they were serving the client at once.
+    DualServing,
+    /// A superseded generation's `start` repositioned a queue head after
+    /// a newer generation had already been applied.
+    StaleHeadWrite,
+    /// A switch completed whose target AP never applied that generation's
+    /// `start` — the controller was lied to about who is serving.
+    ForeignAck,
+    /// An abandoned switch failed to surface an abandon record, or a
+    /// quiescent state still had a switch in flight with timer budget
+    /// left.
+    Wedge,
+    /// A run that completed every switch ended with the wrong AP serving
+    /// or the wrong queue head installed.
+    TerminalMismatch,
+}
+
+/// One invariant violation, with the schedule that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The exact schedule prefix that reached the violation.
+    pub trace: Vec<Choice>,
+}
+
+/// Aggregate result of exploring a scenario.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Distinct delivery schedules explored (each DFS path is one).
+    pub schedules: u64,
+    /// Total invariant violations found.
+    pub violation_count: u64,
+    /// The first violations found (traces kept for the first
+    /// [`MAX_KEPT_VIOLATIONS`]; the rest only counted).
+    pub violations: Vec<Violation>,
+    /// Switch completions summed over all schedules.
+    pub completions: u64,
+    /// Switch abandonments summed over all schedules.
+    pub abandons: u64,
+    /// Control frames the epoch guards rejected as stale, summed.
+    pub stale_drops: u64,
+    /// Duplicate `start`s answered with a bare re-ack, summed.
+    pub dup_reacks: u64,
+    /// Schedules cut short by budget exhaustion with a switch still in
+    /// flight (bounded exploration, not a protocol wedge).
+    pub incomplete: u64,
+    /// Whether the `max_schedules` cap stopped the exploration early.
+    pub truncated: bool,
+}
+
+/// An in-flight control frame.
+#[derive(Debug, Clone, Copy)]
+enum NetMsg {
+    /// Controller → old AP.
+    Stop { ap: usize, to_ap: usize, epoch: u32 },
+    /// Old AP → new AP.
+    Start { ap: usize, k: u16, epoch: u32 },
+    /// New AP → controller.
+    Ack { from_ap: usize, epoch: u32 },
+}
+
+/// Model of one AP's per-client soft state.
+#[derive(Debug, Clone)]
+struct ModelAp {
+    serving: bool,
+    head: Option<u16>,
+    guard: ApSwitchGuard,
+    /// Epochs whose `start` this AP actually applied — the ground truth
+    /// completions are checked against.
+    applied: Vec<u32>,
+}
+
+/// One node of the schedule tree.
+#[derive(Debug, Clone)]
+struct State {
+    engine: SwitchEngine,
+    aps: Vec<ModelAp>,
+    net: Vec<NetMsg>,
+    now: SimTime,
+    dups_left: u32,
+    drops_left: u32,
+    timeouts_left: u32,
+    /// Next entry of `cfg.switches` to issue.
+    next_switch: usize,
+    /// Newest epoch whose `start` has been applied anywhere.
+    max_applied_epoch: u32,
+    completions: u64,
+    abandons: u64,
+    stale_drops: u64,
+    dup_reacks: u64,
+    trace: Vec<Choice>,
+}
+
+impl State {
+    fn initial(cfg: &CheckerConfig) -> State {
+        let mut st = State {
+            engine: SwitchEngine::new(),
+            aps: (0..cfg.n_aps)
+                .map(|_| ModelAp {
+                    serving: false,
+                    head: None,
+                    guard: ApSwitchGuard::default(),
+                    applied: Vec::new(),
+                })
+                .collect(),
+            net: Vec::new(),
+            now: SimTime::ZERO,
+            dups_left: cfg.max_dups,
+            drops_left: cfg.max_drops,
+            timeouts_left: cfg.max_timeouts,
+            next_switch: 0,
+            max_applied_epoch: 0,
+            completions: 0,
+            abandons: 0,
+            stale_drops: 0,
+            dup_reacks: 0,
+            trace: Vec::new(),
+        };
+        if let Some(&(from, _)) = cfg.switches.first() {
+            st.aps[from].serving = true;
+            st.aps[from].head = Some(0);
+        }
+        st.issue_next(cfg);
+        st
+    }
+
+    /// Issues the next configured switch, if any remain.
+    fn issue_next(&mut self, cfg: &CheckerConfig) {
+        let Some(&(from, to)) = cfg.switches.get(self.next_switch) else {
+            return;
+        };
+        self.next_switch += 1;
+        if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
+            self.engine
+                .issue(self.now, CLIENT, ApId(from as u32), ApId(to as u32))
+        {
+            self.send(
+                cfg,
+                NetMsg::Stop {
+                    ap: from,
+                    to_ap: to_ap.0 as usize,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Puts a frame on the wire. A frame addressed to a dead AP is eaten
+    /// silently (the simulator's `ap_reachable` check) — it never becomes
+    /// a schedule choice, which keeps the abandon scenarios' trees small.
+    fn send(&mut self, cfg: &CheckerConfig, m: NetMsg) {
+        let dest_dead = match m {
+            NetMsg::Stop { ap, .. } | NetMsg::Start { ap, .. } => cfg.dead_aps.contains(&ap),
+            NetMsg::Ack { .. } => false, // the controller is never dead here
+        };
+        if !dest_dead {
+            self.net.push(m);
+        }
+    }
+
+    /// All schedule choices available from this state, in a fixed order
+    /// (the enumeration is deterministic).
+    fn choices(&self) -> Vec<Choice> {
+        let mut v = Vec::new();
+        for i in 0..self.net.len() {
+            v.push(Choice::Deliver(i));
+            if self.dups_left > 0 {
+                v.push(Choice::Duplicate(i));
+            }
+            if self.drops_left > 0 {
+                v.push(Choice::Drop(i));
+            }
+        }
+        if self.timeouts_left > 0 && self.engine.in_flight(CLIENT) {
+            v.push(Choice::Timeout);
+        }
+        v
+    }
+
+    /// Applies one choice, checking transition invariants.
+    fn apply(&mut self, cfg: &CheckerConfig, choice: Choice) -> Result<(), ViolationKind> {
+        self.trace.push(choice);
+        self.now += SimDuration::from_millis(1);
+        match choice {
+            Choice::Deliver(i) => {
+                let m = self.net.remove(i);
+                self.process(cfg, m)?;
+            }
+            Choice::Duplicate(i) => {
+                self.dups_left -= 1;
+                let m = self.net[i];
+                self.process(cfg, m)?;
+            }
+            Choice::Drop(i) => {
+                self.drops_left -= 1;
+                self.net.remove(i);
+            }
+            Choice::Timeout => {
+                self.timeouts_left -= 1;
+                let p = *self
+                    .engine
+                    .pending(CLIENT)
+                    .expect("timeout requires in-flight");
+                let fire_at = p.sent_at + self.engine.timeout();
+                if fire_at > self.now {
+                    self.now = fire_at;
+                }
+                match self.engine.on_timeout(self.now, CLIENT) {
+                    Some(SwitchMsg::Stop { to_ap, epoch, .. }) => {
+                        let from = self
+                            .engine
+                            .pending(CLIENT)
+                            .map(|p| p.from.0 as usize)
+                            .expect("retransmission keeps the switch pending");
+                        self.send(
+                            cfg,
+                            NetMsg::Stop {
+                                ap: from,
+                                to_ap: to_ap.0 as usize,
+                                epoch,
+                            },
+                        );
+                    }
+                    Some(_) => unreachable!("timeouts only retransmit stops"),
+                    None => {
+                        // Retry ladder exhausted: the abandon must surface.
+                        if self.engine.next_unprocessed_abandon().is_none() {
+                            return Err(ViolationKind::Wedge);
+                        }
+                        self.abandons += 1;
+                        self.issue_next(cfg);
+                    }
+                }
+            }
+        }
+        if self.aps.iter().filter(|a| a.serving).count() > 1 {
+            return Err(ViolationKind::DualServing);
+        }
+        Ok(())
+    }
+
+    /// Processes a delivered frame through the production state machines.
+    fn process(&mut self, cfg: &CheckerConfig, m: NetMsg) -> Result<(), ViolationKind> {
+        match m {
+            NetMsg::Stop { ap, to_ap, epoch } => {
+                let verdict = if cfg.epoch_guard {
+                    self.aps[ap].guard.on_stop(epoch)
+                } else {
+                    StopVerdict::Process
+                };
+                match verdict {
+                    StopVerdict::Stale => self.stale_drops += 1,
+                    StopVerdict::Process => {
+                        self.aps[ap].serving = false;
+                        self.send(
+                            cfg,
+                            NetMsg::Start {
+                                ap: to_ap,
+                                k: k_of(epoch),
+                                epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            NetMsg::Start { ap, k, epoch } => {
+                let verdict = if cfg.epoch_guard {
+                    self.aps[ap].guard.on_start(epoch)
+                } else {
+                    StartVerdict::Apply
+                };
+                match verdict {
+                    StartVerdict::Stale => self.stale_drops += 1,
+                    StartVerdict::DupReAck => {
+                        self.dup_reacks += 1;
+                        self.send(cfg, NetMsg::Ack { from_ap: ap, epoch });
+                    }
+                    StartVerdict::Apply => {
+                        if epoch < self.max_applied_epoch {
+                            return Err(ViolationKind::StaleHeadWrite);
+                        }
+                        self.max_applied_epoch = epoch;
+                        self.aps[ap].head = Some(k);
+                        self.aps[ap].serving = true;
+                        self.aps[ap].applied.push(epoch);
+                        self.send(cfg, NetMsg::Ack { from_ap: ap, epoch });
+                    }
+                }
+            }
+            NetMsg::Ack { from_ap, epoch } => {
+                let outcome = if cfg.epoch_guard {
+                    self.engine
+                        .on_ack(self.now, CLIENT, ApId(from_ap as u32), epoch)
+                } else if let Some(p) = self.engine.pending(CLIENT).copied() {
+                    // Pre-epoch shim: the controller trusted *any* ack to
+                    // complete the switch it had pending.
+                    self.engine.on_ack(self.now, CLIENT, p.to, p.epoch)
+                } else {
+                    AckOutcome::NoPending
+                };
+                match outcome {
+                    AckOutcome::Completed(rec) => {
+                        if !self.aps[rec.to.0 as usize].applied.contains(&rec.epoch) {
+                            return Err(ViolationKind::ForeignAck);
+                        }
+                        self.completions += 1;
+                        self.issue_next(cfg);
+                    }
+                    AckOutcome::NoPending => {}
+                    AckOutcome::StaleEpoch | AckOutcome::WrongSource => {
+                        self.stale_drops += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks quiescent-state invariants once no choices remain.
+    fn check_terminal(&self, cfg: &CheckerConfig) -> Result<(), ViolationKind> {
+        if self.engine.in_flight(CLIENT) {
+            // Only reachable with the timer budget exhausted (otherwise
+            // `Timeout` was still a choice); bounded exploration, not a
+            // wedge — the caller counts it as incomplete.
+            return Ok(());
+        }
+        if self.completions == cfg.switches.len() as u64 {
+            // Everything completed and every straggler drained: exactly
+            // the last switch's target serves, at that generation's
+            // handoff index.
+            let last_epoch = cfg.switches.len() as u32;
+            let (_, to) = cfg.switches[cfg.switches.len() - 1];
+            for (i, ap) in self.aps.iter().enumerate() {
+                if ap.serving != (i == to) {
+                    return Err(ViolationKind::TerminalMismatch);
+                }
+            }
+            if self.aps[to].head != Some(k_of(last_epoch)) {
+                return Err(ViolationKind::TerminalMismatch);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Violation traces kept verbatim in the report; beyond this only
+/// [`CheckReport::violation_count`] grows (a buggy engine violates on a
+/// huge fraction of schedules — keeping every trace would dominate
+/// memory).
+pub const MAX_KEPT_VIOLATIONS: usize = 64;
+
+/// Exhaustively explores every delivery schedule of `cfg`'s scenario
+/// within its budgets, checking the control-plane invariants on each.
+pub fn check(cfg: &CheckerConfig) -> CheckReport {
+    let mut report = CheckReport::default();
+    let root = State::initial(cfg);
+    explore(cfg, root, &mut report);
+    report
+}
+
+fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
+    if report.schedules >= cfg.max_schedules {
+        report.truncated = true;
+        return;
+    }
+    let choices = st.choices();
+    if choices.is_empty() {
+        report.schedules += 1;
+        report.completions += st.completions;
+        report.abandons += st.abandons;
+        report.stale_drops += st.stale_drops;
+        report.dup_reacks += st.dup_reacks;
+        if st.engine.in_flight(CLIENT) {
+            report.incomplete += 1;
+        }
+        if let Err(kind) = st.check_terminal(cfg) {
+            record_violation(report, kind, &st.trace);
+        }
+        return;
+    }
+    for choice in choices {
+        if report.schedules >= cfg.max_schedules {
+            report.truncated = true;
+            return;
+        }
+        let mut next = st.clone();
+        match next.apply(cfg, choice) {
+            Ok(()) => explore(cfg, next, report),
+            Err(kind) => {
+                // A violated schedule still counts as explored; the
+                // branch below it is not continued.
+                report.schedules += 1;
+                record_violation(report, kind, &next.trace);
+            }
+        }
+    }
+}
+
+fn record_violation(report: &mut CheckReport, kind: ViolationKind, trace: &[Choice]) {
+    report.violation_count += 1;
+    if report.violations.len() < MAX_KEPT_VIOLATIONS {
+        report.violations.push(Violation {
+            kind,
+            trace: trace.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A lossless, duplicate-free single switch has exactly one schedule
+    /// per message ordering and always lands cleanly.
+    #[test]
+    fn clean_single_switch_completes() {
+        let cfg = CheckerConfig {
+            switches: vec![(0, 1)],
+            max_dups: 0,
+            max_drops: 0,
+            max_timeouts: 0,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert_eq!(report.schedules, 1, "stop→start→ack is fully sequential");
+        assert!(report.violations.is_empty());
+        assert_eq!(report.completions, 1);
+        assert_eq!(report.incomplete, 0);
+    }
+
+    /// The epoch-guarded engine survives duplication + drops + timer
+    /// retransmissions across two overlapping switches: the full schedule
+    /// space (hundreds of thousands of interleavings) is violation-free
+    /// and both guard branches fire along the way.
+    #[test]
+    fn epoch_mode_clean_under_default_hostility() {
+        let report = check(&CheckerConfig::default());
+        assert!(
+            report.violations.is_empty(),
+            "epoch mode must be violation-free, got {:?}",
+            report.violations.first()
+        );
+        assert!(!report.truncated, "the space must be covered exhaustively");
+        assert!(report.schedules > 10_000);
+        assert!(report.completions > 0);
+        assert!(report.stale_drops > 0, "stale guard never fired");
+        assert!(report.dup_reacks > 0, "duplicate-start guard never fired");
+    }
+
+    /// With the guards bypassed (the pre-epoch engine), the same scenario
+    /// space contains ABA schedules the checker must find — all three
+    /// failure families.
+    #[test]
+    fn legacy_mode_is_caught() {
+        let cfg = CheckerConfig {
+            epoch_guard: false,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report.violation_count > 0,
+            "the checker failed to catch the pre-epoch ABA bug"
+        );
+        for kind in [
+            ViolationKind::ForeignAck,
+            ViolationKind::DualServing,
+            ViolationKind::StaleHeadWrite,
+        ] {
+            assert!(
+                report.violations.iter().any(|v| v.kind == kind),
+                "expected a {kind:?} violation among {:?}",
+                report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// A switch whose old AP is dead walks the full retry ladder and
+    /// surfaces an abandon — never a silent wedge. With every frame to
+    /// the corpse eaten on the wire the schedule is forced: eleven timer
+    /// firings, one abandon record.
+    #[test]
+    fn dead_ap_abandons_surface() {
+        let cfg = CheckerConfig {
+            switches: vec![(0, 1)],
+            dead_aps: vec![0],
+            max_dups: 0,
+            max_drops: 0,
+            max_timeouts: SwitchEngine::MAX_RETRIES + 1,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.incomplete, 0, "every schedule must resolve");
+        assert_eq!(report.abandons, 1);
+        assert_eq!(report.completions, 0);
+    }
+}

@@ -25,6 +25,14 @@ use wgtt_net::{ApId, ClientId};
 use wgtt_sim::{SimDuration, SimRng, SimTime};
 
 /// Control-plane messages of the switching protocol.
+///
+/// Every message carries the switch **epoch** — a per-client monotonically
+/// increasing generation number the controller allocates when it issues
+/// the switch. The network may lose, delay, duplicate, or reorder control
+/// frames; without the epoch, a retransmitted `stop` or a late
+/// `start`/`ack` from switch N is indistinguishable from switch N+1's
+/// (the classic ABA hazard), and the receiver would reposition the wrong
+/// AP's queue head or complete a switch that never ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchMsg {
     /// Controller → old AP: cease transmitting to the client; hand over to
@@ -34,6 +42,8 @@ pub enum SwitchMsg {
         client: ClientId,
         /// The AP taking over.
         to_ap: ApId,
+        /// Switch generation this `stop` belongs to.
+        epoch: u32,
     },
     /// Old AP → new AP: begin at cyclic-queue index `k`.
     Start {
@@ -41,11 +51,18 @@ pub enum SwitchMsg {
         client: ClientId,
         /// First unsent index at the old AP.
         k: u16,
+        /// Switch generation this `start` belongs to.
+        epoch: u32,
     },
     /// New AP → controller: switch complete.
     Ack {
         /// Client whose switch completed.
         client: ClientId,
+        /// The AP that processed the `start` — the controller validates it
+        /// against the pending switch's target before closing.
+        from_ap: ApId,
+        /// Switch generation this `ack` belongs to.
+        epoch: u32,
     },
 }
 
@@ -113,6 +130,8 @@ pub struct PendingSwitch {
     pub sent_at: SimTime,
     /// Number of `stop` retransmissions so far.
     pub retries: u32,
+    /// This switch's generation number.
+    pub epoch: u32,
 }
 
 /// Completed-switch record (for metrics and Table 1).
@@ -130,6 +149,8 @@ pub struct SwitchRecord {
     pub completed_at: SimTime,
     /// `stop` retransmissions needed.
     pub retries: u32,
+    /// This switch's generation number.
+    pub epoch: u32,
 }
 
 impl SwitchRecord {
@@ -156,13 +177,40 @@ pub struct AbandonRecord {
     pub abandoned_at: SimTime,
     /// `stop` retransmissions spent before giving up.
     pub retries: u32,
+    /// The abandoned switch's generation number — the health layer keys
+    /// its blacklist on this so a late `ack` from an earlier epoch can't
+    /// pass for proof of life.
+    pub epoch: u32,
+}
+
+/// The controller's verdict on an incoming `ack`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AckOutcome {
+    /// The `ack` matched the pending switch's target and epoch; the switch
+    /// is closed and recorded.
+    Completed(SwitchRecord),
+    /// No switch is in flight for this client — a duplicate of an already
+    /// completed exchange (or an emergency re-attach ack, which the caller
+    /// validates separately).
+    NoPending,
+    /// A switch is in flight but the `ack` carries a different epoch — a
+    /// late straggler from an earlier switch. Accepting it would complete
+    /// a switch that never ran.
+    StaleEpoch,
+    /// Right epoch, wrong source: the `ack` did not come from the AP this
+    /// switch is handing over to.
+    WrongSource,
 }
 
 /// Controller-side switch protocol engine.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SwitchEngine {
     pending: HashMap<ClientId, PendingSwitch>,
     issued_at: HashMap<ClientId, SimTime>,
+    /// Last epoch allocated per client (0 = none yet; real epochs start
+    /// at 1). Monotonic for the life of the engine — `abort` never rolls
+    /// it back, so an abandoned epoch can never be reused.
+    epochs: HashMap<ClientId, u32>,
     history: Vec<SwitchRecord>,
     /// Every abandoned switch, in order.
     abandon_log: Vec<AbandonRecord>,
@@ -179,11 +227,27 @@ impl SwitchEngine {
         SwitchEngine {
             pending: HashMap::new(),
             issued_at: HashMap::new(),
+            epochs: HashMap::new(),
             history: Vec::new(),
             abandon_log: Vec::new(),
             abandon_cursor: 0,
             timeout: SimDuration::from_millis(30),
         }
+    }
+
+    /// Allocates the next switch epoch for `client`. Used internally by
+    /// [`SwitchEngine::issue`] and by the emergency re-attach path, which
+    /// bypasses the `stop` leg but must still stamp its direct `start`
+    /// with a fresh generation.
+    pub fn allocate_epoch(&mut self, client: ClientId) -> u32 {
+        let e = self.epochs.entry(client).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The most recently allocated epoch for `client` (0 = none yet).
+    pub fn current_epoch(&self, client: ClientId) -> u32 {
+        self.epochs.get(&client).copied().unwrap_or(0)
     }
 
     /// The retransmission timeout.
@@ -214,6 +278,7 @@ impl SwitchEngine {
         if self.in_flight(client) {
             return None;
         }
+        let epoch = self.allocate_epoch(client);
         self.pending.insert(
             client,
             PendingSwitch {
@@ -221,10 +286,15 @@ impl SwitchEngine {
                 to,
                 sent_at: now,
                 retries: 0,
+                epoch,
             },
         );
         self.issued_at.insert(client, now);
-        Some(SwitchMsg::Stop { client, to_ap: to })
+        Some(SwitchMsg::Stop {
+            client,
+            to_ap: to,
+            epoch,
+        })
     }
 
     /// Maximum `stop` retransmissions before an unacknowledged switch is
@@ -257,6 +327,7 @@ impl SwitchEngine {
                 issued_at: issued,
                 abandoned_at: now,
                 retries: p.retries,
+                epoch: p.epoch,
             });
             self.abort(client);
             return None;
@@ -266,13 +337,31 @@ impl SwitchEngine {
         Some(SwitchMsg::Stop {
             client,
             to_ap: p.to,
+            epoch: p.epoch,
         })
     }
 
-    /// Processes the `ack` from the new AP, closing the switch and
-    /// recording it.
-    pub fn on_ack(&mut self, now: SimTime, client: ClientId) -> Option<SwitchRecord> {
-        let p = self.pending.remove(&client)?;
+    /// Processes an `ack`, closing the pending switch only when both the
+    /// source AP and the epoch match — a late `ack` from a previous switch
+    /// (or from an AP that was never this switch's target) is rejected
+    /// with a verdict the caller turns into a drop counter.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        from_ap: ApId,
+        epoch: u32,
+    ) -> AckOutcome {
+        let Some(p) = self.pending.get(&client) else {
+            return AckOutcome::NoPending;
+        };
+        if epoch != p.epoch {
+            return AckOutcome::StaleEpoch;
+        }
+        if from_ap != p.to {
+            return AckOutcome::WrongSource;
+        }
+        let p = self.pending.remove(&client).expect("checked above");
         let issued = self.issued_at.remove(&client).unwrap_or(p.sent_at);
         let rec = SwitchRecord {
             client,
@@ -281,9 +370,10 @@ impl SwitchEngine {
             issued_at: issued,
             completed_at: now,
             retries: p.retries,
+            epoch: p.epoch,
         };
         self.history.push(rec);
-        Some(rec)
+        AckOutcome::Completed(rec)
     }
 
     /// Abandons an in-flight switch (e.g. client left the network).
@@ -312,6 +402,87 @@ impl SwitchEngine {
     }
 }
 
+/// AP-side verdict on an incoming `stop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopVerdict {
+    /// Fresh (or retransmitted current-epoch) `stop`: stop serving,
+    /// recompute `k`, emit the `start`. Reprocessing the current epoch is
+    /// required — if the `start` leg was lost, the controller's
+    /// retransmitted `stop` is the only way to regenerate it, and
+    /// recomputing `k` at the current first-unsent index is always safe.
+    Process,
+    /// Strictly older epoch than this AP has already seen for the client:
+    /// a straggler from a superseded switch. Processing it would silence
+    /// an AP that a later switch made (or is making) the serving one.
+    Stale,
+}
+
+/// AP-side verdict on an incoming `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartVerdict {
+    /// First `start` of this epoch: reposition the queue head at `k`,
+    /// take over serving, ack.
+    Apply,
+    /// Duplicate of a `start` this AP already applied (retransmitted
+    /// `stop` upstream, or a network-duplicated frame): the `ack` must be
+    /// re-sent — it may have been the leg that was lost — but the queue
+    /// head, NIC queue, and scoreboard are NOT touched again, or the
+    /// re-application would discard frames delivered since.
+    DupReAck,
+    /// Strictly older epoch: a stale `start` whose `k` belongs to a
+    /// superseded switch. Applying it would reposition the head of the
+    /// wrong generation and resurrect a non-serving AP.
+    Stale,
+}
+
+/// Per-(AP, client) epoch guard — the AP side of the ABA defence, shared
+/// verbatim by the simulator's AP handlers (`world.rs`) and the
+/// small-scope interleaving checker (`protocol_check`) so the checker
+/// exercises the exact production admission logic.
+///
+/// Epoch 0 is reserved as "nothing seen yet"; real epochs start at 1.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ApSwitchGuard {
+    /// Highest epoch seen in any control message for this client.
+    latest: u32,
+    /// Epoch of the last `start` actually applied (0 = none).
+    start_applied: u32,
+}
+
+impl ApSwitchGuard {
+    /// Admission check for a `stop` carrying `epoch`.
+    pub fn on_stop(&mut self, epoch: u32) -> StopVerdict {
+        if epoch < self.latest {
+            return StopVerdict::Stale;
+        }
+        self.latest = epoch;
+        StopVerdict::Process
+    }
+
+    /// Admission check for a `start` carrying `epoch`.
+    pub fn on_start(&mut self, epoch: u32) -> StartVerdict {
+        if epoch < self.latest {
+            return StartVerdict::Stale;
+        }
+        self.latest = epoch;
+        if epoch == self.start_applied {
+            return StartVerdict::DupReAck;
+        }
+        self.start_applied = epoch;
+        StartVerdict::Apply
+    }
+
+    /// Highest epoch this AP has seen for the client.
+    pub fn latest(&self) -> u32 {
+        self.latest
+    }
+
+    /// Epoch of the last `start` this AP actually applied (0 = none).
+    pub fn start_applied(&self) -> u32 {
+        self.start_applied
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +492,14 @@ mod tests {
     }
     const C: ClientId = ClientId(1);
 
+    /// Unwraps a completed ack in tests.
+    fn completed(out: AckOutcome) -> SwitchRecord {
+        match out {
+            AckOutcome::Completed(rec) => rec,
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
     #[test]
     fn issue_then_ack() {
         let mut e = SwitchEngine::new();
@@ -329,17 +508,81 @@ mod tests {
             msg,
             SwitchMsg::Stop {
                 client: C,
-                to_ap: ApId(2)
+                to_ap: ApId(2),
+                epoch: 1,
             }
         );
         assert!(e.in_flight(C));
-        let rec = e.on_ack(t(118), C).unwrap();
+        let rec = completed(e.on_ack(t(118), C, ApId(2), 1));
         assert_eq!(rec.from, ApId(1));
         assert_eq!(rec.to, ApId(2));
+        assert_eq!(rec.epoch, 1);
         assert_eq!(rec.execution_time(), SimDuration::from_millis(18));
         assert_eq!(rec.retries, 0);
         assert!(!e.in_flight(C));
         assert_eq!(e.history().len(), 1);
+    }
+
+    #[test]
+    fn epochs_are_per_client_and_monotonic() {
+        let mut e = SwitchEngine::new();
+        e.issue(t(0), C, ApId(0), ApId(1));
+        completed(e.on_ack(t(10), C, ApId(1), 1));
+        e.issue(t(20), C, ApId(1), ApId(2));
+        assert_eq!(e.pending(C).unwrap().epoch, 2);
+        // Abort does not roll the counter back — epoch 2 is burned.
+        e.abort(C);
+        let msg = e.issue(t(30), C, ApId(1), ApId(2)).unwrap();
+        assert!(matches!(msg, SwitchMsg::Stop { epoch: 3, .. }));
+        // Other clients count independently.
+        let msg2 = e.issue(t(30), ClientId(9), ApId(0), ApId(1)).unwrap();
+        assert!(matches!(msg2, SwitchMsg::Stop { epoch: 1, .. }));
+        assert_eq!(e.current_epoch(C), 3);
+        assert_eq!(e.current_epoch(ClientId(9)), 1);
+    }
+
+    /// Satellite regression: a stale `ack` from the *previous* switch's
+    /// target arriving after a new switch is issued must not complete the
+    /// new switch (the foreign-ack ABA the epoch-less engine had).
+    #[test]
+    fn stale_ack_from_previous_target_is_rejected() {
+        let mut e = SwitchEngine::new();
+        // Switch 1: AP0 → AP1, completed normally…
+        e.issue(t(0), C, ApId(0), ApId(1));
+        completed(e.on_ack(t(15), C, ApId(1), 1));
+        // …but the network duplicated its ack. Switch 2: AP1 → AP2.
+        e.issue(t(50), C, ApId(1), ApId(2));
+        // The duplicated epoch-1 ack from AP1 straggles in. The old engine
+        // would have closed switch 2 here (any ack matched on client id).
+        assert_eq!(e.on_ack(t(55), C, ApId(1), 1), AckOutcome::StaleEpoch);
+        assert!(e.in_flight(C), "switch 2 must stay in flight");
+        // An epoch-2 ack from the wrong AP is rejected too.
+        assert_eq!(e.on_ack(t(56), C, ApId(1), 2), AckOutcome::WrongSource);
+        assert!(e.in_flight(C));
+        // Only the genuine ack closes it.
+        let rec = completed(e.on_ack(t(60), C, ApId(2), 2));
+        assert_eq!(rec.to, ApId(2));
+        assert_eq!(e.history().len(), 2);
+    }
+
+    #[test]
+    fn guard_drops_stale_and_suppresses_duplicate_starts() {
+        let mut g = ApSwitchGuard::default();
+        // Fresh start of epoch 2 applies; its duplicate re-acks only.
+        assert_eq!(g.on_start(2), StartVerdict::Apply);
+        assert_eq!(g.on_start(2), StartVerdict::DupReAck);
+        // A straggling epoch-1 stop or start is stale.
+        assert_eq!(g.on_stop(1), StopVerdict::Stale);
+        assert_eq!(g.on_start(1), StartVerdict::Stale);
+        // Epoch 3 stop processes, and reprocesses on retransmission.
+        assert_eq!(g.on_stop(3), StopVerdict::Process);
+        assert_eq!(g.on_stop(3), StopVerdict::Process);
+        // After seeing the epoch-3 stop, the epoch-2 start is stale: the
+        // AP is being switched away from — it must not re-serve.
+        assert_eq!(g.on_start(2), StartVerdict::Stale);
+        assert_eq!(g.latest(), 3);
+        // The epoch-4 start of the next switch back to this AP applies.
+        assert_eq!(g.on_start(4), StartVerdict::Apply);
     }
 
     #[test]
@@ -362,12 +605,13 @@ mod tests {
             again,
             SwitchMsg::Stop {
                 client: C,
-                to_ap: ApId(1)
+                to_ap: ApId(1),
+                epoch: 1,
             }
         );
         assert_eq!(e.pending(C).unwrap().retries, 1);
         // Execution time measured from first issue.
-        let rec = e.on_ack(t(45), C).unwrap();
+        let rec = completed(e.on_ack(t(45), C, ApId(1), 1));
         assert_eq!(rec.execution_time(), SimDuration::from_millis(45));
         assert_eq!(rec.retries, 1);
     }
@@ -407,6 +651,7 @@ mod tests {
         assert_eq!(log[0].issued_at, t(0));
         assert_eq!(log[0].abandoned_at, t(at));
         assert_eq!(log[0].retries, SwitchEngine::MAX_RETRIES);
+        assert_eq!(log[0].epoch, 1);
         // Drained exactly once.
         assert_eq!(e.next_unprocessed_abandon(), Some(log[0]));
         assert_eq!(e.next_unprocessed_abandon(), None);
@@ -432,7 +677,7 @@ mod tests {
     #[test]
     fn ack_without_pending_is_ignored() {
         let mut e = SwitchEngine::new();
-        assert!(e.on_ack(t(10), C).is_none());
+        assert_eq!(e.on_ack(t(10), C, ApId(1), 1), AckOutcome::NoPending);
         assert!(e.on_timeout(t(10), C).is_none());
     }
 
@@ -443,7 +688,7 @@ mod tests {
         assert!(e.abort(C));
         assert!(!e.abort(C));
         assert!(!e.in_flight(C));
-        assert!(e.on_ack(t(5), C).is_none());
+        assert_eq!(e.on_ack(t(5), C, ApId(1), 1), AckOutcome::NoPending);
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::client::{ClientState, DeliveryRecord};
 use crate::config::{Mode, SystemConfig};
 use crate::controller::ControllerState;
 use crate::metrics::SystemMetrics;
-use crate::switching::{SwitchMsg, CONTROL_PACKET_BYTES};
-use std::collections::HashMap;
+use crate::switching::{AckOutcome, SwitchMsg, CONTROL_PACKET_BYTES};
+use std::collections::BTreeMap;
 use wgtt_mac::blockack::BlockAckFrame;
 use wgtt_mac::timing::{
     ampdu_airtime, block_ack_airtime, difs, frame_airtime, sifs, slot, MAX_AMPDU_BYTES,
@@ -110,7 +110,9 @@ enum AirTx {
     },
 }
 
-/// Events of the world.
+/// Events of the world. `Clone` so the backhaul duplication fault can
+/// deliver the same frame twice.
+#[derive(Clone)]
 pub enum Ev {
     /// CBR downlink source is due.
     UdpDownTick(usize),
@@ -133,19 +135,35 @@ pub enum Ev {
         ap: usize,
         client: usize,
         to_ap: usize,
+        epoch: u32,
     },
     /// Old AP finished processing the stop (kernel query done).
     StopDone {
         ap: usize,
         client: usize,
         to_ap: usize,
+        epoch: u32,
     },
     /// `start(c, k)` arrives at the new AP.
-    StartAtAp { ap: usize, client: usize, k: u16 },
+    StartAtAp {
+        ap: usize,
+        client: usize,
+        k: u16,
+        epoch: u32,
+    },
     /// New AP finished processing the start.
-    StartDone { ap: usize, client: usize, k: u16 },
+    StartDone {
+        ap: usize,
+        client: usize,
+        k: u16,
+        epoch: u32,
+    },
     /// `ack` arrives back at the controller.
-    AckAtController { client: usize },
+    AckAtController {
+        client: usize,
+        from_ap: usize,
+        epoch: u32,
+    },
     /// CSI report arrives at the controller.
     CsiAtController {
         ap: usize,
@@ -232,20 +250,23 @@ pub struct WgttWorld {
     fault_rng: SimRng,
     /// Ground truth: which APs are currently crashed.
     ap_down: Vec<bool>,
-    /// Emergency re-attaches in progress: client → (target AP, retries).
-    pending_reattach: HashMap<usize, (usize, u32)>,
+    /// Emergency re-attaches in progress: client → (target AP, retries,
+    /// switch epoch). Ordered map: iteration order feeds simulation state
+    /// (reboot re-association), so it must not depend on hasher seeds.
+    pending_reattach: BTreeMap<usize, (usize, u32, u32)>,
     /// Clients whose serving AP crashed, keyed by the crash instant —
     /// resolved into failover-latency samples when they re-attach.
-    pending_failover: HashMap<usize, SimTime>,
+    pending_failover: BTreeMap<usize, SimTime>,
     rng: SimRng,
-    in_flight: HashMap<u64, AirTx>,
+    in_flight: BTreeMap<u64, AirTx>,
     next_tx_id: u64,
     round_scheduled: bool,
     /// Livelock guard: consecutive contention rounds at one timestamp.
     rounds_at_ts: (SimTime, u32),
     /// Geometry of transmissions currently on the air:
     /// tx id → (tx position, rx position, end time, transmitter key).
-    active_geo: HashMap<u64, (wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
+    /// Ordered so `values()` scans are cross-process deterministic.
+    active_geo: BTreeMap<u64, (wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
     /// DCF collisions observed (stats).
     pub dcf_collisions: u64,
     /// Verbose tracing (set WGTT_TRACE=1), for debugging the datapath.
@@ -330,14 +351,14 @@ impl WgttWorld {
             faults: FaultSchedule::default(),
             fault_rng: root.fork("faults"),
             ap_down: vec![false; n_aps],
-            pending_reattach: HashMap::new(),
-            pending_failover: HashMap::new(),
+            pending_reattach: BTreeMap::new(),
+            pending_failover: BTreeMap::new(),
             rng: root.fork("world"),
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             next_tx_id: 0,
             round_scheduled: false,
             rounds_at_ts: (SimTime::ZERO, 0),
-            active_geo: HashMap::new(),
+            active_geo: BTreeMap::new(),
             dcf_collisions: 0,
             trace: std::env::var("WGTT_TRACE").is_ok(),
             cfg,
@@ -413,13 +434,7 @@ impl WgttWorld {
         ctx.schedule_at(ctx.now(), Ev::ContentionRound);
     }
 
-    fn backhaul_send(
-        &mut self,
-        ctx: &mut Ctx<'_, Ev>,
-        bytes: usize,
-        lossy: bool,
-        ev: impl FnOnce() -> Ev,
-    ) {
+    fn backhaul_send(&mut self, ctx: &mut Ctx<'_, Ev>, bytes: usize, lossy: bool, ev: Ev) {
         if lossy {
             let keep = !self.rng.chance(self.cfg.control_loss_prob);
             if !keep {
@@ -429,18 +444,22 @@ impl WgttWorld {
         // Layer on any scheduled backhaul impairment; a no-op impairment
         // takes the exact healthy code path (same RNG draws).
         let imp = self.faults.backhaul_at(ctx.now());
-        let delay = if imp.is_noop() {
-            self.backhaul.transit(bytes)
-        } else {
-            self.backhaul.transit_impaired(
-                bytes,
-                imp.extra_loss_prob,
-                imp.extra_latency,
-                imp.extra_jitter_mean,
-            )
-        };
-        if let Some(d) = delay {
-            ctx.schedule_in(d, ev());
+        if imp.is_noop() {
+            if let Some(d) = self.backhaul.transit(bytes) {
+                ctx.schedule_in(d, ev);
+            }
+            return;
+        }
+        let delivery = self.backhaul.transit_faulty(bytes, &imp);
+        if let Some(d2) = delivery.duplicate {
+            self.sys.backhaul_dup_deliveries += 1;
+            ctx.schedule_in(d2, ev.clone());
+        }
+        if delivery.reordered {
+            self.sys.backhaul_reorders += 1;
+        }
+        if let Some(d) = delivery.primary {
+            ctx.schedule_in(d, ev);
         }
     }
 
@@ -494,7 +513,7 @@ impl WgttWorld {
         let wire = packet.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
         for ap in targets {
             let p = packet.clone();
-            self.backhaul_send(ctx, wire, false, move || Ev::PacketAtAp { ap, packet: p });
+            self.backhaul_send(ctx, wire, false, Ev::PacketAtAp { ap, packet: p });
         }
     }
 
@@ -535,26 +554,38 @@ impl WgttWorld {
             self.sys.re_wedged_switches += 1;
             return;
         }
-        if self
-            .ctrl
-            .engine
-            .issue(now, client, ApId(from as u32), ApId(to as u32))
-            .is_none()
-        {
+        let Some(SwitchMsg::Stop { epoch, .. }) =
+            self.ctrl
+                .engine
+                .issue(now, client, ApId(from as u32), ApId(to as u32))
+        else {
             return;
-        }
+        };
         self.ctrl.selector_mut(client).record_switch(now);
         self.sys.control_packets += 1;
-        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StopAtAp {
-            ap: from,
-            client: c,
-            to_ap: to,
-        });
+        self.backhaul_send(
+            ctx,
+            CONTROL_PACKET_BYTES,
+            true,
+            Ev::StopAtAp {
+                ap: from,
+                client: c,
+                to_ap: to,
+                epoch,
+            },
+        );
         let timeout = self.ctrl.engine.timeout();
         ctx.schedule_in(timeout, Ev::SwitchTimeout { client: c });
     }
 
-    fn on_stop_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+    fn on_stop_at_ap(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        to_ap: usize,
+        epoch: u32,
+    ) {
         if !self.ap_reachable(ap, ctx.now()) {
             return; // lost; the controller's switch timeout drives retries
         }
@@ -570,17 +601,32 @@ impl WgttWorld {
                 ap,
                 client: c,
                 to_ap,
+                epoch,
             },
         );
     }
 
-    fn on_stop_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, to_ap: usize) {
+    fn on_stop_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        to_ap: usize,
+        epoch: u32,
+    ) {
         if self.ap_down[ap] {
             return; // crashed while processing the stop
         }
         let gi = self.cfg.gi;
         let flush = self.cfg.flush_on_switch;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
+        // The epoch guard is consulted at the apply point: a `stop` from a
+        // superseded switch generation (delayed, duplicated, or reordered
+        // on the backhaul) must not demote the AP again.
+        if let crate::switching::StopVerdict::Stale = st.guard.on_stop(epoch) {
+            self.sys.stale_control_dropped += 1;
+            return;
+        }
         let was_serving = st.serving;
         st.serving = false;
         st.draining = true;
@@ -598,16 +644,22 @@ impl WgttWorld {
         let _ = was_serving;
         if !self.faults.partitioned(ap, ctx.now()) {
             self.sys.control_packets += 1;
-            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
-                ap: to_ap,
-                client: c,
-                k,
-            });
+            self.backhaul_send(
+                ctx,
+                CONTROL_PACKET_BYTES,
+                true,
+                Ev::StartAtAp {
+                    ap: to_ap,
+                    client: c,
+                    k,
+                    epoch,
+                },
+            );
         }
         self.ensure_round(ctx);
     }
 
-    fn on_start_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+    fn on_start_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16, epoch: u32) {
         if !self.ap_reachable(ap, ctx.now()) {
             return;
         }
@@ -615,14 +667,52 @@ impl WgttWorld {
         if !self.cfg.control_priority {
             delay += self.cfg.no_priority_penalty;
         }
-        ctx.schedule_in(delay, Ev::StartDone { ap, client: c, k });
+        ctx.schedule_in(
+            delay,
+            Ev::StartDone {
+                ap,
+                client: c,
+                k,
+                epoch,
+            },
+        );
     }
 
-    fn on_start_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16) {
+    fn on_start_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16, epoch: u32) {
         if self.ap_down[ap] {
             return; // crashed while processing the start
         }
         let gi = self.cfg.gi;
+        let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
+        match st.guard.on_start(epoch) {
+            crate::switching::StartVerdict::Stale => {
+                // A superseded generation's `start` must not resurrect the
+                // serving role or rewind the cyclic queue head.
+                self.sys.stale_control_dropped += 1;
+                return;
+            }
+            crate::switching::StartVerdict::DupReAck => {
+                // Same generation already applied (retransmitted or
+                // duplicated `start`): re-send the ack so the controller
+                // can close, but touch no queue or scoreboard state.
+                self.sys.dup_control_dropped += 1;
+                if !self.faults.partitioned(ap, ctx.now()) {
+                    self.sys.control_packets += 1;
+                    self.backhaul_send(
+                        ctx,
+                        CONTROL_PACKET_BYTES,
+                        true,
+                        Ev::AckAtController {
+                            client: c,
+                            from_ap: ap,
+                            epoch,
+                        },
+                    );
+                }
+                return;
+            }
+            crate::switching::StartVerdict::Apply => {}
+        }
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
         let before = st.cyclic.backlog();
         st.cyclic.start_from(k);
@@ -638,36 +728,88 @@ impl WgttWorld {
         st.assoc.install_shared_association(ctx.now());
         if !self.faults.partitioned(ap, ctx.now()) {
             self.sys.control_packets += 1;
-            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || {
-                Ev::AckAtController { client: c }
-            });
+            self.backhaul_send(
+                ctx,
+                CONTROL_PACKET_BYTES,
+                true,
+                Ev::AckAtController {
+                    client: c,
+                    from_ap: ap,
+                    epoch,
+                },
+            );
         }
         self.ensure_round(ctx);
     }
 
-    fn on_ack_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+    fn on_ack_at_controller(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        c: usize,
+        from_ap: usize,
+        epoch: u32,
+    ) {
         let client = ClientId(c as u32);
         let now = ctx.now();
-        if let Some(rec) = self.ctrl.engine.on_ack(now, client) {
-            self.ctrl.serving.insert(client, rec.to);
-            self.clients[c].serving = Some(rec.to);
-            self.clients[c].metrics.record_assoc(now, Some(rec.to));
-            self.resolve_failover(c, now);
-        } else if let Some((target, _)) = self.pending_reattach.remove(&c) {
-            // Emergency re-attach completed: the new AP acked the direct
-            // start(c, k).
-            let ap = ApId(target as u32);
-            self.ctrl.serving.insert(client, ap);
-            self.clients[c].serving = Some(ap);
-            self.clients[c].metrics.record_assoc(now, Some(ap));
-            self.resolve_failover(c, now);
-            self.ensure_round(ctx);
+        match self
+            .ctrl
+            .on_switch_ack(now, client, ApId(from_ap as u32), epoch)
+        {
+            AckOutcome::Completed(rec) => {
+                // Consistency tripwire: the completed generation's `start`
+                // must actually be applied at the named AP (unless the AP
+                // crashed in the ack's flight window and lost soft state).
+                let ap_idx = rec.to.0 as usize;
+                if !self.ap_down[ap_idx]
+                    && self.aps[ap_idx]
+                        .clients
+                        .get(&client)
+                        .is_some_and(|s| s.guard.start_applied() != rec.epoch)
+                {
+                    self.sys.mis_switches += 1;
+                }
+                self.clients[c].serving = Some(rec.to);
+                self.clients[c].metrics.record_assoc(now, Some(rec.to));
+                self.resolve_failover(c, now);
+            }
+            AckOutcome::StaleEpoch | AckOutcome::WrongSource => {
+                // An ack that names the wrong generation or the wrong AP
+                // would, pre-epoch, have completed the pending switch
+                // against the wrong target.
+                self.sys.stale_control_dropped += 1;
+            }
+            AckOutcome::NoPending => {
+                if let Some(&(target, _, r_epoch)) = self.pending_reattach.get(&c) {
+                    if target == from_ap && epoch == r_epoch {
+                        // Emergency re-attach completed: the new AP acked
+                        // the direct start(c, k).
+                        self.pending_reattach.remove(&c);
+                        let ap = ApId(target as u32);
+                        self.ctrl.serving.insert(client, ap);
+                        self.ctrl.health.on_ack_proof(ap, epoch);
+                        self.clients[c].serving = Some(ap);
+                        self.clients[c].metrics.record_assoc(now, Some(ap));
+                        self.resolve_failover(c, now);
+                        self.ensure_round(ctx);
+                    } else {
+                        // A straggler ack while a re-attach to a different
+                        // AP (or generation) is pending: pre-epoch this
+                        // would have completed the re-attach against the
+                        // wrong AP.
+                        self.sys.stale_control_dropped += 1;
+                    }
+                } else {
+                    // Duplicate of an ack that already completed.
+                    self.sys.dup_control_dropped += 1;
+                }
+            }
         }
     }
 
     fn on_switch_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
         let client = ClientId(c as u32);
-        if let Some(SwitchMsg::Stop { to_ap, .. }) = self.ctrl.engine.on_timeout(ctx.now(), client)
+        if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
+            self.ctrl.engine.on_timeout(ctx.now(), client)
         {
             let from = self
                 .ctrl
@@ -677,11 +819,17 @@ impl WgttWorld {
                 .unwrap_or(0);
             let to = to_ap.0 as usize;
             self.sys.control_packets += 1;
-            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StopAtAp {
-                ap: from,
-                client: c,
-                to_ap: to,
-            });
+            self.backhaul_send(
+                ctx,
+                CONTROL_PACKET_BYTES,
+                true,
+                Ev::StopAtAp {
+                    ap: from,
+                    client: c,
+                    to_ap: to,
+                    epoch,
+                },
+            );
             let timeout = self.ctrl.engine.timeout();
             ctx.schedule_in(timeout, Ev::SwitchTimeout { client: c });
         } else if self.ctrl.engine.in_flight(client) {
@@ -710,7 +858,7 @@ impl WgttWorld {
             }
             for ap in [rec.from, rec.to] {
                 if self.ctrl.health.csi_stale(ap, now) {
-                    self.ctrl.health.on_abandon(ap, now);
+                    self.ctrl.health.on_abandon(ap, now, rec.epoch);
                 }
             }
             let c = rec.client.0 as usize;
@@ -755,14 +903,24 @@ impl WgttWorld {
         self.clients[c].metrics.record_assoc(now, None);
         self.ctrl.selector_mut(client).record_switch(now);
         let k = self.ctrl.peek_index(client);
+        // The direct `start` gets its own fresh epoch: a straggler ack
+        // from the aborted switch (or an earlier generation) must not be
+        // able to complete this re-attach.
+        let epoch = self.ctrl.engine.allocate_epoch(client);
         self.sys.emergency_reattaches += 1;
         self.sys.control_packets += 1;
-        self.pending_reattach.insert(c, (target, 0));
-        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
-            ap: target,
-            client: c,
-            k,
-        });
+        self.pending_reattach.insert(c, (target, 0, epoch));
+        self.backhaul_send(
+            ctx,
+            CONTROL_PACKET_BYTES,
+            true,
+            Ev::StartAtAp {
+                ap: target,
+                client: c,
+                k,
+                epoch,
+            },
+        );
         ctx.schedule_in(
             self.ctrl.engine.timeout(),
             Ev::ReattachTimeout { client: c },
@@ -770,7 +928,7 @@ impl WgttWorld {
     }
 
     fn on_reattach_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
-        let Some(&(target, retries)) = self.pending_reattach.get(&c) else {
+        let Some(&(target, retries, epoch)) = self.pending_reattach.get(&c) else {
             return; // answered (or superseded) already
         };
         let now = ctx.now();
@@ -784,13 +942,23 @@ impl WgttWorld {
         }
         let client = ClientId(c as u32);
         let k = self.ctrl.peek_index(client);
-        self.pending_reattach.insert(c, (target, retries + 1));
+        // Retransmissions keep the original epoch: they are the same
+        // re-attach generation, and the target AP's guard turns an
+        // already-applied duplicate into a bare re-ack.
+        self.pending_reattach
+            .insert(c, (target, retries + 1, epoch));
         self.sys.control_packets += 1;
-        self.backhaul_send(ctx, CONTROL_PACKET_BYTES, true, move || Ev::StartAtAp {
-            ap: target,
-            client: c,
-            k,
-        });
+        self.backhaul_send(
+            ctx,
+            CONTROL_PACKET_BYTES,
+            true,
+            Ev::StartAtAp {
+                ap: target,
+                client: c,
+                k,
+                epoch,
+            },
+        );
         ctx.schedule_in(
             self.ctrl.engine.timeout(),
             Ev::ReattachTimeout { client: c },
@@ -1219,7 +1387,7 @@ impl WgttWorld {
             .get_mut(&client)
             .expect("picked client exists");
         if st.serving || (st.draining && st.drain_cyclic) {
-            st.refill_nic();
+            self.sys.dup_data_dropped += st.refill_nic();
         }
         let mut mcs = st.ratectl.select(now, &mut self.rng);
         // Multi-rate retry (ath9k-style): step the rate down as a frame's
@@ -1514,11 +1682,16 @@ impl WgttWorld {
                         if self.faults.partitioned(*other, now) {
                             continue; // monitor cut off from the backhaul
                         }
-                        self.backhaul_send(ctx, 100, false, move || Ev::BaForwardAtAp {
-                            ap,
-                            client: c,
-                            ba: frame,
-                        });
+                        self.backhaul_send(
+                            ctx,
+                            100,
+                            false,
+                            Ev::BaForwardAtAp {
+                                ap,
+                                client: c,
+                                ba: frame,
+                            },
+                        );
                     }
                 }
             }
@@ -1762,10 +1935,15 @@ impl WgttWorld {
                 let pkt = e.packet.clone();
                 let from_ap = *ap;
                 let wire = pkt.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
-                self.backhaul_send(ctx, wire, false, move || Ev::UplinkCopyAtController {
-                    from_ap,
-                    packet: pkt,
-                });
+                self.backhaul_send(
+                    ctx,
+                    wire,
+                    false,
+                    Ev::UplinkCopyAtController {
+                        from_ap,
+                        packet: pkt,
+                    },
+                );
             }
         }
 
@@ -1892,11 +2070,16 @@ impl WgttWorld {
             return;
         }
         st.last_csi_report = Some(now);
-        self.backhaul_send(ctx, 300, false, move || Ev::CsiAtController {
-            ap,
-            client: c,
-            esnr_db,
-        });
+        self.backhaul_send(
+            ctx,
+            300,
+            false,
+            Ev::CsiAtController {
+                ap,
+                client: c,
+                esnr_db,
+            },
+        );
     }
 
     // ---------- uplink at controller / server ----------
@@ -2468,11 +2651,35 @@ impl World for WgttWorld {
                 self.on_uplink_copy(ctx, from_ap, packet)
             }
             Ev::PacketAtServer(p) => self.on_packet_at_server(ctx, p),
-            Ev::StopAtAp { ap, client, to_ap } => self.on_stop_at_ap(ctx, ap, client, to_ap),
-            Ev::StopDone { ap, client, to_ap } => self.on_stop_done(ctx, ap, client, to_ap),
-            Ev::StartAtAp { ap, client, k } => self.on_start_at_ap(ctx, ap, client, k),
-            Ev::StartDone { ap, client, k } => self.on_start_done(ctx, ap, client, k),
-            Ev::AckAtController { client } => self.on_ack_at_controller(ctx, client),
+            Ev::StopAtAp {
+                ap,
+                client,
+                to_ap,
+                epoch,
+            } => self.on_stop_at_ap(ctx, ap, client, to_ap, epoch),
+            Ev::StopDone {
+                ap,
+                client,
+                to_ap,
+                epoch,
+            } => self.on_stop_done(ctx, ap, client, to_ap, epoch),
+            Ev::StartAtAp {
+                ap,
+                client,
+                k,
+                epoch,
+            } => self.on_start_at_ap(ctx, ap, client, k, epoch),
+            Ev::StartDone {
+                ap,
+                client,
+                k,
+                epoch,
+            } => self.on_start_done(ctx, ap, client, k, epoch),
+            Ev::AckAtController {
+                client,
+                from_ap,
+                epoch,
+            } => self.on_ack_at_controller(ctx, client, from_ap, epoch),
             Ev::CsiAtController {
                 ap,
                 client,

@@ -33,6 +33,45 @@ fn fingerprint(r: &RunResult) -> (u64, usize, String, u64, u64) {
     )
 }
 
+fn hash64(s: &str) -> u64 {
+    // FNV-1a: stable across runs/processes (unlike `DefaultHasher`).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The in-process determinism assertions above already catch same-binary
+/// divergence; the CI `determinism` job additionally diffs this probe
+/// across two *separate processes* (fresh ASLR, fresh hasher seeds) for a
+/// byte-for-byte match.
+#[test]
+fn failover_fingerprint_probe() {
+    let Ok(dir) = std::env::var("WGTT_DETERMINISM_OUT") else {
+        return; // only meaningful under the CI determinism job
+    };
+    let faults = FaultSchedule::new()
+        .with_ap_outage(3, SimTime::from_secs(1), SimTime::from_secs(3))
+        .with_csi_drops(SimTime::from_secs(2), SimTime::from_secs(6), 0.3);
+    let r = run(drive(77, faults));
+    let (events, switches, timeline, mpdus, faults_seen) = fingerprint(&r);
+    let payload = format!(
+        concat!(
+            "{{\"events\":{},\"switch_history\":{},\"assoc_hash\":{},",
+            "\"mpdu_successes\":{},\"fault_counters\":{}}}"
+        ),
+        events,
+        switches,
+        hash64(&timeline),
+        mpdus,
+        faults_seen,
+    );
+    std::fs::create_dir_all(&dir).expect("create determinism out dir");
+    std::fs::write(format!("{dir}/failover_drive.json"), payload).expect("write determinism probe");
+}
+
 #[test]
 fn serving_ap_crash_recovers_within_500ms() {
     // Find which AP serves the client 2 s into a healthy drive, then

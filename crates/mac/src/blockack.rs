@@ -146,6 +146,15 @@ impl TxScoreboard {
         }
     }
 
+    /// Whether `seq` is currently in the window (outstanding, acked or
+    /// not). The transmit path must not register a sequence twice, so
+    /// ingest layers use this to recognise duplicate deliveries of a frame
+    /// that is still in the MAC pipeline.
+    pub fn in_window(&self, seq: u16) -> bool {
+        let seq = seq & (SEQ_SPACE - 1);
+        self.window.iter().any(|&(s, _)| s == seq)
+    }
+
     /// Sequences that still need (re)transmission: every outstanding,
     /// un-acked MPDU, in order.
     pub fn unacked(&self) -> Vec<u16> {

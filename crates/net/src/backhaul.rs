@@ -12,7 +12,19 @@
 //! probability to exercise the switch protocol's timeout path (the paper's
 //! `stop`/`ack` loss handling, §3.1.2).
 
-use wgtt_sim::{SimDuration, SimRng};
+use wgtt_sim::{BackhaulImpairment, SimDuration, SimRng};
+
+/// Outcome of one faulty backhaul transit: the message itself (possibly
+/// lost, possibly held back by reordering) plus an optional duplicate copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackhaulDelivery {
+    /// Delay of the original message, `None` if lost.
+    pub primary: Option<SimDuration>,
+    /// Delay of a duplicated copy, when the duplication fault fired.
+    pub duplicate: Option<SimDuration>,
+    /// Whether the reorder fault held the original back.
+    pub reordered: bool,
+}
 
 /// Backhaul latency/loss model.
 #[derive(Debug, Clone)]
@@ -82,6 +94,53 @@ impl Backhaul {
             SimDuration::ZERO
         };
         Some(self.base_delay + wire + jitter + extra_latency + extra_jitter)
+    }
+
+    /// Full fault-injection transit: loss / latency / jitter as in
+    /// [`Backhaul::transit_impaired`], plus duplication (the same frame
+    /// delivered twice, the copy trailing by one extra jitter sample) and
+    /// reordering (the frame held back by a uniform draw from
+    /// `(0, reorder_window]`, so later frames can overtake it).
+    ///
+    /// RNG draw discipline keeps runs reproducible: the loss/jitter draws
+    /// match `transit_impaired` exactly, then the dup draws happen iff
+    /// `dup_prob > 0` and the frame was delivered, then the reorder draws
+    /// iff `reorder_prob > 0` and the frame was delivered. A no-op
+    /// impairment therefore consumes the same draw sequence as
+    /// [`Backhaul::transit`].
+    pub fn transit_faulty(
+        &mut self,
+        len_bytes: usize,
+        imp: &BackhaulImpairment,
+    ) -> BackhaulDelivery {
+        let primary = self.transit_impaired(
+            len_bytes,
+            imp.extra_loss_prob,
+            imp.extra_latency,
+            imp.extra_jitter_mean,
+        );
+        let mut out = BackhaulDelivery {
+            primary,
+            duplicate: None,
+            reordered: false,
+        };
+        let Some(mut delay) = primary else {
+            return out; // lost before any duplication point
+        };
+        if imp.dup_prob > 0.0 && self.rng.chance(imp.dup_prob) {
+            let trail =
+                SimDuration::from_secs_f64(self.rng.exponential(self.jitter_mean.as_secs_f64()));
+            out.duplicate = Some(delay + trail);
+        }
+        if imp.reorder_prob > 0.0 && self.rng.chance(imp.reorder_prob) {
+            let window = imp.reorder_window.as_secs_f64();
+            if window > 0.0 {
+                delay += SimDuration::from_secs_f64(self.rng.range(0.0..window));
+                out.reordered = true;
+            }
+        }
+        out.primary = Some(delay);
+        out
     }
 
     /// Samples a transit delay, treating loss as "never arrives" is not an
@@ -195,6 +254,84 @@ mod tests {
         // Composed loss: 1 - 0.9*0.5 = 0.55.
         let frac = lost as f64 / 2000.0;
         assert!((frac - 0.55).abs() < 0.05, "loss frac {frac}");
+    }
+
+    #[test]
+    fn faulty_noop_is_identical_to_healthy() {
+        let mut a = bh(9);
+        let mut b = bh(9);
+        a.loss_prob = 0.1;
+        b.loss_prob = 0.1;
+        let noop = BackhaulImpairment::default();
+        assert!(noop.is_noop());
+        for _ in 0..500 {
+            let d = b.transit_faulty(300, &noop);
+            assert_eq!(a.transit(300), d.primary);
+            assert_eq!(d.duplicate, None);
+            assert!(!d.reordered);
+        }
+    }
+
+    #[test]
+    fn duplication_rate_respected() {
+        let mut b = bh(10);
+        let imp = BackhaulImpairment {
+            dup_prob: 0.3,
+            ..BackhaulImpairment::default()
+        };
+        let mut dups = 0usize;
+        for _ in 0..2000 {
+            let d = b.transit_faulty(100, &imp);
+            let p = d.primary.expect("no loss configured");
+            if let Some(copy) = d.duplicate {
+                assert!(copy > p, "duplicate must trail the original");
+                dups += 1;
+            }
+        }
+        let frac = dups as f64 / 2000.0;
+        assert!((frac - 0.3).abs() < 0.05, "dup frac {frac}");
+    }
+
+    #[test]
+    fn reordering_bounded_by_window() {
+        let mut b = bh(11);
+        b.jitter_mean = SimDuration::from_nanos(1); // effectively zero
+        let base = b.base_delay + SimDuration::for_bits(100 * 8, b.rate_bps);
+        let window = SimDuration::from_millis(2);
+        let imp = BackhaulImpairment {
+            reorder_prob: 1.0,
+            reorder_window: window,
+            ..BackhaulImpairment::default()
+        };
+        let mut max_seen = SimDuration::ZERO;
+        for _ in 0..500 {
+            let d = b.transit_faulty(100, &imp);
+            assert!(d.reordered);
+            let held = d.primary.unwrap();
+            assert!(held >= base);
+            assert!(held <= base + window + SimDuration::from_micros(1));
+            max_seen = max_seen.max(held);
+        }
+        // The hold-back actually spreads across the window.
+        assert!(max_seen > base + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn lost_frames_are_never_duplicated() {
+        let mut b = bh(12);
+        let imp = BackhaulImpairment {
+            extra_loss_prob: 1.0,
+            dup_prob: 1.0,
+            reorder_prob: 1.0,
+            reorder_window: SimDuration::from_millis(1),
+            ..BackhaulImpairment::default()
+        };
+        for _ in 0..100 {
+            let d = b.transit_faulty(100, &imp);
+            assert_eq!(d.primary, None);
+            assert_eq!(d.duplicate, None);
+            assert!(!d.reordered);
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod tcp;
 pub mod tunnel;
 pub mod udp;
 
-pub use backhaul::Backhaul;
+pub use backhaul::{Backhaul, BackhaulDelivery};
 pub use packet::{overhead, ApId, ClientId, Direction, FlowId, Packet, PacketFactory, Payload};
 pub use tcp::{CongPhase, TcpConfig, TcpReceiver, TcpSegmentOut, TcpSender};
 pub use tunnel::{BackhaulNode, Tunneled, TUNNEL_OVERHEAD_BYTES};

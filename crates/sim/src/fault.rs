@@ -71,6 +71,36 @@ pub struct CsiDropWindow {
     pub drop_prob: f64,
 }
 
+/// Backhaul duplication window: during `[from, until)` each delivered
+/// message is independently delivered a *second* time with probability
+/// `dup_prob`, the copy trailing the original by one extra jitter sample
+/// (a kernel-datapath retransmit under load, cf. bridged-AP duplication).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DupWindow {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+}
+
+/// Backhaul reordering window: during `[from, until)` each delivered
+/// message is independently held back with probability `reorder_prob` by a
+/// uniform draw from `(0, window]`, letting messages sent just after it
+/// overtake it — order swaps bounded by `window`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderWindow {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-message reorder probability.
+    pub reorder_prob: f64,
+    /// Maximum extra hold-back (bounds how far order can swap).
+    pub window: SimDuration,
+}
+
 /// The aggregate backhaul impairment in effect at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BackhaulImpairment {
@@ -80,6 +110,12 @@ pub struct BackhaulImpairment {
     pub extra_latency: SimDuration,
     /// Added exponential-jitter mean (windows sum).
     pub extra_jitter_mean: SimDuration,
+    /// Duplication probability (windows compose independently).
+    pub dup_prob: f64,
+    /// Reorder probability (windows compose independently).
+    pub reorder_prob: f64,
+    /// Maximum reorder hold-back (windows take the max).
+    pub reorder_window: SimDuration,
 }
 
 impl BackhaulImpairment {
@@ -88,6 +124,8 @@ impl BackhaulImpairment {
         self.extra_loss_prob <= 0.0
             && self.extra_latency == SimDuration::ZERO
             && self.extra_jitter_mean == SimDuration::ZERO
+            && self.dup_prob <= 0.0
+            && self.reorder_prob <= 0.0
     }
 }
 
@@ -111,6 +149,10 @@ pub struct FaultSchedule {
     pub partitions: Vec<PartitionWindow>,
     /// CSI-report drop windows.
     pub csi_drops: Vec<CsiDropWindow>,
+    /// Backhaul duplication windows.
+    pub duplication: Vec<DupWindow>,
+    /// Backhaul reordering windows.
+    pub reordering: Vec<ReorderWindow>,
 }
 
 impl FaultSchedule {
@@ -125,6 +167,8 @@ impl FaultSchedule {
             && self.backhaul.is_empty()
             && self.partitions.is_empty()
             && self.csi_drops.is_empty()
+            && self.duplication.is_empty()
+            && self.reordering.is_empty()
     }
 
     /// Adds an AP outage window (builder style).
@@ -162,6 +206,36 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a backhaul duplication window (builder style).
+    pub fn with_duplication(mut self, from: SimTime, until: SimTime, dup_prob: f64) -> Self {
+        assert!(from < until, "duplication window must be non-empty");
+        self.duplication.push(DupWindow {
+            from,
+            until,
+            dup_prob,
+        });
+        self
+    }
+
+    /// Adds a backhaul reordering window (builder style).
+    pub fn with_reordering(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        reorder_prob: f64,
+        window: SimDuration,
+    ) -> Self {
+        assert!(from < until, "reordering window must be non-empty");
+        assert!(window > SimDuration::ZERO, "reorder hold-back must be > 0");
+        self.reordering.push(ReorderWindow {
+            from,
+            until,
+            reorder_prob,
+            window,
+        });
+        self
+    }
+
     /// Whether AP `ap` is dead at `t`.
     pub fn ap_down(&self, ap: usize, t: SimTime) -> bool {
         self.ap_outages
@@ -179,8 +253,9 @@ impl FaultSchedule {
                 .any(|p| p.ap == ap && p.from <= t && t < p.until)
     }
 
-    /// The combined backhaul impairment at `t`. Loss probabilities compose
-    /// as independent drops; latency and jitter add.
+    /// The combined backhaul impairment at `t`. Loss, duplication, and
+    /// reorder probabilities compose as independent events; latency and
+    /// jitter add; the reorder hold-back takes the widest window.
     pub fn backhaul_at(&self, t: SimTime) -> BackhaulImpairment {
         let mut imp = BackhaulImpairment::default();
         let mut keep = 1.0f64;
@@ -192,6 +267,21 @@ impl FaultSchedule {
             }
         }
         imp.extra_loss_prob = 1.0 - keep;
+        let mut no_dup = 1.0f64;
+        for w in &self.duplication {
+            if w.from <= t && t < w.until {
+                no_dup *= 1.0 - w.dup_prob.clamp(0.0, 1.0);
+            }
+        }
+        imp.dup_prob = 1.0 - no_dup;
+        let mut no_reorder = 1.0f64;
+        for w in &self.reordering {
+            if w.from <= t && t < w.until {
+                no_reorder *= 1.0 - w.reorder_prob.clamp(0.0, 1.0);
+                imp.reorder_window = imp.reorder_window.max(w.window);
+            }
+        }
+        imp.reorder_prob = 1.0 - no_reorder;
         imp
     }
 
@@ -347,6 +437,38 @@ mod tests {
         assert!((s.csi_drop_prob(t(10)) - 0.2).abs() < 1e-12);
         assert!((s.csi_drop_prob(t(60)) - 0.6).abs() < 1e-12);
         assert_eq!(s.csi_drop_prob(t(100)), 0.0);
+    }
+
+    #[test]
+    fn dup_and_reorder_windows_compose() {
+        let s = FaultSchedule::new()
+            .with_duplication(t(0), t(1000), 0.5)
+            .with_duplication(t(500), t(1500), 0.5)
+            .with_reordering(t(0), t(1000), 0.2, SimDuration::from_millis(1))
+            .with_reordering(t(0), t(2000), 0.2, SimDuration::from_millis(3));
+        assert!(!s.is_empty());
+        let early = s.backhaul_at(t(100));
+        assert!((early.dup_prob - 0.5).abs() < 1e-12);
+        assert!((early.reorder_prob - 0.36).abs() < 1e-12);
+        assert_eq!(early.reorder_window, SimDuration::from_millis(3));
+        assert!(!early.is_noop());
+        let overlap = s.backhaul_at(t(700));
+        assert!((overlap.dup_prob - 0.75).abs() < 1e-12);
+        let late = s.backhaul_at(t(1700));
+        assert_eq!(late.dup_prob, 0.0);
+        assert!((late.reorder_prob - 0.2).abs() < 1e-12);
+        assert!(s.backhaul_at(t(3000)).is_noop());
+    }
+
+    #[test]
+    fn dup_only_impairment_is_not_noop() {
+        let s = FaultSchedule::new().with_duplication(t(0), t(100), 0.1);
+        assert!(!s.backhaul_at(t(50)).is_noop());
+        // Loss / latency / jitter stay at their healthy values.
+        let imp = s.backhaul_at(t(50));
+        assert_eq!(imp.extra_loss_prob, 0.0);
+        assert_eq!(imp.extra_latency, SimDuration::ZERO);
+        assert_eq!(imp.extra_jitter_mean, SimDuration::ZERO);
     }
 
     #[test]
