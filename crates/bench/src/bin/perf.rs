@@ -1,0 +1,16 @@
+//! `perf` — runs the calibration suite and writes `BENCH.json`.
+//!
+//! Usage: `cargo run --release -p wgtt-bench --bin perf`
+//!
+//! Output path defaults to `BENCH.json` in the working directory and can
+//! be overridden with `WGTT_BENCH_OUT`. Compare against the committed
+//! baseline with the `perf_gate` binary.
+
+fn main() {
+    let report = wgtt_bench::perf::collect();
+    println!("{}", wgtt_bench::perf::render(&report));
+    let path = std::env::var("WGTT_BENCH_OUT").unwrap_or_else(|_| "BENCH.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serialize BENCH.json");
+    std::fs::write(&path, json).expect("write BENCH.json");
+    println!("wrote {path}");
+}

@@ -1,0 +1,129 @@
+//! `perf_gate` — compares a fresh `BENCH.json` against the committed
+//! baseline and fails on regressions.
+//!
+//! Usage: `cargo run --release -p wgtt-bench --bin perf_gate -- \
+//!             [fresh [baseline]]`
+//! (defaults: `BENCH.json` and `BENCH_baseline.json`).
+//!
+//! Rules, per calibration scenario (matched by id): events/sec below 0.5×
+//! the baseline fails, below 0.8× warns. The live microbenchmarks must
+//! show the memoized hot paths ≥1.1× their reference implementations. The
+//! parallel fan-out must reach ≥2× speedup — asserted only when the fresh
+//! run saw ≥4 cores, since a single-core host cannot exhibit it.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+const FAIL_RATIO: f64 = 0.5;
+const WARN_RATIO: f64 = 0.8;
+const HOTPATH_MIN_GAIN: f64 = 1.1;
+const PARALLEL_MIN_SPEEDUP: f64 = 2.0;
+const PARALLEL_MIN_CORES: f64 = 4.0;
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("perf_gate: cannot parse {path}: {e:?}"))
+}
+
+fn field(v: &Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("perf_gate: missing field {}", path.join(".")));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("perf_gate: field {} is not a number", path.join(".")))
+}
+
+fn scenario_rates(v: &Value) -> Vec<(String, f64)> {
+    v.get("scenarios")
+        .and_then(|s| s.as_array())
+        .expect("perf_gate: missing scenarios array")
+        .iter()
+        .map(|s| {
+            let id = s
+                .get("id")
+                .and_then(|i| i.as_str())
+                .expect("perf_gate: scenario without id")
+                .to_string();
+            let eps = s
+                .get("events_per_sec")
+                .and_then(|e| e.as_f64())
+                .expect("perf_gate: scenario without events_per_sec");
+            (id, eps)
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args.first().map(String::as_str).unwrap_or("BENCH.json");
+    let base_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_baseline.json");
+    let fresh = load(fresh_path);
+    let base = load(base_path);
+
+    let mut failures = 0u32;
+    let mut warnings = 0u32;
+
+    let base_rates = scenario_rates(&base);
+    let fresh_rates = scenario_rates(&fresh);
+    for (id, base_eps) in &base_rates {
+        let Some((_, fresh_eps)) = fresh_rates.iter().find(|(fid, _)| fid == id) else {
+            println!("FAIL {id}: missing from fresh run");
+            failures += 1;
+            continue;
+        };
+        let ratio = if *base_eps > 0.0 {
+            fresh_eps / base_eps
+        } else {
+            1.0
+        };
+        if ratio < FAIL_RATIO {
+            println!("FAIL {id}: {fresh_eps:.0} ev/s is {ratio:.2}x baseline {base_eps:.0}");
+            failures += 1;
+        } else if ratio < WARN_RATIO {
+            println!("WARN {id}: {fresh_eps:.0} ev/s is {ratio:.2}x baseline {base_eps:.0}");
+            warnings += 1;
+        } else {
+            println!("ok   {id}: {fresh_eps:.0} ev/s ({ratio:.2}x baseline)");
+        }
+    }
+
+    for section in ["esnr_hotpath", "geo_hotpath"] {
+        let gain = field(&fresh, &[section, "gain"]);
+        if gain < HOTPATH_MIN_GAIN {
+            println!("FAIL {section}: gain {gain:.2}x < {HOTPATH_MIN_GAIN}x");
+            failures += 1;
+        } else {
+            println!("ok   {section}: gain {gain:.2}x");
+        }
+    }
+
+    let cores = field(&fresh, &["cores"]);
+    let speedup = field(&fresh, &["parallel", "speedup"]);
+    if cores >= PARALLEL_MIN_CORES {
+        if speedup < PARALLEL_MIN_SPEEDUP {
+            println!(
+                "FAIL parallel: {speedup:.2}x speedup on {cores:.0} cores \
+                 < {PARALLEL_MIN_SPEEDUP}x"
+            );
+            failures += 1;
+        } else {
+            println!("ok   parallel: {speedup:.2}x speedup on {cores:.0} cores");
+        }
+    } else {
+        println!("skip parallel speedup check: only {cores:.0} core(s)");
+    }
+
+    println!("perf_gate: {failures} failure(s), {warnings} warning(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

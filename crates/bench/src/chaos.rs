@@ -10,7 +10,7 @@
 //! `mis_switches` (completions misattributed across switch generations,
 //! the ABA the epoch guard kills) must be zero at every rate.
 
-use crate::common::{mean_over, render_table, save_json, seeds_for, sweep_seeds};
+use crate::common::{mean_over, render_table, save_json, seeds_for};
 use serde::Serialize;
 use wgtt_core::config::Mode;
 use wgtt_core::runner::Scenario;
@@ -64,7 +64,7 @@ fn chaos_faults(rate: f64, duration: SimDuration) -> FaultSchedule {
 }
 
 /// Bulk-UDP drive with the chaos schedule layered on.
-fn scenario(mph: f64, rate: f64, seed: u64) -> Scenario {
+pub(crate) fn scenario(mph: f64, rate: f64, seed: u64) -> Scenario {
     let mut s = crate::common::udp_drive(Mode::Wgtt, mph, seed);
     s.faults = chaos_faults(rate, s.duration);
     s
@@ -79,40 +79,44 @@ pub fn run_experiment(fast: bool) -> ChaosSweep {
         &[0.0, 0.02, 0.05, 0.10]
     };
     let seeds = seeds_for(fast, 3);
+    // The whole (speed × fault rate × seed) grid fans out across the
+    // worker pool in one batch, speed-major (rate ascending within each
+    // speed, so the rate-0 "clean" cell aggregates before its fault cells).
+    let cells: Vec<(f64, f64)> = speeds
+        .iter()
+        .flat_map(|&mph| rates.iter().map(move |&rate| (mph, rate)))
+        .collect();
+    let grid = crate::common::sweep_grid(cells.len(), seeds, |cell, seed| {
+        let (mph, rate) = cells[cell];
+        scenario(mph, rate, seed)
+    });
     let mut points = Vec::new();
-    for &mph in speeds {
-        let mut clean_mbps = f64::NAN;
-        for &rate in rates {
-            let results = sweep_seeds(seeds.clone(), |seed| scenario(mph, rate, seed));
-            let udp_mbps = mean_over(&results, |r| r.downlink_bps(0)) / 1e6;
-            if rate == 0.0 {
-                clean_mbps = udp_mbps;
-            }
-            points.push(ChaosPoint {
-                mph,
-                fault_rate: rate,
-                udp_mbps,
-                retention: if clean_mbps > 0.0 {
-                    udp_mbps / clean_mbps
-                } else {
-                    0.0
-                },
-                switches: mean_over(&results, |r| r.world.ctrl.engine.history().len() as f64),
-                mis_switches: mean_over(&results, |r| r.world.sys.mis_switches as f64),
-                abandoned_switches: mean_over(&results, |r| r.world.sys.abandoned_switches as f64),
-                stale_control_dropped: mean_over(&results, |r| {
-                    r.world.sys.stale_control_dropped as f64
-                }),
-                dup_control_dropped: mean_over(&results, |r| {
-                    r.world.sys.dup_control_dropped as f64
-                }),
-                dup_data_dropped: mean_over(&results, |r| r.world.sys.dup_data_dropped as f64),
-                backhaul_dup_deliveries: mean_over(&results, |r| {
-                    r.world.sys.backhaul_dup_deliveries as f64
-                }),
-                backhaul_reorders: mean_over(&results, |r| r.world.sys.backhaul_reorders as f64),
-            });
+    let mut clean_mbps = f64::NAN;
+    for ((mph, rate), results) in cells.iter().copied().zip(&grid) {
+        let udp_mbps = mean_over(results, |r| r.downlink_bps(0)) / 1e6;
+        if rate == 0.0 {
+            clean_mbps = udp_mbps;
         }
+        points.push(ChaosPoint {
+            mph,
+            fault_rate: rate,
+            udp_mbps,
+            retention: if clean_mbps > 0.0 {
+                udp_mbps / clean_mbps
+            } else {
+                0.0
+            },
+            switches: mean_over(results, |r| r.world.ctrl.engine.history().len() as f64),
+            mis_switches: mean_over(results, |r| r.world.sys.mis_switches as f64),
+            abandoned_switches: mean_over(results, |r| r.world.sys.abandoned_switches as f64),
+            stale_control_dropped: mean_over(results, |r| r.world.sys.stale_control_dropped as f64),
+            dup_control_dropped: mean_over(results, |r| r.world.sys.dup_control_dropped as f64),
+            dup_data_dropped: mean_over(results, |r| r.world.sys.dup_data_dropped as f64),
+            backhaul_dup_deliveries: mean_over(results, |r| {
+                r.world.sys.backhaul_dup_deliveries as f64
+            }),
+            backhaul_reorders: mean_over(results, |r| r.world.sys.backhaul_reorders as f64),
+        });
     }
     ChaosSweep { points }
 }

@@ -4,7 +4,7 @@
 use serde::Serialize;
 use std::path::PathBuf;
 use wgtt_core::config::{Mode, SystemConfig};
-use wgtt_core::runner::{run, FlowSpec, RunResult, Scenario};
+use wgtt_core::runner::{FlowSpec, RunResult, Scenario};
 
 /// Default UDP offered load for bulk experiments, bit/s. The paper's iperf
 /// streams offer more than the wireless path can carry so the measurement
@@ -59,27 +59,39 @@ pub fn tcp_drive(mode: Mode, mph: f64, seed: u64) -> Scenario {
     )
 }
 
-/// Runs the same scenario constructor over several seeds, in parallel
-/// across available cores, returning results in seed order.
+/// Runs the same scenario constructor over several seeds, fanned out
+/// across the [`crate::par`] worker pool, returning results in seed order.
 pub fn sweep_seeds<F>(seeds: std::ops::Range<u64>, build: F) -> Vec<RunResult>
 where
     F: Fn(u64) -> Scenario + Sync,
 {
+    let scenarios: Vec<Scenario> = seeds.map(&build).collect();
+    crate::par::run_scenarios(scenarios)
+}
+
+/// Fans a whole experiment grid — `cells` settings × the seed range — out
+/// across the worker pool in a single batch, returning one seed-ordered
+/// result vector per cell (cell order preserved).
+///
+/// This beats per-cell [`sweep_seeds`] calls when cells are numerous and
+/// seeds are few (every `--fast` run has one seed): the pool sees
+/// `cells × seeds` independent jobs instead of `seeds`.
+pub fn sweep_grid<F>(cells: usize, seeds: std::ops::Range<u64>, build: F) -> Vec<Vec<RunResult>>
+where
+    F: Fn(usize, u64) -> Scenario + Sync,
+{
     let seeds: Vec<u64> = seeds.collect();
-    if seeds.len() <= 1 {
-        return seeds.into_iter().map(|s| run(build(s))).collect();
+    let jobs: Vec<Scenario> = (0..cells)
+        .flat_map(|cell| seeds.iter().map(move |&s| (cell, s)))
+        .map(|(cell, s)| build(cell, s))
+        .collect();
+    let mut results = crate::par::run_scenarios(jobs);
+    let mut grid = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        let rest = results.split_off(seeds.len().min(results.len()));
+        grid.push(std::mem::replace(&mut results, rest));
     }
-    std::thread::scope(|scope| {
-        let build = &build;
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || run(build(seed))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep run panicked"))
-            .collect()
-    })
+    grid
 }
 
 /// Mean of per-run values produced by `f`.

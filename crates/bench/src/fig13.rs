@@ -5,7 +5,7 @@
 //! paper's 2.4–4.7× TCP and 2.6–4.0× UDP gains. A stationary client shows
 //! only a small gap (both systems sit on one good AP).
 
-use crate::common::{mean_over, save_json, seeds_for, sweep_seeds, tcp_drive, udp_drive};
+use crate::common::{mean_over, save_json, seeds_for, tcp_drive, udp_drive};
 use serde::Serialize;
 use wgtt_core::config::Mode;
 use wgtt_core::runner::{ClientSpec, FlowSpec, Scenario, TrajectorySpec};
@@ -66,20 +66,19 @@ fn stationary_scenario(mode: Mode, tcp: bool, seed: u64) -> Scenario {
     }
 }
 
-fn measure(mode: Mode, tcp: bool, mph: f64, seeds: std::ops::Range<u64>) -> f64 {
-    let results = sweep_seeds(seeds, |seed| {
-        if mph == 0.0 {
-            stationary_scenario(mode, tcp, seed)
-        } else if tcp {
-            tcp_drive(mode, mph, seed)
-        } else {
-            udp_drive(mode, mph, seed)
-        }
-    });
-    mean_over(&results, |r| r.downlink_bps(0)) / 1e6
+fn scenario(mode: Mode, tcp: bool, mph: f64, seed: u64) -> Scenario {
+    if mph == 0.0 {
+        stationary_scenario(mode, tcp, seed)
+    } else if tcp {
+        tcp_drive(mode, mph, seed)
+    } else {
+        udp_drive(mode, mph, seed)
+    }
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep. Every `(transport, speed, mode, seed)` run is
+/// independent, so the whole grid fans out across the worker pool in one
+/// batch rather than sweeping each point serially.
 pub fn run_experiment(fast: bool) -> SpeedSweep {
     let speeds: &[f64] = if fast {
         &[0.0, 5.0, 15.0, 35.0]
@@ -87,19 +86,39 @@ pub fn run_experiment(fast: bool) -> SpeedSweep {
         &[0.0, 5.0, 15.0, 25.0, 35.0]
     };
     let seeds = seeds_for(fast, 3);
-    let series = |tcp: bool| -> Vec<SpeedPoint> {
+    // Cell order: transport-major, then speed, then mode — matched by the
+    // reassembly below.
+    let modes = [Mode::Wgtt, Mode::Enhanced80211r];
+    let cells: Vec<(bool, f64, Mode)> = [true, false]
+        .iter()
+        .flat_map(|&tcp| {
+            speeds
+                .iter()
+                .flat_map(move |&mph| modes.into_iter().map(move |mode| (tcp, mph, mode)))
+        })
+        .collect();
+    let grid = crate::common::sweep_grid(cells.len(), seeds, |cell, seed| {
+        let (tcp, mph, mode) = cells[cell];
+        scenario(mode, tcp, mph, seed)
+    });
+    let mbps = |cell: usize| mean_over(&grid[cell], |r| r.downlink_bps(0)) / 1e6;
+    let series = |tcp_block: usize| -> Vec<SpeedPoint> {
         speeds
             .iter()
-            .map(|&mph| SpeedPoint {
-                mph,
-                wgtt_mbps: measure(Mode::Wgtt, tcp, mph, seeds.clone()),
-                baseline_mbps: measure(Mode::Enhanced80211r, tcp, mph, seeds.clone()),
+            .enumerate()
+            .map(|(si, &mph)| {
+                let base = tcp_block * speeds.len() * 2 + si * 2;
+                SpeedPoint {
+                    mph,
+                    wgtt_mbps: mbps(base),
+                    baseline_mbps: mbps(base + 1),
+                }
             })
             .collect()
     };
     SpeedSweep {
-        tcp: series(true),
-        udp: series(false),
+        tcp: series(0),
+        udp: series(1),
     }
 }
 

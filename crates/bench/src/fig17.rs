@@ -8,7 +8,7 @@
 //! (every AP forwards what it hears) loss stays below ~2 %, while a
 //! single-AP uplink suffers loss spikes at every cell edge.
 
-use crate::common::{save_json, seeds_for, sweep_seeds, UDP_PAYLOAD};
+use crate::common::{save_json, seeds_for, UDP_PAYLOAD};
 use serde::Serialize;
 use wgtt_core::config::Mode;
 use wgtt_core::runner::{ClientSpec, FlowSpec, Scenario, TrajectorySpec};
@@ -34,7 +34,13 @@ pub struct UplinkLoss {
     pub single_loss: Vec<f64>,
 }
 
-fn convoy_scenario(mode: Mode, n: usize, tcp: bool, uplink: bool, seed: u64) -> Scenario {
+pub(crate) fn convoy_scenario(
+    mode: Mode,
+    n: usize,
+    tcp: bool,
+    uplink: bool,
+    seed: u64,
+) -> Scenario {
     let clients: Vec<ClientSpec> = (0..n)
         .map(|i| ClientSpec {
             trajectory: TrajectorySpec::DriveByOffset {
@@ -70,30 +76,39 @@ fn convoy_scenario(mode: Mode, n: usize, tcp: bool, uplink: bool, seed: u64) -> 
     }
 }
 
-/// Runs Fig 17 for one transport.
+/// Runs Fig 17 for one transport. The whole `(client count, mode, seed)`
+/// grid fans out across the worker pool in one batch.
 pub fn run_fig17(tcp: bool, fast: bool) -> Vec<MultiClientPoint> {
     let seeds = seeds_for(fast, 2);
     let counts: &[usize] = if fast { &[1, 3] } else { &[1, 2, 3] };
+    // Cell order: count-major, then mode (WGTT before baseline).
+    let modes = [Mode::Wgtt, Mode::Enhanced80211r];
+    let cells: Vec<(usize, Mode)> = counts
+        .iter()
+        .flat_map(|&n| modes.iter().map(move |&m| (n, m)))
+        .collect();
+    let grid = crate::common::sweep_grid(cells.len(), seeds, |cell, seed| {
+        let (n, mode) = cells[cell];
+        convoy_scenario(mode, n, tcp, false, seed)
+    });
+    let per_client = |cell: usize| {
+        let (n, _) = cells[cell];
+        let results = &grid[cell];
+        let mut acc = 0.0;
+        for r in results {
+            for c in 0..n {
+                acc += r.downlink_bps(c);
+            }
+        }
+        acc / (results.len() * n) as f64 / 1e6
+    };
     counts
         .iter()
-        .map(|&n| {
-            let per_client = |mode| {
-                let results = sweep_seeds(seeds.clone(), |seed| {
-                    convoy_scenario(mode, n, tcp, false, seed)
-                });
-                let mut acc = 0.0;
-                for r in &results {
-                    for c in 0..n {
-                        acc += r.downlink_bps(c);
-                    }
-                }
-                acc / (results.len() * n) as f64 / 1e6
-            };
-            MultiClientPoint {
-                clients: n,
-                wgtt_mbps: per_client(Mode::Wgtt),
-                baseline_mbps: per_client(Mode::Enhanced80211r),
-            }
+        .enumerate()
+        .map(|(ci, &n)| MultiClientPoint {
+            clients: n,
+            wgtt_mbps: per_client(ci * 2),
+            baseline_mbps: per_client(ci * 2 + 1),
         })
         .collect()
 }

@@ -23,18 +23,28 @@ pub struct HysteresisPoint {
     pub dead_bin_fraction: f64,
 }
 
+fn scenario(hysteresis_ms: u64, seed: u64) -> wgtt_core::runner::Scenario {
+    let mut s = tcp_drive(Mode::Wgtt, 15.0, seed);
+    s.config.selection.hysteresis = SimDuration::from_millis(hysteresis_ms);
+    s
+}
+
 /// Runs one hysteresis setting.
 pub fn run_experiment(hysteresis_ms: u64, seeds: std::ops::Range<u64>) -> HysteresisPoint {
-    let results = sweep_seeds(seeds, |seed| {
-        let mut s = tcp_drive(Mode::Wgtt, 15.0, seed);
-        s.config.selection.hysteresis = SimDuration::from_millis(hysteresis_ms);
-        s
-    });
-    let tcp = mean_over(&results, |r| r.downlink_bps(0)) / 1e6;
-    let sps = mean_over(&results, |r| {
+    let results = sweep_seeds(seeds, |seed| scenario(hysteresis_ms, seed));
+    point_from_results(hysteresis_ms, &results)
+}
+
+/// Aggregates one setting's seed-sweep results into a table row.
+fn point_from_results(
+    hysteresis_ms: u64,
+    results: &[wgtt_core::runner::RunResult],
+) -> HysteresisPoint {
+    let tcp = mean_over(results, |r| r.downlink_bps(0)) / 1e6;
+    let sps = mean_over(results, |r| {
         r.world.clients[0].metrics.switch_count() as f64 / r.duration.as_secs_f64()
     });
-    let dead = mean_over(&results, |r| {
+    let dead = mean_over(results, |r| {
         let rates = r.world.clients[0].metrics.downlink.rates();
         if rates.is_empty() {
             return 1.0;
@@ -49,12 +59,18 @@ pub fn run_experiment(hysteresis_ms: u64, seeds: std::ops::Range<u64>) -> Hyster
     }
 }
 
-/// Runs and renders Fig 22.
+/// Runs and renders Fig 22. The three hysteresis settings fan out across
+/// the worker pool together with their seeds, as one batch.
 pub fn report(fast: bool) -> String {
     let seeds = seeds_for(fast, 3);
-    let rows: Vec<HysteresisPoint> = [120u64, 80, 40]
+    let settings = [120u64, 80, 40];
+    let grid = crate::common::sweep_grid(settings.len(), seeds, |cell, seed| {
+        scenario(settings[cell], seed)
+    });
+    let rows: Vec<HysteresisPoint> = settings
         .iter()
-        .map(|&h| run_experiment(h, seeds.clone()))
+        .zip(&grid)
+        .map(|(&h, results)| point_from_results(h, results))
         .collect();
     save_json("fig22_hysteresis", &rows);
     let table = crate::common::render_table(

@@ -92,10 +92,13 @@ pub fn run_experiment(mph: f64, seed: u64) -> DensityPoint {
     }
 }
 
-/// Runs and renders Fig 23.
+/// Runs and renders Fig 23. Speeds are independent runs, so they fan out
+/// across the worker pool (the irregular-deployment runs bypass the
+/// scenario runner, hence `par::map` over speeds instead of a seed sweep).
 pub fn report(fast: bool) -> String {
     let speeds: &[f64] = if fast { &[15.0] } else { &[5.0, 15.0, 25.0] };
-    let rows: Vec<DensityPoint> = speeds.iter().map(|&v| run_experiment(v, 23)).collect();
+    let rows: Vec<DensityPoint> =
+        crate::par::map(speeds.to_vec(), |mph, _| run_experiment(mph, 23));
     save_json("fig23_density", &rows);
     let table = crate::common::render_table(
         &["speed (mph)", "sparse (Mb/s)", "dense (Mb/s)"],

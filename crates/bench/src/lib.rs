@@ -29,6 +29,8 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod par;
+pub mod perf;
 pub mod resilience;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,332 @@
+//! Events/sec perf baseline — the calibration suite behind `BENCH.json`.
+//!
+//! The `perf` binary runs a fixed set of representative scenarios and
+//! records, for each, how many engine events the run processed and how
+//! fast (events/sec, sim-time/real-time ratio). Two live microbenchmarks
+//! ride along: the ESNR memoization and the link geometry cache are each
+//! measured against their retained reference implementations, so the
+//! committed speedups are re-verified on every run rather than trusted
+//! from a one-time measurement. The `perf_gate` binary compares a fresh
+//! `BENCH.json` against the committed `BENCH_baseline.json` and fails CI
+//! on regressions.
+
+use crate::common;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use wgtt_core::config::Mode;
+use wgtt_core::runner::{run, Scenario};
+use wgtt_phy::{DeploymentConfig, GuardInterval, LinkConfig, PerModel, Position, WirelessLink};
+use wgtt_sim::{SimRng, SimTime};
+
+/// Current `BENCH.json` schema version.
+pub const SCHEMA: u32 = 1;
+
+/// Per-scenario throughput record.
+#[derive(Debug, Serialize)]
+pub struct ScenarioPerf {
+    /// Stable scenario identifier (`perf_gate` matches baselines by id).
+    pub id: String,
+    /// Engine events processed.
+    pub events: u64,
+    /// Wall-clock seconds inside the event loop.
+    pub wall_s: f64,
+    /// Simulated seconds covered.
+    pub sim_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Simulated seconds per wall-clock second.
+    pub sim_rt_ratio: f64,
+}
+
+/// Serial-vs-parallel fan-out comparison over one batch of identical jobs.
+#[derive(Debug, Serialize)]
+pub struct ParallelPerf {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads the parallel leg used.
+    pub threads: usize,
+    /// Wall-clock seconds with a single worker.
+    pub serial_wall_s: f64,
+    /// Wall-clock seconds with the full pool.
+    pub parallel_wall_s: f64,
+    /// `serial_wall_s / parallel_wall_s` (≈1 on a single-core host).
+    pub speedup: f64,
+}
+
+/// One memoized-vs-reference microbenchmark.
+#[derive(Debug, Serialize)]
+pub struct HotpathPerf {
+    /// Operations per leg.
+    pub ops: u64,
+    /// Reference (uncached) operations per second.
+    pub ref_ops_per_sec: f64,
+    /// Memoized operations per second.
+    pub memo_ops_per_sec: f64,
+    /// `memo_ops_per_sec / ref_ops_per_sec`.
+    pub gain: f64,
+}
+
+/// The whole `BENCH.json` document.
+#[derive(Debug, Serialize)]
+pub struct PerfReport {
+    /// Schema version ([`SCHEMA`]).
+    pub schema: u32,
+    /// Host parallelism the run saw.
+    pub cores: usize,
+    /// Worker threads the fan-out used.
+    pub threads: usize,
+    /// Calibration-suite throughput, one record per scenario.
+    pub scenarios: Vec<ScenarioPerf>,
+    /// Serial-vs-parallel fan-out measurement.
+    pub parallel: ParallelPerf,
+    /// ESNR memoization vs per-MCS reintegration.
+    pub esnr_hotpath: HotpathPerf,
+    /// Link geometry cache vs full path-loss chain.
+    pub geo_hotpath: HotpathPerf,
+}
+
+/// The fixed calibration suite: bulk-UDP drive-bys across the speed range,
+/// a multi-client convoy, and a chaos run with 10% backhaul faults.
+pub fn calibration_suite() -> Vec<(String, Scenario)> {
+    let mut suite = Vec::new();
+    for mph in [15.0, 25.0, 35.0] {
+        suite.push((
+            format!("udp_drive_{mph:.0}"),
+            common::udp_drive(Mode::Wgtt, mph, 41),
+        ));
+    }
+    suite.push((
+        "multiclient_3x15".to_string(),
+        crate::fig17::convoy_scenario(Mode::Wgtt, 3, false, false, 41),
+    ));
+    suite.push((
+        "chaos_10pct_25".to_string(),
+        crate::chaos::scenario(25.0, 0.10, 41),
+    ));
+    suite
+}
+
+fn scenario_perf(id: &str, scenario: Scenario) -> ScenarioPerf {
+    let r = run(scenario);
+    ScenarioPerf {
+        id: id.to_string(),
+        events: r.perf.events,
+        wall_s: r.perf.wall_s,
+        sim_s: r.perf.sim_s,
+        events_per_sec: r.perf.events_per_sec(),
+        sim_rt_ratio: r.perf.sim_rt_ratio(),
+    }
+}
+
+/// Times the same job batch through a 1-worker pool and the full pool.
+fn parallel_perf() -> ParallelPerf {
+    let jobs: Vec<Scenario> = (0..8)
+        .map(|i| common::udp_drive(Mode::Wgtt, 25.0, 100 + i))
+        .collect();
+    let n = jobs.len();
+    let threads = crate::par::thread_count(n);
+    let t0 = Instant::now();
+    let serial = crate::par::map_with_threads(1, jobs.clone(), |s, _| run(s));
+    let serial_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = crate::par::map_with_threads(threads, jobs, |s, _| run(s));
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+    // The fan-out contract: thread count never changes results.
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.events, b.events, "fan-out changed a run");
+    }
+    ParallelPerf {
+        jobs: n,
+        threads,
+        serial_wall_s,
+        parallel_wall_s,
+        speedup: if parallel_wall_s > 0.0 {
+            serial_wall_s / parallel_wall_s
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Fading CSI snapshots along a drive past an AP — the inputs both hot-path
+/// microbenchmarks replay.
+fn snapshots(n: usize) -> (WirelessLink, Vec<wgtt_phy::Csi>, Vec<Position>) {
+    let dep = DeploymentConfig::default().build();
+    let mut rng = SimRng::new(7).fork("perf-hotpath");
+    let link = WirelessLink::new(dep.aps[0], LinkConfig::default(), &mut rng);
+    let mut csis = Vec::with_capacity(n);
+    let mut positions = Vec::with_capacity(n);
+    for i in 0..n {
+        let pos = Position::new(-5.0 + i as f64 * 0.01, 6.0, 1.5);
+        csis.push(link.csi(SimTime::from_micros(i as u64 * 700), &pos, 6.7));
+        positions.push(pos);
+    }
+    (link, csis, positions)
+}
+
+/// Measures [`PerModel::capacity_bps`] (memoized, 4 ESNR integrations)
+/// against [`PerModel::capacity_bps_ref`] (8 integrations, one per MCS).
+fn esnr_hotpath() -> HotpathPerf {
+    let (_, csis, _) = snapshots(600);
+    let per = PerModel::default();
+    let gi = GuardInterval::Short;
+    let t0 = Instant::now();
+    let mut ref_acc = 0.0;
+    for csi in &csis {
+        ref_acc += per.capacity_bps_ref(gi, black_box(csi), 1500);
+    }
+    let ref_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut memo_acc = 0.0;
+    for csi in &csis {
+        memo_acc += per.capacity_bps(gi, black_box(csi), 1500);
+    }
+    let memo_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        ref_acc.to_bits(),
+        memo_acc.to_bits(),
+        "memoized capacity diverged from reference"
+    );
+    hotpath(csis.len() as u64, ref_s, memo_s)
+}
+
+/// Measures the [`WirelessLink::mean_snr_db`] geometry cache on the repeat
+/// queries the engine actually issues (several per position before the
+/// client moves) against the uncached chain.
+fn geo_hotpath() -> HotpathPerf {
+    let (link, _, positions) = snapshots(600);
+    const REPEATS: usize = 8;
+    let t0 = Instant::now();
+    let mut ref_acc = 0.0;
+    for pos in &positions {
+        for _ in 0..REPEATS {
+            ref_acc += link.mean_snr_db_uncached(black_box(pos));
+        }
+    }
+    let ref_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mut memo_acc = 0.0;
+    for pos in &positions {
+        for _ in 0..REPEATS {
+            memo_acc += link.mean_snr_db(black_box(pos));
+        }
+    }
+    let memo_s = t1.elapsed().as_secs_f64();
+    assert_eq!(
+        ref_acc.to_bits(),
+        memo_acc.to_bits(),
+        "geometry cache diverged from reference"
+    );
+    hotpath((positions.len() * REPEATS) as u64, ref_s, memo_s)
+}
+
+fn hotpath(ops: u64, ref_s: f64, memo_s: f64) -> HotpathPerf {
+    let ref_ops_per_sec = if ref_s > 0.0 { ops as f64 / ref_s } else { 0.0 };
+    let memo_ops_per_sec = if memo_s > 0.0 {
+        ops as f64 / memo_s
+    } else {
+        0.0
+    };
+    HotpathPerf {
+        ops,
+        ref_ops_per_sec,
+        memo_ops_per_sec,
+        gain: if ref_ops_per_sec > 0.0 {
+            memo_ops_per_sec / ref_ops_per_sec
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs the whole calibration suite and both microbenchmarks.
+pub fn collect() -> PerfReport {
+    let suite = calibration_suite();
+    let scenarios: Vec<ScenarioPerf> = suite
+        .into_iter()
+        .map(|(id, s)| scenario_perf(&id, s))
+        .collect();
+    PerfReport {
+        schema: SCHEMA,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        threads: crate::par::thread_count(usize::MAX),
+        scenarios,
+        parallel: parallel_perf(),
+        esnr_hotpath: esnr_hotpath(),
+        geo_hotpath: geo_hotpath(),
+    }
+}
+
+/// Renders a report as an aligned table for the console.
+pub fn render(report: &PerfReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.clone(),
+                s.events.to_string(),
+                format!("{:.2}", s.wall_s),
+                format!("{:.0}", s.events_per_sec),
+                format!("{:.1}", s.sim_rt_ratio),
+            ]
+        })
+        .collect();
+    format!(
+        "Perf calibration suite ({} cores, {} threads)\n{}\n\
+         parallel: {} jobs, {:.2}s serial vs {:.2}s parallel = {:.2}x\n\
+         esnr hot path: {:.2}x memoized vs reference\n\
+         geo hot path: {:.2}x cached vs reference\n",
+        report.cores,
+        report.threads,
+        common::render_table(&["scenario", "events", "wall s", "ev/s", "sim/rt"], &rows),
+        report.parallel.jobs,
+        report.parallel.serial_wall_s,
+        report.parallel.parallel_wall_s,
+        report.parallel.speedup,
+        report.esnr_hotpath.gain,
+        report.geo_hotpath.gain,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_suite_ids_are_stable() {
+        let ids: Vec<String> = calibration_suite().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "udp_drive_15",
+                "udp_drive_25",
+                "udp_drive_35",
+                "multiclient_3x15",
+                "chaos_10pct_25",
+            ]
+        );
+    }
+
+    #[test]
+    fn hotpath_microbenches_show_gain() {
+        // The memoized paths must be bit-exact (asserted inside) and
+        // measurably faster; use a loose floor so CI noise never flakes —
+        // the gate enforces the real ≥1.1x threshold on BENCH.json.
+        let e = esnr_hotpath();
+        assert!(e.gain > 1.0, "esnr gain {:.2}", e.gain);
+        let g = geo_hotpath();
+        assert!(g.gain > 1.0, "geo gain {:.2}", g.gain);
+    }
+
+    #[test]
+    fn scenario_perf_counts_events() {
+        let p = scenario_perf("udp_drive_15", common::udp_drive(Mode::Wgtt, 15.0, 41));
+        assert!(p.events > 1000, "{p:?}");
+        assert!(p.sim_s > 0.0 && p.wall_s > 0.0);
+        assert!(p.events_per_sec > 0.0);
+    }
+}

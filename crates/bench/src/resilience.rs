@@ -8,7 +8,7 @@
 //! re-attach at a live AP), and the health-layer counters that certify
 //! the controller never wedges on a dead AP.
 
-use crate::common::{config, mean_over, render_table, save_json, seeds_for, sweep_seeds};
+use crate::common::{config, mean_over, render_table, save_json, seeds_for};
 use serde::Serialize;
 use wgtt_core::config::Mode;
 use wgtt_core::runner::{FlowSpec, RunResult, Scenario};
@@ -97,28 +97,33 @@ pub fn run_experiment(fast: bool) -> ResilienceSweep {
     };
     let losses: &[f64] = if fast { &[0.0] } else { &[0.0, 0.05] };
     let seeds = seeds_for(fast, 3);
+    // The whole (crash rate × backhaul loss × seed) grid is independent —
+    // fan it out across the worker pool in one batch, crash-rate major.
+    let cells: Vec<(f64, f64)> = crash_rates
+        .iter()
+        .flat_map(|&rate| losses.iter().map(move |&loss| (rate, loss)))
+        .collect();
+    let grid = crate::common::sweep_grid(cells.len(), seeds, |cell, seed| {
+        let (rate, loss) = cells[cell];
+        scenario(rate, loss, seed)
+    });
     let mut points = Vec::new();
-    for &rate in crash_rates {
-        for &loss in losses {
-            let results = sweep_seeds(seeds.clone(), |seed| scenario(rate, loss, seed));
-            let lat: Vec<f64> = results.iter().flat_map(failover_ms).collect();
-            points.push(ResiliencePoint {
-                crash_rate_per_s: rate,
-                backhaul_loss: loss,
-                tcp_mbps: mean_over(&results, |r| r.downlink_bps(0)) / 1e6,
-                ap_crashes: mean_over(&results, |r| r.world.sys.ap_crashes as f64),
-                failovers: mean_over(&results, |r| {
-                    r.world.clients[0].metrics.failovers.len() as f64
-                }),
-                mean_failover_ms: wgtt_sim::stats::mean(&lat),
-                max_failover_ms: lat.iter().copied().fold(0.0, f64::max),
-                abandoned_switches: mean_over(&results, |r| r.world.sys.abandoned_switches as f64),
-                emergency_reattaches: mean_over(&results, |r| {
-                    r.world.sys.emergency_reattaches as f64
-                }),
-                re_wedged_switches: mean_over(&results, |r| r.world.sys.re_wedged_switches as f64),
-            });
-        }
+    for ((rate, loss), results) in cells.iter().copied().zip(&grid) {
+        let lat: Vec<f64> = results.iter().flat_map(failover_ms).collect();
+        points.push(ResiliencePoint {
+            crash_rate_per_s: rate,
+            backhaul_loss: loss,
+            tcp_mbps: mean_over(results, |r| r.downlink_bps(0)) / 1e6,
+            ap_crashes: mean_over(results, |r| r.world.sys.ap_crashes as f64),
+            failovers: mean_over(results, |r| {
+                r.world.clients[0].metrics.failovers.len() as f64
+            }),
+            mean_failover_ms: wgtt_sim::stats::mean(&lat),
+            max_failover_ms: lat.iter().copied().fold(0.0, f64::max),
+            abandoned_switches: mean_over(results, |r| r.world.sys.abandoned_switches as f64),
+            emergency_reattaches: mean_over(results, |r| r.world.sys.emergency_reattaches as f64),
+            re_wedged_switches: mean_over(results, |r| r.world.sys.re_wedged_switches as f64),
+        });
     }
     ResilienceSweep { points }
 }

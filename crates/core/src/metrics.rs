@@ -5,9 +5,56 @@
 //! accuracy, delivered link bit rates (for the Fig 16 CDF), ACK-collision
 //! counts (Table 3), and the capacity-loss integral (Figs 4, 21).
 
+use serde::Serialize;
 use wgtt_net::ApId;
 use wgtt_sim::stats::BinnedSeries;
-use wgtt_sim::{SimDuration, SimTime};
+use wgtt_sim::{EnginePerf, SimDuration, SimTime};
+
+/// Host-side performance of one run: simulated work vs wall-clock cost.
+///
+/// Wall-clock is measured by the engine's run loops ([`EnginePerf`]); none
+/// of it feeds back into the simulation, so two runs of the same scenario
+/// produce bit-identical *results* even when their `RunPerf` differs. This
+/// is the record the `perf` bench binary aggregates into `BENCH.json`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunPerf {
+    /// Events the engine processed.
+    pub events: u64,
+    /// Host wall-clock seconds spent in the event loop.
+    pub wall_s: f64,
+    /// Simulated seconds covered by the run (traffic duration + settle).
+    pub sim_s: f64,
+}
+
+impl RunPerf {
+    /// Builds the record from engine counters plus the simulated span.
+    pub fn from_engine(perf: EnginePerf, sim_s: f64) -> Self {
+        RunPerf {
+            events: perf.events,
+            wall_s: perf.wall.as_secs_f64(),
+            sim_s,
+        }
+    }
+
+    /// Events processed per wall-clock second (0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulated-time / real-time ratio: how many simulated seconds one
+    /// host second buys (>1 means faster than real time).
+    pub fn sim_rt_ratio(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Per-client measurement sink.
 #[derive(Debug)]
@@ -305,6 +352,24 @@ mod tests {
         m.mpdu_attempts = 10;
         m.mpdu_successes = 7;
         assert!((m.mpdu_delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_perf_ratios() {
+        let p = RunPerf {
+            events: 1_000_000,
+            wall_s: 2.0,
+            sim_s: 10.0,
+        };
+        assert!((p.events_per_sec() - 500_000.0).abs() < 1e-9);
+        assert!((p.sim_rt_ratio() - 5.0).abs() < 1e-12);
+        let zero = RunPerf {
+            events: 5,
+            wall_s: 0.0,
+            sim_s: 1.0,
+        };
+        assert_eq!(zero.events_per_sec(), 0.0);
+        assert_eq!(zero.sim_rt_ratio(), 0.0);
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub struct RunResult {
     pub duration: SimDuration,
     /// Events processed (simulator health indicator).
     pub events: u64,
+    /// Host-side cost of the run: events, wall-clock, sim/real ratio.
+    /// Never feeds back into results — see [`crate::metrics::RunPerf`].
+    pub perf: crate::metrics::RunPerf,
 }
 
 impl RunResult {
@@ -230,11 +233,17 @@ pub fn run(scenario: Scenario) -> RunResult {
     let mut sim = Simulator::new(world);
     prime_events(&mut sim);
     // Run past the traffic end so in-flight packets settle.
-    sim.run_until(traffic_until + SimDuration::from_millis(500));
+    let settle = SimDuration::from_millis(500);
+    sim.run_until(traffic_until + settle);
     let events = sim.events_processed();
+    let perf = crate::metrics::RunPerf::from_engine(
+        sim.perf(),
+        (scenario.duration + settle).as_secs_f64(),
+    );
     RunResult {
         world: sim.into_world(),
         duration: scenario.duration,
         events,
+        perf,
     }
 }

@@ -137,7 +137,7 @@ impl ApSelector {
                 continue;
             }
             if let Some(s) = self.score(ap, now) {
-                if best.is_none_or(|(_, bs)| s > bs) {
+                if best.map_or(true, |(_, bs)| s > bs) {
                     best = Some((ap, s));
                 }
             }

@@ -36,7 +36,7 @@ use wgtt_net::{
 use wgtt_phy::esnr::esnr_from_csi;
 use wgtt_phy::geom::Deployment;
 use wgtt_phy::mcs::Mcs;
-use wgtt_phy::{controller_esnr_db, Modulation, WirelessLink};
+use wgtt_phy::{EsnrMemo, Modulation, WirelessLink};
 use wgtt_sim::{Ctx, FaultEdge, FaultSchedule, SimDuration, SimRng, SimTime, World};
 
 /// Identifies a radio transmitter for busy-tracking.
@@ -1103,15 +1103,20 @@ impl WgttWorld {
     fn on_accuracy_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         for c in 0..self.clients.len() {
-            // Oracle: instantaneous ESNR argmax over in-range APs.
+            // Oracle: instantaneous ESNR argmax over in-range APs. The
+            // winner's memo is kept so the capacity integral below reuses
+            // the ranking's 16-QAM integration instead of redoing it.
             let mut best: Option<(usize, f64)> = None;
+            let mut best_esnr: Option<EsnrMemo> = None;
             for ap in 0..self.aps.len() {
                 if self.ap_down[ap] || !self.in_radio_range(ap, c, now) {
                     continue;
                 }
-                let e = controller_esnr_db(&self.csi(ap, c, now));
-                if best.is_none_or(|(_, b)| e > b) {
+                let mut memo = EsnrMemo::new(&self.csi(ap, c, now));
+                let e = memo.esnr_db(Modulation::Qam16);
+                if best.map_or(true, |(_, b)| e > b) {
                     best = Some((ap, e));
+                    best_esnr = Some(memo);
                 }
             }
             let serving = self.serving_of(c);
@@ -1119,10 +1124,8 @@ impl WgttWorld {
                 // Capacity-loss integral (Figs 4, 21): the best link's
                 // instantaneous capacity minus what the serving link offers.
                 let gi = self.cfg.gi;
-                let best_cap = self
-                    .cfg
-                    .per_model
-                    .capacity_bps(gi, &self.csi(oracle, c, now), 1500);
+                let mut oracle_esnr = best_esnr.expect("memo kept with best");
+                let best_cap = self.cfg.per_model.capacity_with(&mut oracle_esnr, gi, 1500);
                 let serv_cap = match serving {
                     Some(s) if s == oracle => best_cap,
                     Some(s) => self
@@ -1544,12 +1547,16 @@ impl WgttWorld {
         }
         let client = ClientId(c as u32);
         let csi = self.csi(ap, c, start);
+        // One snapshot serves the whole exchange — per-MPDU data draws, the
+        // QPSK Block ACK, and the controller's 16-QAM report — so memoize
+        // the per-modulation ESNR integrations across all of them.
+        let mut esnr = EsnrMemo::new(&csi);
         let listening = self.client_listens_to(ap, c);
         if self.trace {
             eprintln!(
                 "[{now}] ap{ap} tx: seqs={:?} mcs={mcs} esnr_q16={:.1}",
                 mpdus.iter().map(|m| m.0).collect::<Vec<_>>(),
-                controller_esnr_db(&csi)
+                esnr.esnr_db(Modulation::Qam16)
             );
         }
         let n = mpdus.len() as u64;
@@ -1572,7 +1579,7 @@ impl WgttWorld {
             } else {
                 self.cfg
                     .per_model
-                    .success_from_csi(mcs, &csi, packet.len_bytes + overhead::DOT11)
+                    .success_with(&mut esnr, mcs, packet.len_bytes + overhead::DOT11)
             };
             let delivered = self.rng.chance(p);
             results.push((seq, packet, retries, delivered));
@@ -1608,7 +1615,7 @@ impl WgttWorld {
             ba = Some(frame);
             // BA travels client→AP on the reciprocal channel at the
             // 24 Mbit/s basic control rate (QPSK-3/4-like robustness).
-            let e_qpsk = esnr_from_csi(Modulation::Qpsk, &csi);
+            let e_qpsk = esnr.esnr_db(Modulation::Qpsk);
             let p_ba =
                 self.cfg
                     .per_model
@@ -1631,21 +1638,24 @@ impl WgttWorld {
                     continue;
                 }
                 let other_csi = self.csi(other, c, start);
-                let e = esnr_from_csi(Modulation::Qpsk, &other_csi);
+                // Monitors measure the QPSK BA and, on success, report the
+                // 16-QAM controller metric off the same snapshot.
+                let mut other_esnr = EsnrMemo::new(&other_csi);
+                let e = other_esnr.esnr_db(Modulation::Qpsk);
                 let p =
                     self.cfg
                         .per_model
                         .success_prob(Mcs(2), e, wgtt_mac::timing::BLOCK_ACK_BYTES);
                 if self.rng.chance(p) {
                     overheard_by.push(other);
-                    let esnr = controller_esnr_db(&other_csi);
-                    self.report_csi(ctx, other, c, esnr, now);
+                    let report = other_esnr.esnr_db(Modulation::Qam16);
+                    self.report_csi(ctx, other, c, report, now);
                 }
             }
         }
         if ba_received {
-            let esnr = controller_esnr_db(&csi);
-            self.report_csi(ctx, ap, c, esnr, now);
+            let report = esnr.esnr_db(Modulation::Qam16);
+            self.report_csi(ctx, ap, c, report, now);
         }
         let Some(st) = self.aps[ap].clients.get_mut(&client) else {
             return; // state wiped by a crash/reboot cycle mid-flight
@@ -1860,14 +1870,17 @@ impl WgttWorld {
                 continue;
             }
             let csi = self.csi(ap, c, start);
+            // One memo per receiving AP: every uplink MPDU in the burst
+            // draws against the same snapshot, and the CSI report reuses it.
+            let mut esnr = EsnrMemo::new(&csi);
             let mut got = Vec::new();
             for e in &entries {
                 let p = if collided {
                     0.0
                 } else {
-                    self.cfg.per_model.success_from_csi(
+                    self.cfg.per_model.success_with(
+                        &mut esnr,
                         mcs,
-                        &csi,
                         e.packet.len_bytes + overhead::DOT11,
                     )
                 };
@@ -1877,8 +1890,8 @@ impl WgttWorld {
             }
             if !got.is_empty() {
                 // CSI measurement from this reception, rate-limited.
-                let esnr = controller_esnr_db(&csi);
-                self.report_csi(ctx, ap, c, esnr, now);
+                let report = esnr.esnr_db(Modulation::Qam16);
+                self.report_csi(ctx, ap, c, report, now);
                 per_ap_received.push((ap, got));
             }
         }
@@ -2063,9 +2076,9 @@ impl WgttWorld {
         }
         let gi = self.cfg.gi;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
-        let due = st
-            .last_csi_report
-            .is_none_or(|t| now.saturating_since(t) >= self.cfg.csi_report_interval);
+        let due = st.last_csi_report.map_or(true, |t| {
+            now.saturating_since(t) >= self.cfg.csi_report_interval
+        });
         if !due {
             return;
         }
@@ -2272,7 +2285,7 @@ impl WgttWorld {
         // Arm the RTO check if needed.
         if let Some(d) = deadline {
             let flow = &mut self.flows[fidx];
-            let need = flow.rto_check_at.is_none_or(|at| at > d || at <= now);
+            let need = flow.rto_check_at.map_or(true, |at| at > d || at <= now);
             if need {
                 flow.rto_check_at = Some(d);
                 ctx.schedule_at(d.max(now), Ev::TcpRtoCheck(fidx));
@@ -2432,9 +2445,9 @@ impl WgttWorld {
         if self.cfg.mode == Mode::Enhanced80211r && self.clients[c].roam.is_none() {
             let serving = self.clients[c].serving;
             let best = self.clients[c].best_rssi_ap();
-            let hysteresis_ok = self.clients[c]
-                .last_roam
-                .is_none_or(|t| now.saturating_since(t) >= self.cfg.baseline.hysteresis);
+            let hysteresis_ok = self.clients[c].last_roam.map_or(true, |t| {
+                now.saturating_since(t) >= self.cfg.baseline.hysteresis
+            });
             // Beacon-miss detection: after many missed beacons the client
             // declares the link lost and rescans — the full scan across
             // channels takes on the order of a second on real clients.

@@ -15,7 +15,7 @@
 //! are exposed in [`PerModel`] for calibration.
 
 use crate::csi::Csi;
-use crate::esnr::esnr_from_csi;
+use crate::esnr::{esnr_from_csi, EsnrMemo};
 use crate::mcs::Mcs;
 use serde::{Deserialize, Serialize};
 
@@ -77,6 +77,13 @@ impl PerModel {
         self.success_prob(mcs, esnr, len_bytes)
     }
 
+    /// [`Self::success_from_csi`] against a memoized snapshot — per-MPDU
+    /// delivery draws in an A-MPDU burst share one ESNR integration.
+    pub fn success_with(&self, esnr: &mut EsnrMemo, mcs: Mcs, len_bytes: usize) -> f64 {
+        let e = esnr.esnr_db(mcs.modulation());
+        self.success_prob(mcs, e, len_bytes)
+    }
+
     /// Expected goodput (bit/s) for a frame of `len_bytes` at `esnr_db`:
     /// `rate · P(success)`. Used by rate control and by "capacity"
     /// computations in the experiments.
@@ -93,7 +100,40 @@ impl PerModel {
     /// The instantaneous link capacity (bit/s): best over MCS of expected
     /// goodput, given a CSI snapshot. This is the paper's notion of the
     /// "channel capacity" an AP could deliver at an instant (Figs 2, 4, 21).
+    ///
+    /// The eight MCSs share four modulations, so the memoized path runs
+    /// four ESNR integrations instead of eight — bit-identical to
+    /// [`Self::capacity_bps_ref`] (locked by `memoized_paths_match_ref`).
     pub fn capacity_bps(&self, gi: crate::mcs::GuardInterval, csi: &Csi, len_bytes: usize) -> f64 {
+        self.capacity_with(&mut EsnrMemo::new(csi), gi, len_bytes)
+    }
+
+    /// [`Self::capacity_bps`] against a caller-held memo (reuses ESNRs the
+    /// caller already computed for ranking, e.g. the oracle sampler).
+    pub fn capacity_with(
+        &self,
+        esnr: &mut EsnrMemo,
+        gi: crate::mcs::GuardInterval,
+        len_bytes: usize,
+    ) -> f64 {
+        Mcs::all()
+            .map(|m| {
+                let e = esnr.esnr_db(m.modulation());
+                self.expected_goodput_bps(m, gi, e, len_bytes)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Pre-memoization reference implementation of [`Self::capacity_bps`]:
+    /// one full ESNR integration per MCS. Kept as the equivalence oracle
+    /// and as the baseline the `perf` harness measures the memoized path
+    /// against (`BENCH.json` `esnr_hotpath` section).
+    pub fn capacity_bps_ref(
+        &self,
+        gi: crate::mcs::GuardInterval,
+        csi: &Csi,
+        len_bytes: usize,
+    ) -> f64 {
         Mcs::all()
             .map(|m| {
                 let e = esnr_from_csi(m.modulation(), csi);
@@ -105,6 +145,21 @@ impl PerModel {
     /// Best MCS for a CSI snapshot (argmax of expected goodput) — an oracle
     /// rate choice used in tests and as a reference for rate control.
     pub fn best_mcs(&self, gi: crate::mcs::GuardInterval, csi: &Csi, len_bytes: usize) -> Mcs {
+        let mut esnr = EsnrMemo::new(csi);
+        Mcs::all()
+            .max_by(|a, b| {
+                let ea = esnr.esnr_db(a.modulation());
+                let eb = esnr.esnr_db(b.modulation());
+                self.expected_goodput_bps(*a, gi, ea, len_bytes)
+                    .partial_cmp(&self.expected_goodput_bps(*b, gi, eb, len_bytes))
+                    .expect("goodput is not NaN")
+            })
+            .expect("MCS set is non-empty")
+    }
+
+    /// Pre-memoization reference for [`Self::best_mcs`] (equivalence
+    /// oracle; see [`Self::capacity_bps_ref`]).
+    pub fn best_mcs_ref(&self, gi: crate::mcs::GuardInterval, csi: &Csi, len_bytes: usize) -> Mcs {
         Mcs::all()
             .max_by(|a, b| {
                 let ea = esnr_from_csi(a.modulation(), csi);

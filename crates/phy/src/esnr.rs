@@ -31,6 +31,14 @@ pub enum Modulation {
 }
 
 impl Modulation {
+    /// All modulations, densest last — indexable by [`Modulation::index`].
+    pub const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
     /// Bits carried per subcarrier per symbol.
     pub fn bits_per_symbol(self) -> u32 {
         match self {
@@ -38,6 +46,16 @@ impl Modulation {
             Modulation::Qpsk => 2,
             Modulation::Qam16 => 4,
             Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Dense index into per-modulation tables (`ALL[m.index()] == m`).
+    pub fn index(self) -> usize {
+        match self {
+            Modulation::Bpsk => 0,
+            Modulation::Qpsk => 1,
+            Modulation::Qam16 => 2,
+            Modulation::Qam64 => 3,
         }
     }
 }
@@ -135,6 +153,44 @@ pub fn esnr_db(modulation: Modulation, snr_linear: &[f64]) -> f64 {
 /// Effective SNR in dB straight from a CSI measurement.
 pub fn esnr_from_csi(modulation: Modulation, csi: &Csi) -> f64 {
     esnr_db(modulation, &csi.per_subcarrier_snr_linear())
+}
+
+/// Memoized per-modulation ESNR for **one** CSI snapshot.
+///
+/// The ESNR integration (56 BER evaluations plus a bisection inversion) is
+/// the single hottest computation in the simulator: every MPDU delivery
+/// draw, Block-ACK reception, rate-control decision, and controller CSI
+/// report needs an ESNR, and one transmission queries the *same* snapshot
+/// under several modulations (data MCS, QPSK control frames, the
+/// controller's 16-QAM reference) — and an A-MPDU burst repeats the data-MCS
+/// query once per MPDU. This memo computes the per-subcarrier SNR vector
+/// once and each modulation's ESNR at most once, returning bit-identical
+/// values to the corresponding [`esnr_from_csi`] calls (it delegates to the
+/// same [`esnr_db`] on the same input — locked by `memo_matches_direct`).
+pub struct EsnrMemo {
+    snr_linear: Vec<f64>,
+    cache: [Option<f64>; 4],
+}
+
+impl EsnrMemo {
+    /// Captures the snapshot's per-subcarrier SNRs (computed once).
+    pub fn new(csi: &Csi) -> Self {
+        EsnrMemo {
+            snr_linear: csi.per_subcarrier_snr_linear(),
+            cache: [None; 4],
+        }
+    }
+
+    /// The snapshot's ESNR in dB for `modulation`, computed on first use.
+    pub fn esnr_db(&mut self, modulation: Modulation) -> f64 {
+        let i = modulation.index();
+        if let Some(v) = self.cache[i] {
+            return v;
+        }
+        let v = esnr_db(modulation, &self.snr_linear);
+        self.cache[i] = Some(v);
+        v
+    }
 }
 
 /// The scalar ESNR used by the WGTT controller for AP ranking.
@@ -255,6 +311,36 @@ mod tests {
     #[test]
     fn empty_input_is_floor() {
         assert_eq!(esnr_db(Modulation::Qpsk, &[]), -300.0);
+    }
+
+    #[test]
+    fn memo_matches_direct() {
+        // The memo must be bit-identical to per-call esnr_from_csi — it is
+        // a pure cache, not a numerical shortcut.
+        let mut h: Vec<Cplx> = Vec::new();
+        for i in 0..56 {
+            let re = 0.3 + (i as f64 * 0.37).sin();
+            let im = (i as f64 * 0.11).cos() * 0.8;
+            h.push(Cplx::new(re, im));
+        }
+        let csi = Csi {
+            h,
+            mean_snr_db: 17.3,
+        };
+        let mut memo = EsnrMemo::new(&csi);
+        for m in Modulation::ALL {
+            let direct = esnr_from_csi(m, &csi);
+            // Repeated queries hit the cache and must not drift.
+            assert_eq!(memo.esnr_db(m).to_bits(), direct.to_bits(), "{m:?}");
+            assert_eq!(memo.esnr_db(m).to_bits(), direct.to_bits(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn modulation_index_roundtrip() {
+        for (i, m) in Modulation::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
     }
 
     #[test]

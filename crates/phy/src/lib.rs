@@ -41,7 +41,7 @@ pub use antenna::{Antenna, Isotropic, ParabolicAntenna};
 pub use complex::Cplx;
 pub use csi::{Csi, NUM_SUBCARRIERS};
 pub use error::PerModel;
-pub use esnr::{controller_esnr_db, esnr_db, esnr_from_csi, Modulation};
+pub use esnr::{controller_esnr_db, esnr_db, esnr_from_csi, EsnrMemo, Modulation};
 pub use fading::{coherence_time_s, doppler_hz, FadingConfig, TappedDelayLine};
 pub use geom::{mph_to_mps, mps_to_mph, ApSite, Deployment, DeploymentConfig, Position};
 pub use link::{LinkConfig, WirelessLink};

@@ -20,6 +20,7 @@ use crate::geom::{ApSite, Position};
 use crate::pathloss::{LinkBudget, PathLoss};
 use crate::shadowing::{ShadowingConfig, ShadowingProcess};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use wgtt_sim::{SimRng, SimTime};
 
 /// Static configuration shared by all links in a deployment.
@@ -52,6 +53,20 @@ impl Default for LinkConfig {
     }
 }
 
+/// Memoized large-scale SNR for one exact client position (f64 bit
+/// patterns). Geometry, path loss, antenna gain, and shadowing depend only
+/// on position, and the upper layers query the same position many times per
+/// event (per-MPDU delivery, monitor sweeps, oracle sampling) before the
+/// client moves — so a one-slot cache absorbs almost every repeat. Keying
+/// on exact bits keeps the cached path bit-identical to the uncached one.
+#[derive(Debug, Clone, Copy)]
+struct GeoCache {
+    x_bits: u64,
+    y_bits: u64,
+    z_bits: u64,
+    snr_db: f64,
+}
+
 /// The live channel between one AP site and one client.
 #[derive(Debug, Clone)]
 pub struct WirelessLink {
@@ -60,6 +75,7 @@ pub struct WirelessLink {
     fading: TappedDelayLine,
     shadowing: ShadowingProcess,
     subcarriers: [f64; crate::csi::NUM_SUBCARRIERS],
+    geo: Cell<Option<GeoCache>>,
 }
 
 impl WirelessLink {
@@ -76,6 +92,7 @@ impl WirelessLink {
             fading,
             shadowing,
             subcarriers: subcarrier_offsets_hz(),
+            geo: Cell::new(None),
         }
     }
 
@@ -86,7 +103,30 @@ impl WirelessLink {
 
     /// Large-scale (no fast fading) SNR in dB toward a client position,
     /// including the shadowing offset when enabled.
+    ///
+    /// Memoized for the last queried position (exact f64 bits), so repeat
+    /// queries between client moves skip the geometry/path-loss/antenna
+    /// chain. Bit-identical to [`Self::mean_snr_db_uncached`].
     pub fn mean_snr_db(&self, client: &Position) -> f64 {
+        let (xb, yb, zb) = (client.x.to_bits(), client.y.to_bits(), client.z.to_bits());
+        if let Some(c) = self.geo.get() {
+            if c.x_bits == xb && c.y_bits == yb && c.z_bits == zb {
+                return c.snr_db;
+            }
+        }
+        let snr_db = self.mean_snr_db_uncached(client);
+        self.geo.set(Some(GeoCache {
+            x_bits: xb,
+            y_bits: yb,
+            z_bits: zb,
+            snr_db,
+        }));
+        snr_db
+    }
+
+    /// [`Self::mean_snr_db`] without the position memo — the reference the
+    /// cache is checked against, and the baseline for the `perf` harness.
+    pub fn mean_snr_db_uncached(&self, client: &Position) -> f64 {
         let d = self.ap.distance_to(client);
         let theta = self.ap.off_boresight(client);
         let pl = self.cfg.pathloss.loss_db(d);
@@ -279,6 +319,28 @@ mod tests {
         assert!(diffs.iter().any(|d| d.abs() > 1.0));
         let mean = wgtt_sim::stats::mean(&diffs);
         assert!(mean.abs() < 4.0, "offset mean {mean}");
+    }
+
+    #[test]
+    fn geometry_cache_is_bit_exact() {
+        let mut cfg = LinkConfig::default();
+        cfg.shadowing.sigma_db = 4.0; // exercise the shadowing term too
+        let dep = DeploymentConfig::default().build();
+        let mut r = SimRng::new(31).fork("geo");
+        let link = WirelessLink::new(dep.aps[2], cfg, &mut r);
+        for step in 0..200 {
+            let pos = road_pos(step as f64 * 0.37 - 10.0);
+            let reference = link.mean_snr_db_uncached(&pos);
+            // Cold, then warm: both must match the uncached value exactly.
+            assert_eq!(link.mean_snr_db(&pos).to_bits(), reference.to_bits());
+            assert_eq!(link.mean_snr_db(&pos).to_bits(), reference.to_bits());
+            // Interleave a different position and re-query: the one-slot
+            // cache must recompute, not serve the stale entry.
+            let other = road_pos(step as f64 * 0.37 + 5.0);
+            let other_ref = link.mean_snr_db_uncached(&other);
+            assert_eq!(link.mean_snr_db(&other).to_bits(), other_ref.to_bits());
+            assert_eq!(link.mean_snr_db(&pos).to_bits(), reference.to_bits());
+        }
     }
 
     #[test]

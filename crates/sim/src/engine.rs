@@ -13,6 +13,33 @@
 
 use crate::queue::{EventKey, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use std::time::{Duration, Instant};
+
+/// Engine-level performance counters: how much simulated work was done and
+/// how long the host took to do it. Wall-clock never feeds back into the
+/// simulation — results stay bit-identical whatever the host speed — it is
+/// only read out afterwards by experiment harnesses (events/sec trajectory
+/// in `BENCH.json`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnginePerf {
+    /// Events processed so far.
+    pub events: u64,
+    /// Host wall-clock time spent inside [`Simulator::run_until`] /
+    /// [`Simulator::run_to_completion`] loops.
+    pub wall: Duration,
+}
+
+impl EnginePerf {
+    /// Events processed per wall-clock second (0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.events as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
 
 /// The mutable state of a simulation plus its event-handling logic.
 pub trait World {
@@ -72,6 +99,7 @@ pub struct Simulator<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
+    wall: Duration,
 }
 
 impl<W: World> Simulator<W> {
@@ -82,6 +110,16 @@ impl<W: World> Simulator<W> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Performance counters accumulated so far (events processed, host
+    /// wall-clock spent in the run loops).
+    pub fn perf(&self) -> EnginePerf {
+        EnginePerf {
+            events: self.processed,
+            wall: self.wall,
         }
     }
 
@@ -146,6 +184,7 @@ impl<W: World> Simulator<W> {
     /// Afterwards the clock reads `end` (or the last event time if the list
     /// drained first).
     pub fn run_until(&mut self, end: SimTime) {
+        let t0 = Instant::now();
         loop {
             match self.queue.peek_time() {
                 Some(t) if t <= end => {
@@ -157,11 +196,14 @@ impl<W: World> Simulator<W> {
         if self.now < end {
             self.now = end;
         }
+        self.wall += t0.elapsed();
     }
 
     /// Runs until the event list is exhausted.
     pub fn run_to_completion(&mut self) {
+        let t0 = Instant::now();
         while self.step() {}
+        self.wall += t0.elapsed();
     }
 }
 
@@ -279,6 +321,27 @@ mod tests {
         sim.schedule_at(SimTime::from_millis(1), ToyEvent::OneShot);
         assert!(sim.step());
         assert!(!sim.step());
+    }
+
+    #[test]
+    fn perf_counters_track_run_loops() {
+        let mut world = toy();
+        world.remaining = 50;
+        let mut sim = Simulator::new(world);
+        assert_eq!(sim.perf().events, 0);
+        assert_eq!(sim.perf().wall, std::time::Duration::ZERO);
+        sim.schedule_at(SimTime::from_millis(0), ToyEvent::Tick);
+        sim.run_until(SimTime::from_millis(200));
+        let mid = sim.perf();
+        assert_eq!(mid.events, 21);
+        sim.run_to_completion();
+        let done = sim.perf();
+        assert_eq!(done.events, 51);
+        // Wall-clock accumulates across run loops and events/sec follows.
+        assert!(done.wall >= mid.wall);
+        if done.wall > std::time::Duration::ZERO {
+            assert!(done.events_per_sec() > 0.0);
+        }
     }
 
     #[test]

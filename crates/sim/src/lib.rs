@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Ctx, Simulator, World};
+pub use engine::{Ctx, EnginePerf, Simulator, World};
 pub use fault::{
     ApOutage, BackhaulFault, BackhaulImpairment, CsiDropWindow, DupWindow, FaultEdge,
     FaultSchedule, PartitionWindow, ReorderWindow,

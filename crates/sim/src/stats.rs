@@ -144,7 +144,7 @@ impl TimeWindow {
     /// `t - window`. Samples must arrive in non-decreasing time order.
     pub fn push(&mut self, t: SimTime, value: f64) {
         debug_assert!(
-            self.samples.back().is_none_or(|&(last, _)| last <= t),
+            self.samples.back().map_or(true, |&(last, _)| last <= t),
             "TimeWindow samples must be time-ordered"
         );
         self.samples.push_back((t, value));
