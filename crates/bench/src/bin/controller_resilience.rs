@@ -1,0 +1,7 @@
+//! Runs the controller-resilience experiment at full fidelity (pass
+//! `--fast` for a quick single-seed pass).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    print!("{}", wgtt_bench::controller_resilience::report(fast));
+}

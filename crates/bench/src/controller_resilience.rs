@@ -1,0 +1,222 @@
+//! Controller-resilience experiment — goodput retention and recovery
+//! latency across a controller crash/restart.
+//!
+//! Not a paper figure: this sweeps the controller-outage width over UDP
+//! drives at transit speeds, crashing the controller mid-drive (squarely
+//! across the busy switching region) and restarting it after the
+//! configured outage. It reports downlink goodput retention against the
+//! zero-outage cell at the same speed, the AP-sourced resync latency,
+//! the degraded-mode uplink buffering counters, local re-adoptions, and
+//! the two must-be-zero columns: applied mis-switches and duplicate
+//! uplink deliveries at the server.
+
+use crate::common::{config, mean_over, render_table, save_json, seeds_for};
+use serde::Serialize;
+use wgtt_core::config::Mode;
+use wgtt_core::runner::{FlowSpec, RunResult, Scenario};
+use wgtt_sim::{FaultSchedule, SimDuration, SimTime};
+
+/// When the controller dies, in drive time — after the drive has
+/// ramped up and switching is underway at every speed in the sweep.
+const CRASH_AT: SimTime = SimTime::from_millis(2_000);
+
+/// One grid point of the sweep.
+#[derive(Debug, Serialize)]
+pub struct ControllerResiliencePoint {
+    /// Outage width, seconds (0 = no crash, the baseline cell).
+    pub outage_s: f64,
+    /// Drive speed, mph.
+    pub mph: f64,
+    /// Mean downlink UDP goodput, Mbit/s.
+    pub down_mbps: f64,
+    /// Goodput as a fraction of the zero-outage cell at the same speed.
+    pub retention: f64,
+    /// Mean AP-sourced resync latency, ms (0 when no crash).
+    pub resync_ms: f64,
+    /// Uplink datagrams buffered at APs while the controller was down
+    /// (mean per run).
+    pub uplink_buffered: f64,
+    /// Buffered uplink flushed to the controller after resync (mean).
+    pub uplink_flushed: f64,
+    /// Uplink dropped at full degraded-mode buffers (mean).
+    pub uplink_dropped: f64,
+    /// Stop-applied orphans the old AP re-adopted locally (mean).
+    pub local_readoptions: f64,
+    /// Applied mis-switches (mean per run) — must stay zero.
+    pub mis_switches: f64,
+    /// Duplicate uplink datagrams delivered at the server (mean per
+    /// run) — must stay zero across the dedup re-prime.
+    pub uplink_dups: f64,
+}
+
+/// The full sweep.
+#[derive(Debug, Serialize)]
+pub struct ControllerResilienceSweep {
+    /// Grid points, outage-width major.
+    pub points: Vec<ControllerResiliencePoint>,
+}
+
+/// Builds the crash drive for one seed: bidirectional UDP so both the
+/// downlink goodput hit and the uplink dedup re-prime are visible.
+fn scenario(outage_s: f64, mph: f64, seed: u64) -> Scenario {
+    let mut s = Scenario::single_drive(
+        config(Mode::Wgtt),
+        mph,
+        vec![
+            FlowSpec::DownlinkUdp {
+                rate_bps: 20_000_000,
+                payload: 1472,
+            },
+            FlowSpec::UplinkUdp {
+                rate_bps: 2_000_000,
+                payload: 1200,
+            },
+        ],
+        seed,
+    );
+    if outage_s > 0.0 {
+        s.faults = FaultSchedule::new()
+            .with_controller_crash(CRASH_AT, CRASH_AT + SimDuration::from_secs_f64(outage_s));
+    }
+    s
+}
+
+fn resync_ms(r: &RunResult) -> f64 {
+    let resyncs = &r.world.sys.resyncs;
+    if resyncs.is_empty() {
+        return 0.0;
+    }
+    resyncs
+        .iter()
+        .map(|&(_, d)| d.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / resyncs.len() as f64
+}
+
+fn server_uplink_dups(r: &RunResult) -> f64 {
+    r.world
+        .flows
+        .iter()
+        .filter_map(|f| f.up_sink.as_ref())
+        .map(|s| s.duplicates())
+        .sum::<u64>() as f64
+}
+
+/// Runs the sweep.
+pub fn run_experiment(fast: bool) -> ControllerResilienceSweep {
+    let outages: &[f64] = if fast {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.5, 1.0, 2.0]
+    };
+    let speeds: &[f64] = if fast { &[15.0] } else { &[15.0, 25.0] };
+    let seeds = seeds_for(fast, 3);
+    // The whole (outage × speed × seed) grid is independent — fan it out
+    // across the worker pool in one batch, outage-width major.
+    let cells: Vec<(f64, f64)> = outages
+        .iter()
+        .flat_map(|&o| speeds.iter().map(move |&mph| (o, mph)))
+        .collect();
+    let grid = crate::common::sweep_grid(cells.len(), seeds, |cell, seed| {
+        let (outage, mph) = cells[cell];
+        scenario(outage, mph, seed)
+    });
+    // Zero-outage goodput per speed, for the retention column.
+    let mut baseline: Vec<(f64, f64)> = Vec::new();
+    for ((outage, mph), results) in cells.iter().copied().zip(&grid) {
+        if outage == 0.0 {
+            baseline.push((mph, mean_over(results, |r| r.downlink_bps(0))));
+        }
+    }
+    let mut points = Vec::new();
+    for ((outage, mph), results) in cells.iter().copied().zip(&grid) {
+        let down_bps = mean_over(results, |r| r.downlink_bps(0));
+        let base = baseline
+            .iter()
+            .find(|&&(m, _)| m == mph)
+            .map(|&(_, b)| b)
+            .unwrap_or(down_bps);
+        points.push(ControllerResiliencePoint {
+            outage_s: outage,
+            mph,
+            down_mbps: down_bps / 1e6,
+            retention: if base > 0.0 { down_bps / base } else { 1.0 },
+            resync_ms: mean_over(results, resync_ms),
+            uplink_buffered: mean_over(results, |r| r.world.sys.degraded_uplink_buffered as f64),
+            uplink_flushed: mean_over(results, |r| r.world.sys.degraded_uplink_flushed as f64),
+            uplink_dropped: mean_over(results, |r| r.world.sys.degraded_uplink_dropped as f64),
+            local_readoptions: mean_over(results, |r| r.world.sys.local_readoptions as f64),
+            mis_switches: mean_over(results, |r| r.world.sys.mis_switches as f64),
+            uplink_dups: mean_over(results, server_uplink_dups),
+        });
+    }
+    ControllerResilienceSweep { points }
+}
+
+/// Runs and renders the controller-resilience sweep.
+pub fn report(fast: bool) -> String {
+    let sweep = run_experiment(fast);
+    save_json("controller_resilience", &sweep);
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.outage_s),
+                format!("{:.0}", p.mph),
+                format!("{:.2}", p.down_mbps),
+                format!("{:.2}", p.retention),
+                format!("{:.1}", p.resync_ms),
+                format!("{:.1}", p.uplink_buffered),
+                format!("{:.1}", p.uplink_flushed),
+                format!("{:.1}", p.uplink_dropped),
+                format!("{:.1}", p.local_readoptions),
+                format!("{:.1}", p.mis_switches),
+                format!("{:.1}", p.uplink_dups),
+            ]
+        })
+        .collect();
+    format!(
+        "Controller resilience — UDP drives across a controller crash/restart\n{}",
+        render_table(
+            &[
+                "outage s",
+                "mph",
+                "Mbit/s",
+                "retention",
+                "resync ms",
+                "buffered",
+                "flushed",
+                "dropped",
+                "readopt",
+                "mis-sw",
+                "up dups",
+            ],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgtt_core::runner::run;
+
+    #[test]
+    fn crash_cell_resyncs_cleanly() {
+        let r = run(scenario(1.0, 15.0, 11));
+        let s = &r.world.sys;
+        assert_eq!(s.controller_crashes, 1);
+        assert_eq!(s.controller_recoveries, 1);
+        assert_eq!(s.resyncs.len(), 1);
+        assert_eq!(s.mis_switches, 0);
+        assert_eq!(server_uplink_dups(&r), 0.0);
+        assert!(r.downlink_bps(0) > 0.0);
+    }
+
+    #[test]
+    fn zero_outage_cell_has_empty_schedule() {
+        let s = scenario(0.0, 15.0, 1);
+        assert!(s.faults.is_empty());
+    }
+}

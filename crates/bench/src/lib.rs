@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod common;
+pub mod controller_resilience;
 pub mod ext_multichannel;
 pub mod fig02;
 pub mod fig04;
@@ -65,6 +66,7 @@ pub fn all_experiments() -> Vec<(&'static str, ReportFn)> {
         ("ablations", ablations::report),
         ("ext_multichannel", ext_multichannel::report),
         ("resilience", resilience::report),
+        ("controller_resilience", controller_resilience::report),
         ("chaos", chaos::report),
     ]
 }

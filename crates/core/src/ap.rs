@@ -8,7 +8,7 @@
 //! serves all clients round-robin.
 
 use crate::cyclic::CyclicQueue;
-use crate::switching::ApSwitchGuard;
+use crate::switching::{ApSwitchGuard, ClientResyncState, ResyncReply};
 use std::collections::{HashMap, HashSet, VecDeque};
 use wgtt_mac::blockack::TxScoreboard;
 use wgtt_mac::dcf::Backoff;
@@ -25,6 +25,16 @@ pub const NIC_QUEUE_CAP: usize = 32;
 
 /// Retry limit for one MPDU at the link layer.
 pub const MPDU_RETRY_LIMIT: u32 = 7;
+
+/// Bound on the degraded-mode uplink buffer: packets an AP holds for the
+/// controller while it is crashed. Beyond this the AP drops (and counts)
+/// new uplink rather than grow without bound.
+pub const DEGRADED_UPLINK_CAP: usize = 256;
+
+/// Bound on the ring of recently forwarded uplink dedup keys an AP keeps
+/// so a rebooted controller can conservatively re-prime its duplicate
+/// suppression table.
+pub const RECENT_UPLINK_KEYS: usize = 1024;
 
 /// A packet committed to the NIC queue, with link-layer retry accounting.
 #[derive(Debug, Clone)]
@@ -169,6 +179,13 @@ pub struct ApState {
     pub rr_cursor: usize,
     /// Monotone transmission id source (collision bookkeeping).
     pub next_tx_id: u64,
+    /// Degraded mode: uplink held for the controller while it is down
+    /// (bounded by [`DEGRADED_UPLINK_CAP`]), flushed after resync.
+    pub uplink_buffer: VecDeque<Packet>,
+    /// Dedup keys of recently *forwarded* uplink packets (bounded ring),
+    /// reported at resync so the rebooted controller drops cross-restart
+    /// retransmissions instead of delivering them twice.
+    pub recent_uplink_keys: VecDeque<u64>,
 }
 
 impl ApState {
@@ -180,6 +197,57 @@ impl ApState {
             backoff: Backoff::default(),
             rr_cursor: 0,
             next_tx_id: 0,
+            uplink_buffer: VecDeque::new(),
+            recent_uplink_keys: VecDeque::new(),
+        }
+    }
+
+    /// Degraded mode: holds an uplink packet while the controller is
+    /// down. Returns whether the packet was buffered; `false` means the
+    /// bounded buffer is full and the packet must be dropped (counted by
+    /// the caller).
+    pub fn buffer_uplink(&mut self, packet: Packet) -> bool {
+        if self.uplink_buffer.len() >= DEGRADED_UPLINK_CAP {
+            return false;
+        }
+        self.uplink_buffer.push_back(packet);
+        true
+    }
+
+    /// Remembers the dedup key of an uplink packet this AP just forwarded
+    /// to the controller (bounded ring, oldest evicted first).
+    pub fn note_forwarded_key(&mut self, key: u64) {
+        if self.recent_uplink_keys.len() >= RECENT_UPLINK_KEYS {
+            self.recent_uplink_keys.pop_front();
+        }
+        self.recent_uplink_keys.push_back(key);
+    }
+
+    /// Snapshot of this AP's authoritative per-client switch-protocol
+    /// state, for answering the controller's post-reboot `Resync`
+    /// broadcast. Clients are reported in ascending id order so the reply
+    /// is deterministic regardless of `HashMap` iteration.
+    pub fn resync_reply(&self) -> ResyncReply {
+        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
+        ids.sort();
+        let clients = ids
+            .iter()
+            .map(|id| {
+                let st = &self.clients[id];
+                ClientResyncState {
+                    client: *id,
+                    epoch_high_water: st.guard.latest(),
+                    start_applied: st.guard.start_applied(),
+                    serving: st.serving,
+                    queue_head: st.cyclic.head(),
+                    queue_tail: st.cyclic.tail(),
+                }
+            })
+            .collect();
+        ResyncReply {
+            ap: self.id,
+            clients,
+            recent_uplink_keys: self.recent_uplink_keys.iter().copied().collect(),
         }
     }
 

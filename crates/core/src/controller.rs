@@ -11,10 +11,48 @@ use crate::cyclic::IndexAllocator;
 use crate::dedup::Deduplicator;
 use crate::health::{ApHealth, HealthConfig};
 use crate::selection::{ApSelector, SelectionConfig};
-use crate::switching::{AckOutcome, SwitchEngine};
-use std::collections::HashMap;
+use crate::switching::{AckOutcome, ClientResyncState, ResyncReply, SwitchEngine};
+use std::collections::{BTreeMap, HashMap};
 use wgtt_net::{ApId, ClientId};
 use wgtt_sim::SimTime;
+
+/// One client's disposition after the post-reboot resync reconstructed
+/// the controller's state from AP replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncAction {
+    /// Exactly one AP claims the client — the serving-map entry was
+    /// restored in place; no wire traffic needed.
+    Adopted {
+        /// The re-adopted client.
+        client: ClientId,
+        /// Its (unanimous) serving AP.
+        ap: ApId,
+    },
+    /// Two or more APs claim the client (a half-open switch resolved on
+    /// both sides of the crash, e.g. via local re-adoption racing a slow
+    /// `start`): the caller must issue a fresh epoch-stamped switch from
+    /// `stop` to `adopt` so exactly one transmitter remains.
+    RepairSwitch {
+        /// The conflicted client.
+        client: ClientId,
+        /// The losing claimant the switch stops.
+        stop: ApId,
+        /// The winning claimant that keeps serving.
+        adopt: ApId,
+    },
+    /// No AP claims the client although it was mid-protocol (`stop`
+    /// applied, `start` lost, crash ate the retransmit ladder): the
+    /// caller must send a fresh-epoch direct `start` to `adopt` resuming
+    /// at queue index `head`.
+    RepairAdopt {
+        /// The serverless client.
+        client: ClientId,
+        /// The AP best positioned to take it (newest guard state).
+        adopt: ApId,
+        /// Queue index the repair `start` resumes from.
+        head: u16,
+    },
+}
 
 /// Controller state.
 #[derive(Debug)]
@@ -93,6 +131,128 @@ impl ControllerState {
     /// The serving AP for a client.
     pub fn serving(&self, client: ClientId) -> Option<ApId> {
         self.serving.get(&client).copied()
+    }
+
+    /// Models the controller process dying: every piece of soft state —
+    /// selectors, downlink index allocators, the serving map, the switch
+    /// engine (epochs included), the uplink dedup table, and the health
+    /// tracker — is dropped in place. Only the static selection
+    /// configuration survives; everything else must be rebuilt from AP
+    /// resync replies before the controller can safely issue switches.
+    pub fn crash_wipe(&mut self) {
+        self.selectors.clear();
+        self.allocators.clear();
+        self.serving.clear();
+        self.engine = SwitchEngine::new();
+        self.dedup = Deduplicator::default();
+        self.health = ApHealth::new(HealthConfig::default());
+    }
+
+    /// Rebuilds the controller's state from the APs' resync replies (the
+    /// APs hold the authoritative copies) and returns one action per
+    /// client the replies mention:
+    ///
+    /// * switch epochs resume **strictly above** the maximum guard
+    ///   high-water any AP reported, so no recycled generation can alias
+    ///   an in-flight pre-crash frame;
+    /// * the dedup table is re-primed with every recently-forwarded key,
+    ///   so no duplicate uplink delivery crosses the restart;
+    /// * the health tracker counts each reply as proof of life;
+    /// * index allocators resume at the chosen AP's queue tail;
+    /// * serving conflicts (dual claim / no claim) surface as repair
+    ///   actions for the caller to resolve with fresh epoch-stamped
+    ///   protocol traffic.
+    pub fn apply_resync(&mut self, now: SimTime, replies: &[ResyncReply]) -> Vec<ResyncAction> {
+        let mut per_client: BTreeMap<ClientId, Vec<(ApId, ClientResyncState)>> = BTreeMap::new();
+        for reply in replies {
+            self.health.on_resync_reply(reply.ap, now);
+            for &key in &reply.recent_uplink_keys {
+                self.dedup.prime_key(key);
+            }
+            for cs in &reply.clients {
+                self.engine
+                    .resume_epochs_above(cs.client, cs.epoch_high_water);
+                per_client
+                    .entry(cs.client)
+                    .or_default()
+                    .push((reply.ap, *cs));
+            }
+        }
+        // The AP best positioned to serve a client: newest applied
+        // `start`, then newest guard epoch, then lowest AP id — a total
+        // order, so reconstruction is deterministic.
+        fn best(cands: &[(ApId, ClientResyncState)]) -> (ApId, ClientResyncState) {
+            let key = |s: &(ApId, ClientResyncState)| {
+                (
+                    s.1.start_applied,
+                    s.1.epoch_high_water,
+                    std::cmp::Reverse(s.0),
+                )
+            };
+            *cands
+                .iter()
+                .max_by_key(|s| key(s))
+                .expect("non-empty candidate set")
+        }
+        let mut actions = Vec::new();
+        for (client, states) in per_client {
+            let claimants: Vec<(ApId, ClientResyncState)> =
+                states.iter().copied().filter(|(_, s)| s.serving).collect();
+            match claimants.len() {
+                1 => {
+                    let (ap, st) = claimants[0];
+                    self.serving.insert(client, ap);
+                    self.allocators
+                        .entry(client)
+                        .or_default()
+                        .resume_at(st.queue_tail);
+                    actions.push(ResyncAction::Adopted { client, ap });
+                }
+                0 => {
+                    // Repair only clients that were mid-protocol; a client
+                    // the guards never saw re-associates through normal
+                    // selection once CSI flows again.
+                    let involved: Vec<(ApId, ClientResyncState)> = states
+                        .iter()
+                        .copied()
+                        .filter(|(_, s)| s.epoch_high_water > 0)
+                        .collect();
+                    if involved.is_empty() {
+                        continue;
+                    }
+                    let (ap, st) = best(&involved);
+                    self.allocators
+                        .entry(client)
+                        .or_default()
+                        .resume_at(st.queue_tail);
+                    actions.push(ResyncAction::RepairAdopt {
+                        client,
+                        adopt: ap,
+                        head: st.queue_head,
+                    });
+                }
+                _ => {
+                    let (adopt, st) = best(&claimants);
+                    let stop = claimants
+                        .iter()
+                        .map(|&(ap, _)| ap)
+                        .filter(|&ap| ap != adopt)
+                        .min()
+                        .expect("at least one losing claimant");
+                    self.serving.insert(client, adopt);
+                    self.allocators
+                        .entry(client)
+                        .or_default()
+                        .resume_at(st.queue_tail);
+                    actions.push(ResyncAction::RepairSwitch {
+                        client,
+                        stop,
+                        adopt,
+                    });
+                }
+            }
+        }
+        actions
     }
 
     /// The fan-out set for a client's downlink packets: all APs heard from
@@ -203,6 +363,155 @@ mod tests {
             AckOutcome::Completed(_)
         ));
         assert!(!c.health.is_blacklisted(ApId(1), t(30)));
+    }
+
+    fn resync_state(
+        client: ClientId,
+        epoch_high_water: u32,
+        start_applied: u32,
+        serving: bool,
+        queue_head: u16,
+        queue_tail: u16,
+    ) -> ClientResyncState {
+        ClientResyncState {
+            client,
+            epoch_high_water,
+            start_applied,
+            serving,
+            queue_head,
+            queue_tail,
+        }
+    }
+
+    #[test]
+    fn crash_wipe_drops_all_soft_state_but_keeps_config() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        c.on_csi(t(10), ApId(1), client, 20.0);
+        c.engine.issue(t(10), client, ApId(0), ApId(1));
+        c.assign_index(client);
+        c.serving.insert(client, ApId(0));
+        c.dedup.check_key(42);
+        c.crash_wipe();
+        assert!(c.serving.is_empty());
+        assert!(c.selectors.is_empty());
+        assert!(c.allocators.is_empty());
+        assert_eq!(c.engine.current_epoch(client), 0);
+        assert!(!c.engine.in_flight(client));
+        assert!(c.dedup.is_empty());
+        assert_eq!(c.health.last_csi(ApId(1)), None);
+        // The selection config survives: selectors can be rebuilt.
+        c.selector_mut(client);
+    }
+
+    #[test]
+    fn resync_restores_unanimous_serving_and_epoch_floor() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(3);
+        let replies = vec![
+            ResyncReply {
+                ap: ApId(0),
+                clients: vec![resync_state(client, 4, 0, false, 90, 100)],
+                recent_uplink_keys: vec![7, 8],
+            },
+            ResyncReply {
+                ap: ApId(1),
+                clients: vec![resync_state(client, 4, 4, true, 95, 101)],
+                recent_uplink_keys: vec![8, 9],
+            },
+        ];
+        let actions = c.apply_resync(t(500), &replies);
+        assert_eq!(
+            actions,
+            vec![ResyncAction::Adopted {
+                client,
+                ap: ApId(1)
+            }]
+        );
+        assert_eq!(c.serving(client), Some(ApId(1)));
+        // Epochs resume strictly above the reported high-water.
+        assert_eq!(c.engine.allocate_epoch(client), 5);
+        // The allocator resumes at the serving AP's tail.
+        assert_eq!(c.peek_index(client), 101);
+        // Dedup was re-primed: the reported keys now drop as duplicates
+        // without having counted as passed.
+        assert_eq!(c.dedup.passed(), 0);
+        assert!(!c.dedup.check_key(7));
+        assert!(!c.dedup.check_key(9));
+        // Replies were proof of life.
+        assert_eq!(c.health.last_csi(ApId(0)), Some(t(500)));
+    }
+
+    #[test]
+    fn resync_repairs_dual_serving_toward_newest_start() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(0);
+        let replies = vec![
+            ResyncReply {
+                ap: ApId(2),
+                clients: vec![resync_state(client, 6, 6, true, 80, 90)],
+                recent_uplink_keys: vec![],
+            },
+            ResyncReply {
+                ap: ApId(5),
+                clients: vec![resync_state(client, 5, 5, true, 70, 88)],
+                recent_uplink_keys: vec![],
+            },
+        ];
+        let actions = c.apply_resync(t(100), &replies);
+        assert_eq!(
+            actions,
+            vec![ResyncAction::RepairSwitch {
+                client,
+                stop: ApId(5),
+                adopt: ApId(2),
+            }]
+        );
+        assert_eq!(c.serving(client), Some(ApId(2)));
+    }
+
+    #[test]
+    fn resync_readopts_orphaned_mid_protocol_client() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(1);
+        // Stop applied at AP0 (serving=false, saw epoch 3), start never
+        // landed anywhere; AP1 only ever saw epoch 1.
+        let replies = vec![
+            ResyncReply {
+                ap: ApId(0),
+                clients: vec![resync_state(client, 3, 2, false, 55, 60)],
+                recent_uplink_keys: vec![],
+            },
+            ResyncReply {
+                ap: ApId(1),
+                clients: vec![resync_state(client, 1, 1, false, 40, 60)],
+                recent_uplink_keys: vec![],
+            },
+        ];
+        let actions = c.apply_resync(t(100), &replies);
+        assert_eq!(
+            actions,
+            vec![ResyncAction::RepairAdopt {
+                client,
+                adopt: ApId(0),
+                head: 55,
+            }]
+        );
+        // Not serving until the repair start is acked.
+        assert_eq!(c.serving(client), None);
+        // A fresh repair epoch is strictly above anything reported.
+        assert_eq!(c.engine.allocate_epoch(client), 4);
+    }
+
+    #[test]
+    fn resync_ignores_clients_never_touched_by_the_protocol() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let replies = vec![ResyncReply {
+            ap: ApId(0),
+            clients: vec![resync_state(ClientId(9), 0, 0, false, 0, 0)],
+            recent_uplink_keys: vec![],
+        }];
+        assert!(c.apply_resync(t(100), &replies).is_empty());
     }
 
     #[test]

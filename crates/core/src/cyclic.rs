@@ -51,6 +51,14 @@ impl IndexAllocator {
     pub fn peek(&self) -> u16 {
         self.next
     }
+
+    /// Repositions the allocator so the next index handed out is `next` —
+    /// the post-crash resync resumes the downlink stream at the serving
+    /// AP's reported queue tail instead of restarting at 0 (which would
+    /// insert new packets *behind* every AP's buffered window).
+    pub fn resume_at(&mut self, next: u16) {
+        self.next = next & (INDEX_SPACE - 1);
+    }
 }
 
 /// One client's cyclic packet buffer at one AP.

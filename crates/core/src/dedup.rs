@@ -71,6 +71,25 @@ impl Deduplicator {
         true
     }
 
+    /// Marks `key` as already-seen *without* counting it as a passed
+    /// packet — the post-crash resync re-prime. APs report the keys they
+    /// recently forwarded; inserting them here makes the rebuilt filter at
+    /// least as strict as the lost one, so a copy whose first delivery
+    /// predates the crash still drops instead of reaching the Internet
+    /// twice.
+    pub fn prime_key(&mut self, key: u64) {
+        if self.seen.contains(&key) {
+            return;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(key);
+        self.order.push_back(key);
+    }
+
     /// Packets passed through (first copies).
     pub fn passed(&self) -> u64 {
         self.passed
@@ -222,6 +241,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn primed_keys_drop_as_duplicates_without_counting_as_passed() {
+        let mut d = Deduplicator::new(3);
+        d.prime_key(7);
+        d.prime_key(7); // idempotent
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.passed(), 0);
+        // The first post-restart copy of a pre-crash packet is a duplicate.
+        assert!(!d.check_key(7));
+        assert_eq!(d.duplicates(), 1);
+        // Priming respects capacity like any insert.
+        for k in [8, 9, 10] {
+            d.prime_key(k);
+        }
+        assert_eq!(d.len(), 3);
+        assert!(d.check_key(7), "evicted primed key passes again");
     }
 
     #[test]

@@ -136,6 +136,15 @@ impl ApHealth {
         self.blacklisted_until.remove(&ap).is_some()
     }
 
+    /// Ingests an AP's answer to the post-reboot `Resync` broadcast as
+    /// proof of life — the reply crossed the backhaul, so the AP is
+    /// reachable right now. This re-arms a freshly rebuilt tracker: the
+    /// staleness clock starts from the reply instead of from "never
+    /// heard", and any conservative carry-over blacklist is lifted.
+    pub fn on_resync_reply(&mut self, ap: ApId, now: SimTime) {
+        self.on_csi(ap, now);
+    }
+
     /// Whether `ap` is currently blacklisted.
     pub fn is_blacklisted(&self, ap: ApId, now: SimTime) -> bool {
         self.blacklisted_until.get(&ap).is_some_and(|&t| now < t)

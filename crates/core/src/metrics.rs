@@ -312,6 +312,32 @@ pub struct SystemMetrics {
     pub dup_data_dropped: u64,
     /// Backhaul frames the reordering fault held back.
     pub backhaul_reorders: u64,
+    /// Injected controller crashes that took effect.
+    pub controller_crashes: u64,
+    /// Controller restarts (each one triggers a resync broadcast).
+    pub controller_recoveries: u64,
+    /// Resync replies the controller received from live APs.
+    pub resync_replies: u64,
+    /// Dual-serving / no-serving conflicts the resync repaired with a
+    /// fresh epoch-stamped switch or direct re-adopt `start`.
+    pub resync_repairs: u64,
+    /// Completed resyncs: (completion time, latency since the restart).
+    pub resyncs: Vec<(SimTime, SimDuration)>,
+    /// AP reports (CSI, uplink copies, acks, tunnel traffic) dropped at
+    /// the dead controller's ingress.
+    pub controller_rx_dropped: u64,
+    /// Uplink packets APs buffered locally while the controller was down
+    /// (degraded mode) instead of forwarding into a black hole.
+    pub degraded_uplink_buffered: u64,
+    /// Uplink packets dropped because an AP's bounded degraded-mode
+    /// buffer was full.
+    pub degraded_uplink_dropped: u64,
+    /// Buffered uplink packets flushed to the controller after resync.
+    pub degraded_uplink_flushed: u64,
+    /// Half-open switches resolved locally: a `stop`-applied AP re-adopted
+    /// its client after the guard timeout because no `start` ever landed
+    /// anywhere (the client would otherwise be serverless until resync).
+    pub local_readoptions: u64,
 }
 
 #[cfg(test)]

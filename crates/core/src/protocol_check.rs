@@ -32,6 +32,19 @@
 //!   [`crate::switching::AbandonRecord`]; a quiescent run that completed
 //!   all its switches ends with exactly the last target serving at the
 //!   handoff index ([`ViolationKind::TerminalMismatch`]).
+//! * **Epochs are monotone across controller restarts** — a switch issued
+//!   after a crash/recovery must carry an epoch strictly above every
+//!   generation any AP has seen, or the whole ABA family the guards kill
+//!   is re-armed by the reborn controller
+//!   ([`ViolationKind::EpochRegression`]).
+//!
+//! [`CheckerConfig::max_crashes`] adds a controller crash/recover choice
+//! pair to the schedule alphabet: a crash wipes the production engine
+//! (timers die, acks are eaten) while AP↔AP `start` legs keep flowing; a
+//! recovery rebuilds the epoch space from the AP guards — the AP-sourced
+//! resync — unless [`CheckerConfig::resync_naive`] forges the broken
+//! restart-at-zero recovery, which the test suite uses to prove the
+//! checker actually catches the cross-restart aliasing family.
 
 use crate::switching::{
     AckOutcome, ApSwitchGuard, StartVerdict, StopVerdict, SwitchEngine, SwitchMsg,
@@ -75,6 +88,15 @@ pub struct CheckerConfig {
     /// guards). `false` replicates the pre-epoch engine: guards bypassed,
     /// any ack completes the pending switch.
     pub epoch_guard: bool,
+    /// Budget of controller crash/recover cycles per schedule. Each crash
+    /// wipes the engine's soft state at an arbitrary point; recovery is a
+    /// separate choice, so every down-window width is enumerated.
+    pub max_crashes: u32,
+    /// `true` forges a broken recovery whose epoch space restarts at zero
+    /// instead of resuming above the AP-reported high-water marks — the
+    /// naive-resync shim the test suite uses to prove the checker sees
+    /// the cross-restart aliasing family.
+    pub resync_naive: bool,
     /// Hard cap on explored schedules (the DFS stops cleanly there).
     pub max_schedules: u64,
 }
@@ -89,6 +111,8 @@ impl Default for CheckerConfig {
             max_drops: 1,
             max_timeouts: 1,
             epoch_guard: true,
+            max_crashes: 0,
+            resync_naive: false,
             max_schedules: 1_000_000,
         }
     }
@@ -106,6 +130,12 @@ pub enum Choice {
     Drop(usize),
     /// Fire the controller's retransmission timer.
     Timeout,
+    /// Crash the controller: soft state wiped, timers dead, inbound acks
+    /// eaten until recovery. AP↔AP legs keep flowing.
+    CrashController,
+    /// Restart the controller and resync its epoch space from the AP
+    /// guards (or naively, under [`CheckerConfig::resync_naive`]).
+    RecoverController,
 }
 
 /// An invariant the protocol broke on some schedule.
@@ -126,6 +156,10 @@ pub enum ViolationKind {
     /// A run that completed every switch ended with the wrong AP serving
     /// or the wrong queue head installed.
     TerminalMismatch,
+    /// A switch was issued with an epoch not strictly above every
+    /// generation the AP guards have seen — a controller reborn into a
+    /// colliding epoch space, re-arming the cross-restart ABA family.
+    EpochRegression,
 }
 
 /// One invariant violation, with the schedule that produced it.
@@ -155,6 +189,8 @@ pub struct CheckReport {
     pub stale_drops: u64,
     /// Duplicate `start`s answered with a bare re-ack, summed.
     pub dup_reacks: u64,
+    /// Acks eaten by a crashed controller, summed over all schedules.
+    pub crash_drops: u64,
     /// Schedules cut short by budget exhaustion with a switch still in
     /// flight (bounded exploration, not a protocol wedge).
     pub incomplete: u64,
@@ -198,10 +234,19 @@ struct State {
     next_switch: usize,
     /// Newest epoch whose `start` has been applied anywhere.
     max_applied_epoch: u32,
+    /// Whether the controller is currently crashed.
+    controller_down: bool,
+    crashes_left: u32,
+    /// Target AP index and epoch of the most recent completion — the
+    /// ground truth the terminal head check compares against (epochs are
+    /// no longer a pure function of the switch count once a crash can
+    /// advance the space past the reported high-water mark).
+    last_completed: Option<(usize, u32)>,
     completions: u64,
     abandons: u64,
     stale_drops: u64,
     dup_reacks: u64,
+    crash_drops: u64,
     trace: Vec<Choice>,
 }
 
@@ -224,30 +269,48 @@ impl State {
             timeouts_left: cfg.max_timeouts,
             next_switch: 0,
             max_applied_epoch: 0,
+            controller_down: false,
+            crashes_left: cfg.max_crashes,
+            last_completed: None,
             completions: 0,
             abandons: 0,
             stale_drops: 0,
             dup_reacks: 0,
+            crash_drops: 0,
             trace: Vec::new(),
         };
         if let Some(&(from, _)) = cfg.switches.first() {
             st.aps[from].serving = true;
             st.aps[from].head = Some(0);
         }
-        st.issue_next(cfg);
+        st.issue_next(cfg)
+            .expect("no AP has seen an epoch before the first issue");
         st
     }
 
+    /// Highest switch generation any AP guard has witnessed — the floor
+    /// the AP-sourced resync reports to a rebooted controller.
+    fn guard_floor(&self) -> u32 {
+        self.aps.iter().map(|a| a.guard.latest()).max().unwrap_or(0)
+    }
+
     /// Issues the next configured switch, if any remain.
-    fn issue_next(&mut self, cfg: &CheckerConfig) {
+    fn issue_next(&mut self, cfg: &CheckerConfig) -> Result<(), ViolationKind> {
         let Some(&(from, to)) = cfg.switches.get(self.next_switch) else {
-            return;
+            return Ok(());
         };
         self.next_switch += 1;
         if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
             self.engine
                 .issue(self.now, CLIENT, ApId(from as u32), ApId(to as u32))
         {
+            // Cross-restart monotonicity: an epoch at or below what some
+            // AP already saw aliases a prior generation — the reborn
+            // controller's frames become indistinguishable from that
+            // generation's stragglers.
+            if epoch <= self.guard_floor() {
+                return Err(ViolationKind::EpochRegression);
+            }
             self.send(
                 cfg,
                 NetMsg::Stop {
@@ -257,6 +320,7 @@ impl State {
                 },
             );
         }
+        Ok(())
     }
 
     /// Puts a frame on the wire. A frame addressed to a dead AP is eaten
@@ -285,8 +349,15 @@ impl State {
                 v.push(Choice::Drop(i));
             }
         }
-        if self.timeouts_left > 0 && self.engine.in_flight(CLIENT) {
+        if self.timeouts_left > 0 && !self.controller_down && self.engine.in_flight(CLIENT) {
             v.push(Choice::Timeout);
+        }
+        if self.controller_down {
+            // Recovery is always available while down (and is the only
+            // way a down state quiesces, so no terminal state is crashed).
+            v.push(Choice::RecoverController);
+        } else if self.crashes_left > 0 {
+            v.push(Choice::CrashController);
         }
         v
     }
@@ -342,9 +413,32 @@ impl State {
                             return Err(ViolationKind::Wedge);
                         }
                         self.abandons += 1;
-                        self.issue_next(cfg);
+                        self.issue_next(cfg)?;
                     }
                 }
+            }
+            Choice::CrashController => {
+                self.crashes_left -= 1;
+                self.controller_down = true;
+                // The crash takes every piece of controller soft state
+                // with it. A switch in flight at that instant is simply
+                // forgotten — the recovered controller re-issues it (the
+                // selection loop re-noticing the client), so decrement
+                // the cursor before wiping the engine.
+                if self.engine.in_flight(CLIENT) {
+                    self.next_switch -= 1;
+                }
+                self.engine = SwitchEngine::new();
+            }
+            Choice::RecoverController => {
+                self.controller_down = false;
+                if !cfg.resync_naive {
+                    // AP-sourced resync: the epoch space resumes strictly
+                    // above every generation any AP reports having seen.
+                    let floor = self.guard_floor();
+                    self.engine.resume_epochs_above(CLIENT, floor);
+                }
+                self.issue_next(cfg)?;
             }
         }
         if self.aps.iter().filter(|a| a.serving).count() > 1 {
@@ -402,6 +496,11 @@ impl State {
                 }
             }
             NetMsg::Ack { from_ap, epoch } => {
+                if self.controller_down {
+                    // A dead controller reads nothing off the wire.
+                    self.crash_drops += 1;
+                    return Ok(());
+                }
                 let outcome = if cfg.epoch_guard {
                     self.engine
                         .on_ack(self.now, CLIENT, ApId(from_ap as u32), epoch)
@@ -418,7 +517,8 @@ impl State {
                             return Err(ViolationKind::ForeignAck);
                         }
                         self.completions += 1;
-                        self.issue_next(cfg);
+                        self.last_completed = Some((rec.to.0 as usize, rec.epoch));
+                        self.issue_next(cfg)?;
                     }
                     AckOutcome::NoPending => {}
                     AckOutcome::StaleEpoch | AckOutcome::WrongSource => {
@@ -440,10 +540,15 @@ impl State {
         }
         if self.completions == cfg.switches.len() as u64 {
             // Everything completed and every straggler drained: exactly
-            // the last switch's target serves, at that generation's
-            // handoff index.
-            let last_epoch = cfg.switches.len() as u32;
+            // the last switch's target serves, at the handoff index of
+            // the generation that actually completed it (a crash can
+            // legitimately advance the epoch space past the switch
+            // count, so the epoch comes from the completion record).
+            let (last_to, last_epoch) = self.last_completed.expect("completions > 0");
             let (_, to) = cfg.switches[cfg.switches.len() - 1];
+            if last_to != to {
+                return Err(ViolationKind::TerminalMismatch);
+            }
             for (i, ap) in self.aps.iter().enumerate() {
                 if ap.serving != (i == to) {
                     return Err(ViolationKind::TerminalMismatch);
@@ -484,6 +589,7 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
         report.abandons += st.abandons;
         report.stale_drops += st.stale_drops;
         report.dup_reacks += st.dup_reacks;
+        report.crash_drops += st.crash_drops;
         if st.engine.in_flight(CLIENT) {
             report.incomplete += 1;
         }

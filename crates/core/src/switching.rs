@@ -70,6 +70,42 @@ pub enum SwitchMsg {
 /// padded to minimum Ethernet frame).
 pub const CONTROL_PACKET_BYTES: usize = 64;
 
+/// One client's switch-protocol state as reported by an AP in answer to a
+/// post-reboot `Resync` broadcast. The APs hold the authoritative copies
+/// of everything the controller lost: guard high-water epochs, cyclic
+/// queue positions, and who is actually serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientResyncState {
+    /// Client this entry describes.
+    pub client: ClientId,
+    /// Highest switch epoch this AP's guard has seen for the client.
+    pub epoch_high_water: u32,
+    /// Epoch of the last `start` this AP applied (0 = never started).
+    pub start_applied: u32,
+    /// Whether this AP currently serves the client's downlink.
+    pub serving: bool,
+    /// The AP's cyclic-queue head — the queue generation/position a
+    /// repair `start` should resume from.
+    pub queue_head: u16,
+    /// The AP's cyclic-queue tail — where the controller's downlink index
+    /// stream had reached, used to resume the index allocator.
+    pub queue_tail: u16,
+}
+
+/// One AP's complete answer to the controller's `Resync` broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResyncReply {
+    /// The replying AP.
+    pub ap: ApId,
+    /// Per-client protocol state, in ascending client order (the sender
+    /// sorts, so reply processing is deterministic).
+    pub clients: Vec<ClientResyncState>,
+    /// Dedup keys of uplink packets this AP recently forwarded — the
+    /// controller re-primes its dedup table with these so no duplicate
+    /// uplink delivery can cross the restart.
+    pub recent_uplink_keys: Vec<u64>,
+}
+
 /// AP-side processing-delay model for the switch protocol, calibrated so
 /// the end-to-end protocol time reproduces the paper's Table 1
 /// (mean 17–21 ms, σ 3–5 ms, flat across 50–90 Mbit/s offered load).
@@ -248,6 +284,16 @@ impl SwitchEngine {
     /// The most recently allocated epoch for `client` (0 = none yet).
     pub fn current_epoch(&self, client: ClientId) -> u32 {
         self.epochs.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Raises the epoch floor for `client` so the next allocation is
+    /// strictly above `floor`. The post-crash resync feeds every AP's
+    /// reported guard high-water through this; without it a rebooted
+    /// controller would re-allocate generations still alive in AP guards
+    /// and in-flight frames — the exact ABA the epochs exist to prevent.
+    pub fn resume_epochs_above(&mut self, client: ClientId, floor: u32) {
+        let e = self.epochs.entry(client).or_insert(0);
+        *e = (*e).max(floor);
     }
 
     /// The retransmission timeout.
@@ -539,6 +585,21 @@ mod tests {
         assert!(matches!(msg2, SwitchMsg::Stop { epoch: 1, .. }));
         assert_eq!(e.current_epoch(C), 3);
         assert_eq!(e.current_epoch(ClientId(9)), 1);
+    }
+
+    /// Post-crash resync must resume epochs strictly above the max any AP
+    /// reported, never below what this engine already allocated.
+    #[test]
+    fn resume_epochs_above_sets_floor_monotonically() {
+        let mut e = SwitchEngine::new();
+        e.resume_epochs_above(C, 7);
+        assert_eq!(e.current_epoch(C), 7);
+        assert_eq!(e.allocate_epoch(C), 8);
+        // A lower floor (a lagging AP's report) never rolls back.
+        e.resume_epochs_above(C, 3);
+        assert_eq!(e.current_epoch(C), 8);
+        // Untouched clients keep starting at 1.
+        assert_eq!(e.allocate_epoch(ClientId(9)), 1);
     }
 
     /// Satellite regression: a stale `ack` from the *previous* switch's

@@ -20,9 +20,10 @@
 use crate::ap::{ApState, MPDU_RETRY_LIMIT};
 use crate::client::{ClientState, DeliveryRecord};
 use crate::config::{Mode, SystemConfig};
-use crate::controller::ControllerState;
+use crate::controller::{ControllerState, ResyncAction};
+use crate::dedup::Deduplicator;
 use crate::metrics::SystemMetrics;
-use crate::switching::{AckOutcome, SwitchMsg, CONTROL_PACKET_BYTES};
+use crate::switching::{AckOutcome, ResyncReply, SwitchMsg, CONTROL_PACKET_BYTES};
 use std::collections::BTreeMap;
 use wgtt_mac::blockack::BlockAckFrame;
 use wgtt_mac::timing::{
@@ -57,6 +58,33 @@ const CAPTURE_MARGIN_DB: f64 = 8.0;
 /// CCA detection window: a later AP response within this of an earlier one
 /// fails to defer, µs.
 const CCA_WINDOW_US: f64 = 1.0;
+
+/// Local-autonomy guard: how long an AP that applied a `stop` while the
+/// controller was down waits before re-adopting a client that no `start`
+/// ever claimed. Far above the one-way backhaul latency plus AP processing,
+/// so a merely slow (not lost) `start` always wins the race.
+const READOPT_GUARD: SimDuration = SimDuration::from_millis(100);
+
+/// How long the rebooted controller waits for resync replies before
+/// finalizing with whatever arrived (covers APs that die between the
+/// broadcast and their reply).
+const RESYNC_DEADLINE: SimDuration = SimDuration::from_millis(50);
+
+/// One post-reboot resync round: the controller has broadcast `Resync` and
+/// is collecting AP replies. Uplink copies arriving mid-round are held so
+/// they are only dedup-checked once the table is re-primed.
+struct ResyncSession {
+    /// Round number (guards the deadline event against later rounds).
+    seq: u64,
+    /// Replies expected (reachable APs at broadcast time).
+    expected: usize,
+    /// Replies collected so far.
+    replies: Vec<ResyncReply>,
+    /// Recovery instant, for the resync-latency metric.
+    started_at: SimTime,
+    /// Uplink copies parked until the dedup table is rebuilt.
+    held_uplink: Vec<(usize, Packet)>,
+}
 
 /// A downlink traffic flow at the server.
 pub enum FlowKind {
@@ -214,6 +242,29 @@ pub enum Ev {
     ApReboot(usize),
     /// Retry timer for an emergency re-attach after a serving-AP death.
     ReattachTimeout { client: usize },
+    /// Fault injection: the controller process crashes (soft state wiped;
+    /// nothing sent, everything inbound dropped, no timers fire).
+    ControllerCrash,
+    /// Fault injection: the controller restarts blank and broadcasts
+    /// `Resync` to every reachable AP.
+    ControllerRecover,
+    /// Post-reboot `Resync` broadcast arrives at an AP.
+    ResyncAtAp { ap: usize },
+    /// An AP's resync reply arrives back at the controller.
+    ResyncReplyAtController {
+        reply: crate::switching::ResyncReply,
+    },
+    /// Fallback: finalize resync session `seq` with whatever replies
+    /// arrived (an AP may have died between broadcast and reply).
+    ResyncDeadline { seq: u64 },
+    /// Local-autonomy guard: an AP that applied a `stop` while the
+    /// controller was down checks whether its client was left serverless
+    /// (the `start` never landed anywhere) and re-adopts it.
+    ReAdoptTimeout {
+        ap: usize,
+        client: usize,
+        epoch: u32,
+    },
 }
 
 /// The world.
@@ -250,6 +301,14 @@ pub struct WgttWorld {
     fault_rng: SimRng,
     /// Ground truth: which APs are currently crashed.
     ap_down: Vec<bool>,
+    /// Ground truth: whether the controller is currently crashed. While
+    /// set, every controller handler drops its input and no controller
+    /// timer has effect.
+    controller_down: bool,
+    /// In-progress post-reboot resync round (None outside recovery).
+    resync: Option<ResyncSession>,
+    /// Monotone resync round counter (guards stale deadline events).
+    resync_seq: u64,
     /// Emergency re-attaches in progress: client → (target AP, retries,
     /// switch epoch). Ordered map: iteration order feeds simulation state
     /// (reboot re-association), so it must not depend on hasher seeds.
@@ -351,6 +410,9 @@ impl WgttWorld {
             faults: FaultSchedule::default(),
             fault_rng: root.fork("faults"),
             ap_down: vec![false; n_aps],
+            controller_down: false,
+            resync: None,
+            resync_seq: 0,
             pending_reattach: BTreeMap::new(),
             pending_failover: BTreeMap::new(),
             rng: root.fork("world"),
@@ -490,6 +552,10 @@ impl WgttWorld {
     // ---------- downlink path ----------
 
     fn on_packet_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, mut packet: Packet) {
+        if self.controller_down {
+            self.sys.controller_rx_dropped += 1;
+            return;
+        }
         let c = packet.client.0 as usize;
         let now = ctx.now();
         let targets: Vec<usize> = match self.cfg.mode {
@@ -656,6 +722,54 @@ impl WgttWorld {
                 },
             );
         }
+        if self.controller_down {
+            // No controller means no `stop` retransmissions and no switch
+            // timeout: if the AP→AP `start` above is lost on the wire the
+            // client is orphaned with nobody to notice. Arm the local
+            // re-adoption guard so this AP takes the client back itself.
+            ctx.schedule_in(
+                READOPT_GUARD,
+                Ev::ReAdoptTimeout {
+                    ap,
+                    client: c,
+                    epoch,
+                },
+            );
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// Local-autonomy re-adoption (degraded mode): fires `READOPT_GUARD`
+    /// after an AP applied a `stop` with the controller down. If by then
+    /// no AP anywhere serves the client — the `start` was lost and nobody
+    /// can retransmit it — the stopped AP promotes itself back to serving.
+    /// In the real system this is driven by the client side: a client
+    /// hearing no serving AP probes its last one, which re-adopts it.
+    fn on_readopt_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, epoch: u32) {
+        if !self.controller_down || self.ap_down[ap] {
+            // Once the controller is back, resync owns conflict repair; a
+            // local re-adoption racing it could manufacture dual-serving.
+            return;
+        }
+        let client = ClientId(c as u32);
+        let orphaned = !self
+            .aps
+            .iter()
+            .any(|a| a.clients.get(&client).is_some_and(|s| s.serving));
+        if !orphaned {
+            return;
+        }
+        let gi = self.cfg.gi;
+        let st = self.aps[ap].client_mut(client, gi);
+        // Only the generation that demoted us may re-adopt: a newer epoch
+        // at the guard means a later switch owns this client.
+        if st.guard.latest() != epoch {
+            return;
+        }
+        st.serving = true;
+        st.draining = false;
+        st.drain_cyclic = false;
+        self.sys.local_readoptions += 1;
         self.ensure_round(ctx);
     }
 
@@ -749,6 +863,10 @@ impl WgttWorld {
         from_ap: usize,
         epoch: u32,
     ) {
+        if self.controller_down {
+            self.sys.controller_rx_dropped += 1;
+            return;
+        }
         let client = ClientId(c as u32);
         let now = ctx.now();
         match self
@@ -807,6 +925,9 @@ impl WgttWorld {
     }
 
     fn on_switch_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.controller_down {
+            return; // the crashed controller's timers die with it
+        }
         let client = ClientId(c as u32);
         if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
             self.ctrl.engine.on_timeout(ctx.now(), client)
@@ -830,14 +951,13 @@ impl WgttWorld {
                     epoch,
                 },
             );
-            let timeout = self.ctrl.engine.timeout();
-            ctx.schedule_in(timeout, Ev::SwitchTimeout { client: c });
-        } else if self.ctrl.engine.in_flight(client) {
-            // Timer fired early relative to a retransmission; re-arm.
-            ctx.schedule_in(self.ctrl.engine.timeout(), Ev::SwitchTimeout { client: c });
-        } else {
+        } else if !self.ctrl.engine.in_flight(client) {
             self.drain_abandons(ctx);
+            return;
         }
+        // Single re-arm site, shared by the retransmit path and a timer
+        // that fired early relative to a retransmission.
+        ctx.schedule_in(self.ctrl.engine.timeout(), Ev::SwitchTimeout { client: c });
     }
 
     /// Processes switch abandonments the engine recorded: counts them,
@@ -928,6 +1048,9 @@ impl WgttWorld {
     }
 
     fn on_reattach_timeout(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.controller_down {
+            return; // the crashed controller's timers die with it
+        }
         let Some(&(target, retries, epoch)) = self.pending_reattach.get(&c) else {
             return; // answered (or superseded) already
         };
@@ -1016,10 +1139,208 @@ impl WgttWorld {
         self.ensure_round(ctx);
     }
 
+    // ---------- controller crash / resync ----------
+
+    fn on_controller_crash(&mut self, _ctx: &mut Ctx<'_, Ev>) {
+        if self.controller_down {
+            return;
+        }
+        self.controller_down = true;
+        self.sys.controller_crashes += 1;
+        // The process is gone and every piece of soft state with it:
+        // selectors, epoch table, dedup table, health tracker, serving
+        // map. In-flight switch timers and re-attach retries die silently
+        // (their events are eaten while `controller_down` is set).
+        self.ctrl.crash_wipe();
+        self.pending_reattach.clear();
+        self.resync = None;
+    }
+
+    fn on_controller_recover(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        if !self.controller_down {
+            return;
+        }
+        let now = ctx.now();
+        self.controller_down = false;
+        self.sys.controller_recoveries += 1;
+        if self.cfg.mode != Mode::Wgtt {
+            return; // the baseline keeps no controller soft state to resync
+        }
+        // Broadcast `Resync` to every reachable AP over the management
+        // channel (reliable TCP, not the lossy datagram fast path), then
+        // rebuild state from whatever answers arrive before the deadline.
+        self.resync_seq += 1;
+        let seq = self.resync_seq;
+        let live: Vec<usize> = (0..self.aps.len())
+            .filter(|&a| self.ap_reachable(a, now))
+            .collect();
+        for &ap in &live {
+            self.sys.control_packets += 1;
+            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, false, Ev::ResyncAtAp { ap });
+        }
+        self.resync = Some(ResyncSession {
+            seq,
+            expected: live.len(),
+            replies: Vec::new(),
+            started_at: now,
+            held_uplink: Vec::new(),
+        });
+        if live.is_empty() {
+            self.finish_resync(ctx);
+        } else {
+            ctx.schedule_in(RESYNC_DEADLINE, Ev::ResyncDeadline { seq });
+        }
+    }
+
+    fn on_resync_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize) {
+        let now = ctx.now();
+        if !self.ap_reachable(ap, now) || self.controller_down {
+            return; // died in flight, or the controller crashed again
+        }
+        let reply = self.aps[ap].resync_reply();
+        // Reply size scales with what it carries: per-client protocol
+        // state plus the recent-uplink-key ring.
+        let bytes =
+            CONTROL_PACKET_BYTES + reply.clients.len() * 16 + reply.recent_uplink_keys.len() * 8;
+        self.sys.control_packets += 1;
+        self.backhaul_send(ctx, bytes, false, Ev::ResyncReplyAtController { reply });
+        // Degraded-mode uplink held at this AP flows again; anything that
+        // is a cross-restart duplicate will be caught by the re-primed
+        // dedup table (copies are parked until resync finishes).
+        let held: Vec<Packet> = self.aps[ap].uplink_buffer.drain(..).collect();
+        for packet in held {
+            self.sys.degraded_uplink_flushed += 1;
+            let wire = packet.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
+            self.backhaul_send(
+                ctx,
+                wire,
+                false,
+                Ev::UplinkCopyAtController {
+                    from_ap: ap,
+                    packet,
+                },
+            );
+        }
+    }
+
+    fn on_resync_reply_at_controller(&mut self, ctx: &mut Ctx<'_, Ev>, reply: ResyncReply) {
+        if self.controller_down {
+            self.sys.controller_rx_dropped += 1;
+            return;
+        }
+        let Some(session) = &mut self.resync else {
+            return; // the deadline already finalized this round
+        };
+        self.sys.resync_replies += 1;
+        session.replies.push(reply);
+        if session.replies.len() >= session.expected {
+            self.finish_resync(ctx);
+        }
+    }
+
+    fn on_resync_deadline(&mut self, ctx: &mut Ctx<'_, Ev>, seq: u64) {
+        if self
+            .resync
+            .as_ref()
+            .is_some_and(|s| s.seq == seq && !self.controller_down)
+        {
+            self.finish_resync(ctx);
+        }
+    }
+
+    /// Rebuilds controller state from the collected resync replies and
+    /// repairs any inconsistency they reveal (dual-serving, orphaned
+    /// mid-protocol clients), then releases uplink copies parked during
+    /// the round.
+    fn finish_resync(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let Some(session) = self.resync.take() else {
+            return;
+        };
+        let now = ctx.now();
+        let actions = self.ctrl.apply_resync(now, &session.replies);
+        for action in actions {
+            match action {
+                ResyncAction::Adopted { client, ap } => {
+                    let c = client.0 as usize;
+                    if self.clients[c].serving != Some(ap) {
+                        self.clients[c].serving = Some(ap);
+                        self.clients[c].metrics.record_assoc(now, Some(ap));
+                    }
+                    self.resolve_failover(c, now);
+                }
+                ResyncAction::RepairSwitch {
+                    client,
+                    stop,
+                    adopt,
+                } => {
+                    // Two APs both believe they serve the client; demote
+                    // the stale one with a fresh epoch-stamped switch.
+                    self.sys.resync_repairs += 1;
+                    self.issue_switch(ctx, client.0 as usize, stop.0 as usize, adopt.0 as usize);
+                }
+                ResyncAction::RepairAdopt {
+                    client,
+                    adopt,
+                    head,
+                } => {
+                    // Nobody serves a client the protocol had touched: a
+                    // crash-orphaned half-open switch. Send a direct
+                    // fresh-epoch `start` at the queue head the chosen AP
+                    // itself reported.
+                    self.sys.resync_repairs += 1;
+                    self.repair_adopt(ctx, client.0 as usize, adopt.0 as usize, head);
+                }
+            }
+        }
+        self.sys
+            .resyncs
+            .push((now, now.saturating_since(session.started_at)));
+        for (from_ap, packet) in session.held_uplink {
+            self.on_uplink_copy(ctx, from_ap, packet);
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// Post-resync adoption of a serverless client: a direct fresh-epoch
+    /// `start` (no `stop` leg — nobody is serving) targeting the queue
+    /// head the adopting AP reported, with the usual re-attach retry
+    /// timer.
+    fn repair_adopt(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize, target: usize, k: u16) {
+        let now = ctx.now();
+        let client = ClientId(c as u32);
+        self.ctrl.selector_mut(client).record_switch(now);
+        let epoch = self.ctrl.engine.allocate_epoch(client);
+        self.sys.control_packets += 1;
+        self.pending_reattach.insert(c, (target, 0, epoch));
+        self.backhaul_send(
+            ctx,
+            CONTROL_PACKET_BYTES,
+            true,
+            Ev::StartAtAp {
+                ap: target,
+                client: c,
+                k,
+                epoch,
+            },
+        );
+        ctx.schedule_in(
+            self.ctrl.engine.timeout(),
+            Ev::ReattachTimeout { client: c },
+        );
+    }
+
     // ---------- selection ----------
 
     fn on_selection_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
+        if self.controller_down {
+            // A dead controller makes no decisions. Keep the tick alive
+            // (it draws no RNG) so selection resumes right after recovery.
+            if now < self.traffic_until + SimDuration::from_millis(500) {
+                ctx.schedule_in(self.cfg.selection_tick, Ev::SelectionTick);
+            }
+            return;
+        }
         if self.cfg.mode == Mode::Wgtt {
             let faulty = !self.faults.is_empty();
             for c in 0..self.clients.len() {
@@ -1094,6 +1415,10 @@ impl WgttWorld {
     }
 
     fn on_csi_at_controller(&mut self, ap: usize, c: usize, esnr_db: f64, now: SimTime) {
+        if self.controller_down {
+            self.sys.controller_rx_dropped += 1;
+            return;
+        }
         self.ctrl
             .on_csi(now, ApId(ap as u32), ClientId(c as u32), esnr_db);
     }
@@ -1937,6 +2262,9 @@ impl WgttWorld {
             if !forwards || !associated || self.faults.partitioned(*ap, now) {
                 continue;
             }
+            // Any controller crash in the schedule engages the degraded
+            // uplink path; with none this is the exact healthy code path.
+            let crash_faults = !self.faults.controller_crashes.is_empty();
             for seq in got {
                 let e = entries
                     .iter()
@@ -1947,6 +2275,22 @@ impl WgttWorld {
                 }
                 let pkt = e.packet.clone();
                 let from_ap = *ap;
+                if crash_faults && self.controller_down {
+                    // Local autonomy: hold uplink at the AP (bounded)
+                    // while the controller is down; flushed at resync.
+                    if self.aps[from_ap].buffer_uplink(pkt) {
+                        self.sys.degraded_uplink_buffered += 1;
+                    } else {
+                        self.sys.degraded_uplink_dropped += 1;
+                    }
+                    continue;
+                }
+                if crash_faults {
+                    // Remember forwarded keys so a rebooted controller can
+                    // conservatively re-prime its dedup table.
+                    self.aps[from_ap]
+                        .note_forwarded_key(Deduplicator::key(pkt.client, pkt.ip_ident));
+                }
                 let wire = pkt.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
                 self.backhaul_send(
                     ctx,
@@ -2097,7 +2441,17 @@ impl WgttWorld {
 
     // ---------- uplink at controller / server ----------
 
-    fn on_uplink_copy(&mut self, ctx: &mut Ctx<'_, Ev>, _from_ap: usize, packet: Packet) {
+    fn on_uplink_copy(&mut self, ctx: &mut Ctx<'_, Ev>, from_ap: usize, packet: Packet) {
+        if self.controller_down {
+            self.sys.controller_rx_dropped += 1;
+            return;
+        }
+        if let Some(session) = &mut self.resync {
+            // Park until the dedup table is re-primed from the replies;
+            // checking now could deliver a cross-restart duplicate.
+            session.held_uplink.push((from_ap, packet));
+            return;
+        }
         if self.trace {
             if let Payload::TcpAck { ack, .. } = packet.payload {
                 eprintln!(
@@ -2625,6 +2979,12 @@ pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
             FaultEdge::Reboot(ap) => {
                 sim.schedule_at(t, Ev::ApReboot(ap));
             }
+            FaultEdge::ControllerCrash => {
+                sim.schedule_at(t, Ev::ControllerCrash);
+            }
+            FaultEdge::ControllerRecover => {
+                sim.schedule_at(t, Ev::ControllerRecover);
+            }
         }
     }
     for f in 0..n_flows {
@@ -2722,6 +3082,14 @@ impl World for WgttWorld {
             Ev::ApCrash(ap) => self.on_ap_crash(ctx, ap),
             Ev::ApReboot(ap) => self.on_ap_reboot(ctx, ap),
             Ev::ReattachTimeout { client } => self.on_reattach_timeout(ctx, client),
+            Ev::ControllerCrash => self.on_controller_crash(ctx),
+            Ev::ControllerRecover => self.on_controller_recover(ctx),
+            Ev::ResyncAtAp { ap } => self.on_resync_at_ap(ctx, ap),
+            Ev::ResyncReplyAtController { reply } => self.on_resync_reply_at_controller(ctx, reply),
+            Ev::ResyncDeadline { seq } => self.on_resync_deadline(ctx, seq),
+            Ev::ReAdoptTimeout { ap, client, epoch } => {
+                self.on_readopt_timeout(ctx, ap, client, epoch)
+            }
         }
     }
 }

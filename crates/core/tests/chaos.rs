@@ -70,7 +70,11 @@ fn fingerprint(r: &RunResult) -> String {
             "\"mpdu_successes\":{},\"stale_control_dropped\":{},",
             "\"dup_control_dropped\":{},\"mis_switches\":{},",
             "\"backhaul_dup_deliveries\":{},\"backhaul_reorders\":{},",
-            "\"abandoned_switches\":{},\"emergency_reattaches\":{}}}"
+            "\"abandoned_switches\":{},\"emergency_reattaches\":{},",
+            "\"controller_crashes\":{},\"resync_replies\":{},",
+            "\"resync_repairs\":{},\"controller_rx_dropped\":{},",
+            "\"degraded_uplink_buffered\":{},\"degraded_uplink_dropped\":{},",
+            "\"degraded_uplink_flushed\":{},\"local_readoptions\":{}}}"
         ),
         r.events,
         r.world.ctrl.engine.history().len(),
@@ -83,6 +87,14 @@ fn fingerprint(r: &RunResult) -> String {
         s.backhaul_reorders,
         s.abandoned_switches,
         s.emergency_reattaches,
+        s.controller_crashes,
+        s.resync_replies,
+        s.resync_repairs,
+        s.controller_rx_dropped,
+        s.degraded_uplink_buffered,
+        s.degraded_uplink_dropped,
+        s.degraded_uplink_flushed,
+        s.local_readoptions,
     )
 }
 

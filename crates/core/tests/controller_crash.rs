@@ -1,0 +1,324 @@
+//! Controller crash/restart resilience tests.
+//!
+//! Two layers of evidence that a controller crash cannot corrupt the
+//! switch control plane or double-deliver uplink across the restart:
+//!
+//! * the small-scope **exhaustive interleaving checker** with the
+//!   crash/recover choice pair enumerates every interleaving of a
+//!   controller crash against two overlapping switches — the AP-sourced
+//!   resync must survive all of them, and the naive restart-at-zero
+//!   recovery shim must be caught (proof the harness sees the
+//!   cross-restart aliasing family);
+//! * **full-system crash drives**: a controller crash covering a switch
+//!   mid-drive at 25 mph must resync in well under a second of sim time,
+//!   apply zero mis-switches, deliver zero duplicate uplink datagrams at
+//!   the server, and reproduce byte-identically across runs.
+//!
+//! The determinism tests double as the CI `determinism` job's probes via
+//! `WGTT_DETERMINISM_OUT`, like the failover and chaos suites.
+
+use wgtt_core::config::SystemConfig;
+use wgtt_core::protocol_check::{check, CheckerConfig, ViolationKind};
+use wgtt_core::runner::{run, FlowSpec, RunResult, Scenario};
+use wgtt_sim::{BackhaulFault, FaultSchedule, SimDuration, SimTime};
+
+fn flows() -> Vec<FlowSpec> {
+    vec![
+        FlowSpec::DownlinkUdp {
+            rate_bps: 20_000_000,
+            payload: 1472,
+        },
+        FlowSpec::UplinkUdp {
+            rate_bps: 2_000_000,
+            payload: 1200,
+        },
+    ]
+}
+
+fn drive(seed: u64, mph: f64, faults: FaultSchedule) -> Scenario {
+    let mut s = Scenario::single_drive(SystemConfig::default(), mph, flows(), seed);
+    s.faults = faults;
+    s
+}
+
+/// A controller outage window placed mid-drive, squarely across the busy
+/// switching region of the deployment.
+fn crash_schedule(from_s: f64, until_s: f64) -> FaultSchedule {
+    FaultSchedule::new().with_controller_crash(
+        SimTime::from_secs_f64(from_s),
+        SimTime::from_secs_f64(until_s),
+    )
+}
+
+fn hash64(s: &str) -> u64 {
+    // FNV-1a: stable across runs/processes (unlike `DefaultHasher`).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Metric fingerprint as a JSON object — byte-identical across processes
+/// iff the run was deterministic. Includes the resync and degraded-mode
+/// counters so a nondeterministic recovery path cannot hide.
+fn fingerprint(r: &RunResult) -> String {
+    let m = &r.world.clients[0].metrics;
+    let s = &r.world.sys;
+    format!(
+        concat!(
+            "{{\"events\":{},\"switch_history\":{},\"assoc_hash\":{},",
+            "\"mpdu_successes\":{},\"mis_switches\":{},",
+            "\"controller_crashes\":{},\"controller_recoveries\":{},",
+            "\"resync_replies\":{},\"resync_repairs\":{},\"resyncs\":{},",
+            "\"controller_rx_dropped\":{},\"degraded_uplink_buffered\":{},",
+            "\"degraded_uplink_dropped\":{},\"degraded_uplink_flushed\":{},",
+            "\"local_readoptions\":{},\"uplink_duplicates\":{}}}"
+        ),
+        r.events,
+        r.world.ctrl.engine.history().len(),
+        hash64(&format!("{:?}", m.assoc_timeline)),
+        m.mpdu_successes,
+        s.mis_switches,
+        s.controller_crashes,
+        s.controller_recoveries,
+        s.resync_replies,
+        s.resync_repairs,
+        hash64(&format!("{:?}", s.resyncs)),
+        s.controller_rx_dropped,
+        s.degraded_uplink_buffered,
+        s.degraded_uplink_dropped,
+        s.degraded_uplink_flushed,
+        s.local_readoptions,
+        s.uplink_duplicates,
+    )
+}
+
+/// Writes a determinism probe for the CI job when it asked for one.
+fn emit_probe(name: &str, payload: &str) {
+    if let Ok(dir) = std::env::var("WGTT_DETERMINISM_OUT") {
+        std::fs::create_dir_all(&dir).expect("create determinism out dir");
+        std::fs::write(format!("{dir}/{name}.json"), payload).expect("write determinism probe");
+    }
+}
+
+/// Duplicate uplink datagrams that reached the *server* (past the
+/// controller's dedup filter) on the uplink flow.
+fn server_uplink_duplicates(r: &RunResult) -> u64 {
+    r.world
+        .flows
+        .iter()
+        .filter_map(|f| f.up_sink.as_ref())
+        .map(|s| s.duplicates())
+        .sum()
+}
+
+// ---------- exhaustive interleaving checker, crash edition ----------
+
+/// Budgets for the crash-enabled checker runs: one crash/recover cycle
+/// against the two overlapping switches. The full (dup=1, drop=1,
+/// timeout=1, crash=1) cross-product is ~200M+ schedules, so two
+/// complementary slices cover the interactions tractably (~1.4M
+/// schedules total): loss+timer against the crash, and dup+loss
+/// against the crash.
+fn crash_checker_cfgs() -> [CheckerConfig; 2] {
+    let base = CheckerConfig {
+        max_crashes: 1,
+        max_schedules: 4_000_000,
+        ..CheckerConfig::default()
+    };
+    [
+        CheckerConfig {
+            max_dups: 0,
+            max_drops: 1,
+            max_timeouts: 1,
+            ..base.clone()
+        },
+        CheckerConfig {
+            max_dups: 1,
+            max_drops: 1,
+            max_timeouts: 0,
+            ..base
+        },
+    ]
+}
+
+/// The AP-sourced resync survives every interleaving of a controller
+/// crash with two overlapping switches: no dual-serving, no stale head
+/// write, no epoch regression, no wedged client — and the crash paths
+/// are genuinely exercised (acks eaten by the dead controller).
+#[test]
+fn checker_crash_recover_space_is_clean() {
+    for cfg in crash_checker_cfgs() {
+        let report = check(&cfg);
+        assert!(!report.truncated, "schedule space must be fully covered");
+        assert!(
+            report.schedules >= 100_000,
+            "only {} schedules enumerated",
+            report.schedules
+        );
+        assert_eq!(
+            report.violation_count,
+            0,
+            "crash/resync mode violated an invariant: {:?}",
+            report.violations.first()
+        );
+        assert!(report.completions > 0);
+        assert!(
+            report.crash_drops > 0,
+            "no schedule delivered an ack into the dead controller"
+        );
+    }
+}
+
+/// The naive recovery (epoch space restarts at zero instead of resuming
+/// above the AP-reported high-water marks) is caught by the same space —
+/// proof the harness can see the cross-restart aliasing family.
+#[test]
+fn checker_catches_naive_resync() {
+    for cfg in crash_checker_cfgs() {
+        let report = check(&CheckerConfig {
+            resync_naive: true,
+            ..cfg
+        });
+        assert!(
+            report.violation_count > 0,
+            "naive resync survived the crash schedule space"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::EpochRegression),
+            "expected an epoch regression among {:?}",
+            report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+        );
+    }
+}
+
+// ---------- full-system crash drives ----------
+
+/// A 1.5 s controller outage covering the busy switching region of a
+/// 25 mph drive: the controller must resync fast (well under the 1 s
+/// bar), repair state without a single applied mis-switch, and the
+/// dedup re-prime must keep every cross-restart uplink duplicate away
+/// from the server.
+#[test]
+fn crash_mid_drive_resyncs_without_mis_switches() {
+    let res = run(drive(901, 25.0, crash_schedule(2.0, 3.5)));
+    let s = &res.world.sys;
+    assert_eq!(s.controller_crashes, 1);
+    assert_eq!(s.controller_recoveries, 1);
+    assert_eq!(s.resyncs.len(), 1, "exactly one resync round");
+    let (_, latency) = s.resyncs[0];
+    assert!(
+        latency < SimDuration::from_secs(1),
+        "resync took {latency:?}, above the 1 s bar"
+    );
+    assert_eq!(s.mis_switches, 0, "applied mis-switches after restart");
+    assert_eq!(
+        server_uplink_duplicates(&res),
+        0,
+        "duplicate uplink reached the server across the restart"
+    );
+    assert!(
+        s.controller_rx_dropped > 0,
+        "the outage never dropped anything at the dead controller"
+    );
+    assert!(
+        res.world.clients[0].serving.is_some(),
+        "client ended the drive wedged/detached"
+    );
+    assert!(res.downlink_bps(0) > 0.0, "zero downlink goodput");
+    assert!(res.uplink_bps(0) > 0.0, "zero uplink goodput");
+}
+
+/// Degraded mode holds uplink at the last-serving AP while the
+/// controller is down and flushes it after resync — bounded, counted,
+/// and without duplicate deliveries.
+#[test]
+fn degraded_mode_buffers_and_flushes_uplink() {
+    let res = run(drive(902, 25.0, crash_schedule(2.0, 3.0)));
+    let s = &res.world.sys;
+    assert!(
+        s.degraded_uplink_buffered > 0,
+        "the outage never buffered uplink at an AP"
+    );
+    assert!(
+        s.degraded_uplink_flushed > 0,
+        "no buffered uplink was flushed after resync"
+    );
+    assert!(
+        s.degraded_uplink_flushed <= s.degraded_uplink_buffered,
+        "flushed more than was buffered"
+    );
+    assert_eq!(server_uplink_duplicates(&res), 0);
+}
+
+/// The half-open orphan: the controller dies with a stop in flight, the
+/// old AP applies it and hands off — but the lossy wire eats the
+/// AP-to-AP start leg, so no AP serves the client and no controller
+/// exists to retransmit. Local autonomy re-adopts the client at the old
+/// AP after the re-adoption guard, instead of stranding it for the rest
+/// of the outage. The crash window and seed are pinned to a schedule
+/// where that sequence deterministically occurs.
+#[test]
+fn local_autonomy_readopts_orphan_during_outage() {
+    let from = SimTime::from_millis(2250);
+    let faults = FaultSchedule::new()
+        .with_controller_crash(from, from + SimDuration::from_millis(1500))
+        .with_backhaul_fault(BackhaulFault {
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(600),
+            extra_loss_prob: 0.6,
+            extra_latency: SimDuration::ZERO,
+            extra_jitter_mean: SimDuration::ZERO,
+        });
+    let res = run(drive(901, 25.0, faults));
+    let s = &res.world.sys;
+    assert!(
+        s.local_readoptions >= 1,
+        "the pinned schedule no longer produces an orphaned hand-off"
+    );
+    assert_eq!(s.mis_switches, 0);
+    assert!(
+        res.world.clients[0].serving.is_some(),
+        "client ended the drive wedged/detached"
+    );
+    assert!(res.downlink_bps(0) > 0.0);
+}
+
+// ---------- determinism ----------
+
+/// The same seed and crash schedule reproduce byte-identically in one
+/// process; with `WGTT_DETERMINISM_OUT` set the fingerprint is emitted
+/// for the CI job's cross-process byte diff.
+#[test]
+fn crash_schedule_is_deterministic() {
+    let a = run(drive(903, 25.0, crash_schedule(2.0, 3.5)));
+    let b = run(drive(903, 25.0, crash_schedule(2.0, 3.5)));
+    let fp = fingerprint(&a);
+    assert_eq!(fp, fingerprint(&b), "same seed+schedule diverged");
+    emit_probe("controller_crash_drive", &fp);
+}
+
+/// A schedule with no controller-crash window must take the exact
+/// healthy code path: bit-identical fingerprint to the default run and
+/// every crash/resync/degraded counter at zero.
+#[test]
+fn empty_crash_schedule_is_bit_identical_to_healthy() {
+    let healthy = run(drive(904, 25.0, FaultSchedule::default()));
+    let res = run(drive(904, 25.0, FaultSchedule::new()));
+    assert_eq!(fingerprint(&healthy), fingerprint(&res));
+    let s = &res.world.sys;
+    assert_eq!(s.controller_crashes, 0);
+    assert_eq!(s.controller_recoveries, 0);
+    assert!(s.resyncs.is_empty());
+    assert_eq!(s.resync_replies, 0);
+    assert_eq!(s.controller_rx_dropped, 0);
+    assert_eq!(s.degraded_uplink_buffered, 0);
+    assert_eq!(s.degraded_uplink_dropped, 0);
+    assert_eq!(s.degraded_uplink_flushed, 0);
+    assert_eq!(s.local_readoptions, 0);
+}

@@ -59,6 +59,19 @@ pub struct PartitionWindow {
     pub until: SimTime,
 }
 
+/// Controller outage: the central controller process is dead in
+/// `[from, until)` and restarts (with all soft state lost) at `until`.
+/// While down it sends nothing, drops every AP report delivered to it,
+/// and fires no switch timeouts; on restart it must resynchronise its
+/// state from the APs before issuing new switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerOutage {
+    /// Crash instant.
+    pub from: SimTime,
+    /// Restart instant (exclusive end of the outage).
+    pub until: SimTime,
+}
+
 /// CSI-report drop window: each CSI report is independently discarded with
 /// `drop_prob` during `[from, until)` (a flaky CSI extraction tool).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,6 +149,10 @@ pub enum FaultEdge {
     Crash(usize),
     /// AP `.0` comes back up.
     Reboot(usize),
+    /// The central controller crashes.
+    ControllerCrash,
+    /// The central controller restarts (soft state lost).
+    ControllerRecover,
 }
 
 /// The full fault plan for one run. Empty by default (= healthy run).
@@ -147,6 +164,8 @@ pub struct FaultSchedule {
     pub backhaul: Vec<BackhaulFault>,
     /// Controller-link partitions.
     pub partitions: Vec<PartitionWindow>,
+    /// Controller crash/restart windows.
+    pub controller_crashes: Vec<ControllerOutage>,
     /// CSI-report drop windows.
     pub csi_drops: Vec<CsiDropWindow>,
     /// Backhaul duplication windows.
@@ -166,14 +185,43 @@ impl FaultSchedule {
         self.ap_outages.is_empty()
             && self.backhaul.is_empty()
             && self.partitions.is_empty()
+            && self.controller_crashes.is_empty()
             && self.csi_drops.is_empty()
             && self.duplication.is_empty()
             && self.reordering.is_empty()
     }
 
-    /// Adds an AP outage window (builder style).
+    /// Asserts a new `[from, until)` window is non-empty and disjoint from
+    /// every existing window of the same kind on the same target. Silently
+    /// stacking overlapping crash windows would make one target crash
+    /// "twice" at once and fire reboot edges inside a later outage.
+    fn assert_window(
+        kind: &str,
+        existing: impl Iterator<Item = (SimTime, SimTime)>,
+        from: SimTime,
+        until: SimTime,
+    ) {
+        assert!(from < until, "{kind} window must be non-empty");
+        for (f, u) in existing {
+            assert!(
+                until <= f || u <= from,
+                "{kind} window [{from}, {until}) overlaps existing [{f}, {u}) on the same target"
+            );
+        }
+    }
+
+    /// Adds an AP outage window (builder style). Panics on a zero-length
+    /// window or one overlapping an existing outage of the same AP.
     pub fn with_ap_outage(mut self, ap: usize, from: SimTime, until: SimTime) -> Self {
-        assert!(from < until, "outage window must be non-empty");
+        Self::assert_window(
+            "outage",
+            self.ap_outages
+                .iter()
+                .filter(|o| o.ap == ap)
+                .map(|o| (o.from, o.until)),
+            from,
+            until,
+        );
         self.ap_outages.push(ApOutage { ap, from, until });
         self
     }
@@ -188,10 +236,36 @@ impl FaultSchedule {
         self
     }
 
-    /// Adds a controller-link partition window (builder style).
+    /// Adds a controller-link partition window (builder style). Panics on
+    /// a zero-length window or one overlapping an existing partition of
+    /// the same AP.
     pub fn with_partition(mut self, ap: usize, from: SimTime, until: SimTime) -> Self {
-        assert!(from < until, "partition window must be non-empty");
+        Self::assert_window(
+            "partition",
+            self.partitions
+                .iter()
+                .filter(|p| p.ap == ap)
+                .map(|p| (p.from, p.until)),
+            from,
+            until,
+        );
         self.partitions.push(PartitionWindow { ap, from, until });
+        self
+    }
+
+    /// Adds a controller crash/restart window (builder style). Panics on a
+    /// zero-length window or one overlapping an existing controller
+    /// outage — there is only one controller, so its windows must be
+    /// disjoint.
+    pub fn with_controller_crash(mut self, from: SimTime, until: SimTime) -> Self {
+        Self::assert_window(
+            "controller crash",
+            self.controller_crashes.iter().map(|o| (o.from, o.until)),
+            from,
+            until,
+        );
+        self.controller_crashes
+            .push(ControllerOutage { from, until });
         self
     }
 
@@ -253,6 +327,13 @@ impl FaultSchedule {
                 .any(|p| p.ap == ap && p.from <= t && t < p.until)
     }
 
+    /// Whether the central controller is dead at `t`.
+    pub fn controller_down(&self, t: SimTime) -> bool {
+        self.controller_crashes
+            .iter()
+            .any(|o| o.from <= t && t < o.until)
+    }
+
     /// The combined backhaul impairment at `t`. Loss, duplication, and
     /// reorder probabilities compose as independent events; latency and
     /// jitter add; the reorder hold-back takes the widest window.
@@ -297,20 +378,27 @@ impl FaultSchedule {
     }
 
     /// All crash/reboot edges in time order, for scheduling simulator
-    /// events. Ties break crash-before-reboot, then by AP index, so event
-    /// priming is deterministic.
+    /// events. Ties break crash-before-reboot, then by AP index with the
+    /// controller ordered after every AP, so event priming is
+    /// deterministic.
     pub fn edges(&self) -> Vec<(SimTime, FaultEdge)> {
         let mut edges: Vec<(SimTime, FaultEdge)> = Vec::new();
         for o in &self.ap_outages {
             edges.push((o.from, FaultEdge::Crash(o.ap)));
             edges.push((o.until, FaultEdge::Reboot(o.ap)));
         }
+        for o in &self.controller_crashes {
+            edges.push((o.from, FaultEdge::ControllerCrash));
+            edges.push((o.until, FaultEdge::ControllerRecover));
+        }
         edges.sort_by_key(|&(t, e)| {
             (
                 t,
                 match e {
                     FaultEdge::Crash(ap) => (0, ap),
+                    FaultEdge::ControllerCrash => (0, usize::MAX),
                     FaultEdge::Reboot(ap) => (1, ap),
+                    FaultEdge::ControllerRecover => (1, usize::MAX),
                 },
             )
         });
@@ -504,6 +592,82 @@ mod tests {
             assert!(o.from < o.until);
             assert!(o.ap < 4);
         }
+    }
+
+    #[test]
+    fn controller_crash_window_half_open() {
+        let s = FaultSchedule::new().with_controller_crash(t(100), t(300));
+        assert!(!s.is_empty());
+        assert!(!s.controller_down(t(99)));
+        assert!(s.controller_down(t(100)));
+        assert!(s.controller_down(t(299)));
+        assert!(!s.controller_down(t(300)));
+        // A controller crash does not take any AP down or partition it.
+        assert!(!s.ap_down(0, t(150)));
+        assert!(!s.partitioned(0, t(150)));
+    }
+
+    #[test]
+    fn controller_edges_interleave_after_ap_edges() {
+        let s = FaultSchedule::new()
+            .with_ap_outage(1, t(100), t(200))
+            .with_controller_crash(t(100), t(400));
+        let e = s.edges();
+        assert_eq!(
+            e,
+            vec![
+                (t(100), FaultEdge::Crash(1)),
+                (t(100), FaultEdge::ControllerCrash),
+                (t(200), FaultEdge::Reboot(1)),
+                (t(400), FaultEdge::ControllerRecover),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn zero_length_controller_crash_rejected() {
+        let _ = FaultSchedule::new().with_controller_crash(t(100), t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn overlapping_controller_crashes_rejected() {
+        let _ = FaultSchedule::new()
+            .with_controller_crash(t(100), t(300))
+            .with_controller_crash(t(299), t(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn overlapping_outages_same_ap_rejected() {
+        let _ = FaultSchedule::new()
+            .with_ap_outage(2, t(100), t(300))
+            .with_ap_outage(2, t(200), t(400));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn overlapping_partitions_same_ap_rejected() {
+        let _ = FaultSchedule::new()
+            .with_partition(1, t(0), t(50))
+            .with_partition(1, t(49), t(60));
+    }
+
+    #[test]
+    fn adjacent_and_cross_target_windows_are_fine() {
+        // Half-open windows: [100,200) then [200,300) on the same AP do
+        // not overlap; identical windows on *different* APs are fine, and
+        // an outage may overlap a partition (different kinds).
+        let s = FaultSchedule::new()
+            .with_ap_outage(0, t(100), t(200))
+            .with_ap_outage(0, t(200), t(300))
+            .with_ap_outage(1, t(100), t(200))
+            .with_partition(0, t(150), t(250))
+            .with_controller_crash(t(100), t(200))
+            .with_controller_crash(t(200), t(300));
+        assert!(s.ap_down(0, t(250)));
+        assert!(s.controller_down(t(250)));
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod time;
 
 pub use engine::{Ctx, EnginePerf, Simulator, World};
 pub use fault::{
-    ApOutage, BackhaulFault, BackhaulImpairment, CsiDropWindow, DupWindow, FaultEdge,
-    FaultSchedule, PartitionWindow, ReorderWindow,
+    ApOutage, BackhaulFault, BackhaulImpairment, ControllerOutage, CsiDropWindow, DupWindow,
+    FaultEdge, FaultSchedule, PartitionWindow, ReorderWindow,
 };
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
