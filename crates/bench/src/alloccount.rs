@@ -1,0 +1,57 @@
+//! Heap-allocation counter for the perf harness.
+//!
+//! [`CountingAlloc`] wraps the system allocator and counts every
+//! allocation call (alloc, alloc_zeroed, and growth-side realloc) in a
+//! relaxed atomic — cheap enough to leave on for a whole calibration run.
+//! Only the `perf` binary installs it as `#[global_allocator]`; everywhere
+//! else the counter simply stays at zero, which downstream consumers
+//! (`ScenarioPerf`, `perf_gate`) treat as "not measured".
+//!
+//! The per-scenario metric derived from this is *allocations per engine
+//! event over a whole run*. Scenario construction is counted too, but a
+//! calibration run processes millions of events against thousands of
+//! setup allocations, so the quotient is a steady-state figure to within
+//! noise — and it is the steady state the allocation-free hot-loop work
+//! ratchets down via `BENCH_baseline.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation calls.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocation calls observed so far (0 unless [`CountingAlloc`] is the
+/// installed global allocator).
+pub fn count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocation calls since `start` (a prior [`count`] snapshot).
+pub fn since(start: u64) -> u64 {
+    count().wrapping_sub(start)
+}

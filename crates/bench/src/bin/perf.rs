@@ -6,6 +6,11 @@
 //! be overridden with `WGTT_BENCH_OUT`. Compare against the committed
 //! baseline with the `perf_gate` binary.
 
+// Count heap allocations so the report can state allocations/event — the
+// steady-state figure the allocation-free hot-loop work ratchets down.
+#[global_allocator]
+static ALLOC: wgtt_bench::alloccount::CountingAlloc = wgtt_bench::alloccount::CountingAlloc;
+
 fn main() {
     let report = wgtt_bench::perf::collect();
     println!("{}", wgtt_bench::perf::render(&report));

@@ -6,16 +6,20 @@
 //! (defaults: `BENCH.json` and `BENCH_baseline.json`).
 //!
 //! Rules, per calibration scenario (matched by id): events/sec below 0.5×
-//! the baseline fails, below 0.8× warns. The live microbenchmarks must
-//! show the memoized hot paths ≥1.1× their reference implementations. The
-//! parallel fan-out must reach ≥2× speedup — asserted only when the fresh
-//! run saw ≥4 cores, since a single-core host cannot exhibit it.
+//! the baseline fails, below 0.8× warns; allocations/event above 1.25×
+//! the baseline fails (checked only when both runs measured it — the
+//! counter reads 0 unless the `perf` binary's counting allocator was
+//! installed). The live microbenchmarks must show the memoized hot paths
+//! ≥1.1× their reference implementations. The parallel fan-out must reach
+//! ≥2× speedup — asserted only when the fresh run saw ≥4 cores, since a
+//! single-core host cannot exhibit it.
 
 use serde_json::Value;
 use std::process::ExitCode;
 
 const FAIL_RATIO: f64 = 0.5;
 const WARN_RATIO: f64 = 0.8;
+const ALLOC_FAIL_RATIO: f64 = 1.25;
 const HOTPATH_MIN_GAIN: f64 = 1.1;
 const PARALLEL_MIN_SPEEDUP: f64 = 2.0;
 const PARALLEL_MIN_CORES: f64 = 4.0;
@@ -37,7 +41,9 @@ fn field(v: &Value, path: &[&str]) -> f64 {
         .unwrap_or_else(|| panic!("perf_gate: field {} is not a number", path.join(".")))
 }
 
-fn scenario_rates(v: &Value) -> Vec<(String, f64)> {
+/// Per-scenario `(id, events_per_sec, allocs_per_event)`; the allocation
+/// figure is 0 when the document predates it or the run didn't measure it.
+fn scenario_rates(v: &Value) -> Vec<(String, f64, f64)> {
     v.get("scenarios")
         .and_then(|s| s.as_array())
         .expect("perf_gate: missing scenarios array")
@@ -52,7 +58,11 @@ fn scenario_rates(v: &Value) -> Vec<(String, f64)> {
                 .get("events_per_sec")
                 .and_then(|e| e.as_f64())
                 .expect("perf_gate: scenario without events_per_sec");
-            (id, eps)
+            let ape = s
+                .get("allocs_per_event")
+                .and_then(|a| a.as_f64())
+                .unwrap_or(0.0);
+            (id, eps, ape)
         })
         .collect()
 }
@@ -72,8 +82,9 @@ fn main() -> ExitCode {
 
     let base_rates = scenario_rates(&base);
     let fresh_rates = scenario_rates(&fresh);
-    for (id, base_eps) in &base_rates {
-        let Some((_, fresh_eps)) = fresh_rates.iter().find(|(fid, _)| fid == id) else {
+    for (id, base_eps, base_ape) in &base_rates {
+        let Some((_, fresh_eps, fresh_ape)) = fresh_rates.iter().find(|(fid, _, _)| fid == id)
+        else {
             println!("FAIL {id}: missing from fresh run");
             failures += 1;
             continue;
@@ -91,6 +102,20 @@ fn main() -> ExitCode {
             warnings += 1;
         } else {
             println!("ok   {id}: {fresh_eps:.0} ev/s ({ratio:.2}x baseline)");
+        }
+        if *base_ape > 0.0 && *fresh_ape > 0.0 {
+            let aratio = fresh_ape / base_ape;
+            if aratio > ALLOC_FAIL_RATIO {
+                println!(
+                    "FAIL {id}: {fresh_ape:.2} allocs/event is {aratio:.2}x \
+                     baseline {base_ape:.2}"
+                );
+                failures += 1;
+            } else {
+                println!("ok   {id}: {fresh_ape:.2} allocs/event ({aratio:.2}x baseline)");
+            }
+        } else {
+            println!("skip {id}: allocs/event not measured in both runs");
         }
     }
 

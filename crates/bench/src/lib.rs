@@ -14,6 +14,7 @@
 //! (`cargo bench -p wgtt-bench`).
 
 pub mod ablations;
+pub mod alloccount;
 pub mod chaos;
 pub mod common;
 pub mod controller_resilience;

@@ -20,7 +20,7 @@ use wgtt_phy::{DeploymentConfig, GuardInterval, LinkConfig, PerModel, Position, 
 use wgtt_sim::{SimRng, SimTime};
 
 /// Current `BENCH.json` schema version.
-pub const SCHEMA: u32 = 1;
+pub const SCHEMA: u32 = 2;
 
 /// Per-scenario throughput record.
 #[derive(Debug, Serialize)]
@@ -37,6 +37,12 @@ pub struct ScenarioPerf {
     pub events_per_sec: f64,
     /// Simulated seconds per wall-clock second.
     pub sim_rt_ratio: f64,
+    /// Heap allocation calls during the run — 0 when the counting
+    /// allocator is not installed (see [`crate::alloccount`]).
+    pub allocs: u64,
+    /// Allocation calls per engine event (whole run; scenario setup is
+    /// amortized over millions of events). 0 when not measured.
+    pub allocs_per_event: f64,
 }
 
 /// Serial-vs-parallel fan-out comparison over one batch of identical jobs.
@@ -108,7 +114,9 @@ pub fn calibration_suite() -> Vec<(String, Scenario)> {
 }
 
 fn scenario_perf(id: &str, scenario: Scenario) -> ScenarioPerf {
+    let a0 = crate::alloccount::count();
     let r = run(scenario);
+    let allocs = crate::alloccount::since(a0);
     ScenarioPerf {
         id: id.to_string(),
         events: r.perf.events,
@@ -116,6 +124,12 @@ fn scenario_perf(id: &str, scenario: Scenario) -> ScenarioPerf {
         sim_s: r.perf.sim_s,
         events_per_sec: r.perf.events_per_sec(),
         sim_rt_ratio: r.perf.sim_rt_ratio(),
+        allocs,
+        allocs_per_event: if r.perf.events > 0 {
+            allocs as f64 / r.perf.events as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -272,6 +286,7 @@ pub fn render(report: &PerfReport) -> String {
                 format!("{:.2}", s.wall_s),
                 format!("{:.0}", s.events_per_sec),
                 format!("{:.1}", s.sim_rt_ratio),
+                format!("{:.2}", s.allocs_per_event),
             ]
         })
         .collect();
@@ -282,7 +297,10 @@ pub fn render(report: &PerfReport) -> String {
          geo hot path: {:.2}x cached vs reference\n",
         report.cores,
         report.threads,
-        common::render_table(&["scenario", "events", "wall s", "ev/s", "sim/rt"], &rows),
+        common::render_table(
+            &["scenario", "events", "wall s", "ev/s", "sim/rt", "alloc/ev"],
+            &rows,
+        ),
         report.parallel.jobs,
         report.parallel.serial_wall_s,
         report.parallel.parallel_wall_s,

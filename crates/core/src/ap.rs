@@ -9,7 +9,7 @@
 
 use crate::cyclic::CyclicQueue;
 use crate::switching::{ApSwitchGuard, ClientResyncState, ResyncReply};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use wgtt_mac::blockack::TxScoreboard;
 use wgtt_mac::dcf::Backoff;
 use wgtt_mac::ApAssoc;
@@ -171,8 +171,10 @@ impl ApClientState {
 pub struct ApState {
     /// This AP's id.
     pub id: ApId,
-    /// Per-client state.
-    pub clients: HashMap<ClientId, ApClientState>,
+    /// Per-client state, dense by client index (clients are numbered 0..n
+    /// at world construction). Index order equals ascending-id order, so
+    /// every scan is deterministic without per-call sorting.
+    pub clients: Vec<Option<ApClientState>>,
     /// DCF backoff state for the AP's radio.
     pub backoff: Backoff,
     /// Round-robin cursor over clients.
@@ -193,7 +195,7 @@ impl ApState {
     pub fn new(id: ApId) -> Self {
         ApState {
             id,
-            clients: HashMap::new(),
+            clients: Vec::new(),
             backoff: Backoff::default(),
             rr_cursor: 0,
             next_tx_id: 0,
@@ -225,23 +227,18 @@ impl ApState {
 
     /// Snapshot of this AP's authoritative per-client switch-protocol
     /// state, for answering the controller's post-reboot `Resync`
-    /// broadcast. Clients are reported in ascending id order so the reply
-    /// is deterministic regardless of `HashMap` iteration.
+    /// broadcast. The dense slab yields clients in ascending id order, so
+    /// the reply is deterministic by construction.
     pub fn resync_reply(&self) -> ResyncReply {
-        let mut ids: Vec<ClientId> = self.clients.keys().copied().collect();
-        ids.sort();
-        let clients = ids
-            .iter()
-            .map(|id| {
-                let st = &self.clients[id];
-                ClientResyncState {
-                    client: *id,
-                    epoch_high_water: st.guard.latest(),
-                    start_applied: st.guard.start_applied(),
-                    serving: st.serving,
-                    queue_head: st.cyclic.head(),
-                    queue_tail: st.cyclic.tail(),
-                }
+        let clients = self
+            .clients_iter()
+            .map(|(id, st)| ClientResyncState {
+                client: id,
+                epoch_high_water: st.guard.latest(),
+                start_applied: st.guard.start_applied(),
+                serving: st.serving,
+                queue_head: st.cyclic.head(),
+                queue_tail: st.cyclic.tail(),
             })
             .collect();
         ResyncReply {
@@ -251,33 +248,59 @@ impl ApState {
         }
     }
 
+    /// The state for a client, if this AP knows it.
+    pub fn client(&self, client: ClientId) -> Option<&ApClientState> {
+        self.clients.get(client.0 as usize)?.as_ref()
+    }
+
+    /// Mutable state for a client this AP already knows.
+    pub fn client_get_mut(&mut self, client: ClientId) -> Option<&mut ApClientState> {
+        self.clients.get_mut(client.0 as usize)?.as_mut()
+    }
+
+    /// Known clients in ascending id order.
+    pub fn clients_iter(&self) -> impl Iterator<Item = (ClientId, &ApClientState)> {
+        self.clients
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|st| (ClientId(i as u32), st)))
+    }
+
     /// Gets or creates the state for a client.
     pub fn client_mut(&mut self, client: ClientId, gi: GuardInterval) -> &mut ApClientState {
-        self.clients
-            .entry(client)
-            .or_insert_with(|| ApClientState::new(gi))
+        let i = client.0 as usize;
+        if self.clients.len() <= i {
+            self.clients.resize_with(i + 1, || None);
+        }
+        self.clients[i].get_or_insert_with(|| ApClientState::new(gi))
     }
 
     /// Whether the AP radio has any pending downlink work.
     pub fn has_work(&self) -> bool {
-        self.clients.values().any(|c| c.has_downlink_work())
+        self.clients
+            .iter()
+            .flatten()
+            .any(|c| c.has_downlink_work())
     }
 
     /// Picks the next client to serve, round-robin over those with work.
+    /// The dense slab iterates in ascending id order, so the cursor walks
+    /// the same sequence the sorted-id implementation produced — without
+    /// collecting or sorting ids per call.
     pub fn pick_client(&mut self) -> Option<ClientId> {
-        let mut ids: Vec<ClientId> = self
-            .clients
-            .iter()
-            .filter(|(_, s)| s.has_downlink_work())
-            .map(|(&id, _)| id)
-            .collect();
-        if ids.is_empty() {
+        let with_work = |s: &Option<ApClientState>| s.as_ref().is_some_and(|c| c.has_downlink_work());
+        let n = self.clients.iter().filter(|s| with_work(s)).count();
+        if n == 0 {
             return None;
         }
-        ids.sort();
-        let pick = ids[self.rr_cursor % ids.len()];
+        let k = self.rr_cursor % n;
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
-        Some(pick)
+        self.clients
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| with_work(s))
+            .nth(k)
+            .map(|(i, _)| ClientId(i as u32))
     }
 
     /// Allocates a transmission id.

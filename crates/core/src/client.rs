@@ -176,7 +176,7 @@ impl ClientState {
         self.rssi
             .iter()
             .filter_map(|(&ap, e)| e.value().map(|v| (ap, v)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("RSSI not NaN"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

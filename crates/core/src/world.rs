@@ -24,7 +24,6 @@ use crate::controller::{ControllerState, ResyncAction};
 use crate::dedup::Deduplicator;
 use crate::metrics::SystemMetrics;
 use crate::switching::{AckOutcome, ResyncReply, SwitchMsg, CONTROL_PACKET_BYTES};
-use std::collections::BTreeMap;
 use wgtt_mac::blockack::BlockAckFrame;
 use wgtt_mac::timing::{
     ampdu_airtime, block_ack_airtime, difs, frame_airtime, sifs, slot, MAX_AMPDU_BYTES,
@@ -309,25 +308,50 @@ pub struct WgttWorld {
     resync: Option<ResyncSession>,
     /// Monotone resync round counter (guards stale deadline events).
     resync_seq: u64,
-    /// Emergency re-attaches in progress: client → (target AP, retries,
-    /// switch epoch). Ordered map: iteration order feeds simulation state
-    /// (reboot re-association), so it must not depend on hasher seeds.
-    pending_reattach: BTreeMap<usize, (usize, u32, u32)>,
-    /// Clients whose serving AP crashed, keyed by the crash instant —
-    /// resolved into failover-latency samples when they re-attach.
-    pending_failover: BTreeMap<usize, SimTime>,
+    /// Emergency re-attaches in progress, dense by client index:
+    /// `Some((target AP, retries, switch epoch))` while one is pending.
+    /// Index order equals the old ordered-map iteration order, so the
+    /// reboot re-association scan stays deterministic.
+    pending_reattach: Vec<Option<(usize, u32, u32)>>,
+    /// Clients whose serving AP crashed (dense by client index, holding
+    /// the crash instant) — resolved into failover-latency samples when
+    /// they re-attach.
+    pending_failover: Vec<Option<SimTime>>,
+    /// Each client's oracle winner from the previous accuracy tick — a
+    /// warm start for the ranking scan. Purely a visit-order hint: the
+    /// scan's lexicographic argmax makes the result independent of it.
+    last_oracle: Vec<Option<usize>>,
     rng: SimRng,
-    in_flight: BTreeMap<u64, AirTx>,
+    /// Transmissions on the air, sorted by tx id (ids are monotone, so
+    /// inserts append and the order never needs repair). Steady-state
+    /// population is the handful of concurrent exchanges, so binary-search
+    /// removal beats a tree and allocates nothing once warm.
+    in_flight: Vec<(u64, AirTx)>,
     next_tx_id: u64,
     round_scheduled: bool,
     /// Livelock guard: consecutive contention rounds at one timestamp.
     rounds_at_ts: (SimTime, u32),
-    /// Geometry of transmissions currently on the air:
-    /// tx id → (tx position, rx position, end time, transmitter key).
-    /// Ordered so `values()` scans are cross-process deterministic.
-    active_geo: BTreeMap<u64, (wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
+    /// Geometry of transmissions currently on the air, sorted by tx id:
+    /// (tx id, tx position, rx position, end time, transmitter key).
+    /// Id order makes every scan cross-process deterministic, same as the
+    /// ordered map this replaces.
+    active_geo: Vec<(u64, wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
     /// DCF collisions observed (stats).
     pub dcf_collisions: u64,
+    /// Reusable contention-round buffers (cleared each round, capacity
+    /// retained) — the round runs per-event, so per-call allocation here
+    /// dominated steady-state heap traffic.
+    scratch_busy: Vec<NodeKey>,
+    scratch_contenders: Vec<(NodeKey, u32)>,
+    scratch_active: Vec<(wgtt_phy::Position, wgtt_phy::Position, usize)>,
+    #[allow(clippy::type_complexity)]
+    scratch_granted: Vec<(
+        NodeKey,
+        u32,
+        (wgtt_phy::Position, wgtt_phy::Position),
+        usize,
+        bool,
+    )>,
     /// Verbose tracing (set WGTT_TRACE=1), for debugging the datapath.
     trace: bool,
 }
@@ -380,7 +404,7 @@ impl WgttWorld {
         let aps = (0..deployment.aps.len())
             .map(|i| ApState::new(ApId(i as u32)))
             .collect();
-        let clients = trajectories
+        let clients: Vec<ClientState> = trajectories
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
@@ -395,6 +419,7 @@ impl WgttWorld {
             .collect();
         let ctrl = ControllerState::new(cfg.selection);
         let n_aps = deployment.aps.len();
+        let n_clients = clients.len();
         WgttWorld {
             deployment,
             links,
@@ -413,15 +438,20 @@ impl WgttWorld {
             controller_down: false,
             resync: None,
             resync_seq: 0,
-            pending_reattach: BTreeMap::new(),
-            pending_failover: BTreeMap::new(),
+            pending_reattach: vec![None; n_clients],
+            pending_failover: vec![None; n_clients],
+            last_oracle: vec![None; n_clients],
             rng: root.fork("world"),
-            in_flight: BTreeMap::new(),
+            in_flight: Vec::new(),
             next_tx_id: 0,
             round_scheduled: false,
             rounds_at_ts: (SimTime::ZERO, 0),
-            active_geo: BTreeMap::new(),
+            active_geo: Vec::new(),
             dcf_collisions: 0,
+            scratch_busy: Vec::new(),
+            scratch_contenders: Vec::new(),
+            scratch_active: Vec::new(),
+            scratch_granted: Vec::new(),
             trace: std::env::var("WGTT_TRACE").is_ok(),
             cfg,
         }
@@ -479,7 +509,8 @@ impl WgttWorld {
     fn alloc_tx(&mut self, tx: AirTx) -> u64 {
         let id = self.next_tx_id;
         self.next_tx_id += 1;
-        self.in_flight.insert(id, tx);
+        // Ids are monotone, so a push keeps the slab sorted by id.
+        self.in_flight.push((id, tx));
         id
     }
 
@@ -591,7 +622,7 @@ impl WgttWorld {
         let gi = self.cfg.gi;
         if self.trace {
             if let Payload::TcpData { seq, .. } = packet.payload {
-                let st = self.aps[ap].clients.get(&client);
+                let st = self.aps[ap].client(client);
                 eprintln!(
                     "[{}] data at ap{ap}: idx={:?} tcpseq={seq} created={} serving={} draining={} head={:?}",
                     ctx.now(),
@@ -755,7 +786,7 @@ impl WgttWorld {
         let orphaned = !self
             .aps
             .iter()
-            .any(|a| a.clients.get(&client).is_some_and(|s| s.serving));
+            .any(|a| a.client(client).is_some_and(|s| s.serving));
         if !orphaned {
             return;
         }
@@ -880,8 +911,7 @@ impl WgttWorld {
                 let ap_idx = rec.to.0 as usize;
                 if !self.ap_down[ap_idx]
                     && self.aps[ap_idx]
-                        .clients
-                        .get(&client)
+                        .client(client)
                         .is_some_and(|s| s.guard.start_applied() != rec.epoch)
                 {
                     self.sys.mis_switches += 1;
@@ -897,11 +927,11 @@ impl WgttWorld {
                 self.sys.stale_control_dropped += 1;
             }
             AckOutcome::NoPending => {
-                if let Some(&(target, _, r_epoch)) = self.pending_reattach.get(&c) {
+                if let Some((target, _, r_epoch)) = self.pending_reattach[c] {
                     if target == from_ap && epoch == r_epoch {
                         // Emergency re-attach completed: the new AP acked
                         // the direct start(c, k).
-                        self.pending_reattach.remove(&c);
+                        self.pending_reattach[c] = None;
                         let ap = ApId(target as u32);
                         self.ctrl.serving.insert(client, ap);
                         self.ctrl.health.on_ack_proof(ap, epoch);
@@ -984,7 +1014,7 @@ impl WgttWorld {
             let c = rec.client.0 as usize;
             if self.clients[c].serving == Some(rec.from)
                 && self.ctrl.health.csi_stale(rec.from, now)
-                && !self.pending_reattach.contains_key(&c)
+                && self.pending_reattach[c].is_none()
             {
                 let excluded = self.ctrl.health.blacklisted(now);
                 let target = self
@@ -1029,7 +1059,7 @@ impl WgttWorld {
         let epoch = self.ctrl.engine.allocate_epoch(client);
         self.sys.emergency_reattaches += 1;
         self.sys.control_packets += 1;
-        self.pending_reattach.insert(c, (target, 0, epoch));
+        self.pending_reattach[c] = Some((target, 0, epoch));
         self.backhaul_send(
             ctx,
             CONTROL_PACKET_BYTES,
@@ -1051,7 +1081,7 @@ impl WgttWorld {
         if self.controller_down {
             return; // the crashed controller's timers die with it
         }
-        let Some(&(target, retries, epoch)) = self.pending_reattach.get(&c) else {
+        let Some((target, retries, epoch)) = self.pending_reattach[c] else {
             return; // answered (or superseded) already
         };
         let now = ctx.now();
@@ -1060,7 +1090,7 @@ impl WgttWorld {
         {
             // Give up on this target; the selection loop's first-association
             // path re-attaches once fresh CSI identifies a live AP.
-            self.pending_reattach.remove(&c);
+            self.pending_reattach[c] = None;
             return;
         }
         let client = ClientId(c as u32);
@@ -1068,8 +1098,7 @@ impl WgttWorld {
         // Retransmissions keep the original epoch: they are the same
         // re-attach generation, and the target AP's guard turns an
         // already-applied duplicate into a bare re-ack.
-        self.pending_reattach
-            .insert(c, (target, retries + 1, epoch));
+        self.pending_reattach[c] = Some((target, retries + 1, epoch));
         self.sys.control_packets += 1;
         self.backhaul_send(
             ctx,
@@ -1090,7 +1119,7 @@ impl WgttWorld {
 
     /// Closes the failover-latency book for a client that just re-attached.
     fn resolve_failover(&mut self, c: usize, now: SimTime) {
-        if let Some(crash_at) = self.pending_failover.remove(&c) {
+        if let Some(crash_at) = self.pending_failover[c].take() {
             let latency = now.saturating_since(crash_at);
             let m = &mut self.clients[c].metrics;
             m.failovers.push((now, latency));
@@ -1111,7 +1140,7 @@ impl WgttWorld {
         let now = ctx.now();
         for c in 0..self.clients.len() {
             if self.clients[c].serving == Some(ApId(ap as u32)) {
-                self.pending_failover.entry(c).or_insert(now);
+                self.pending_failover[c].get_or_insert(now);
             }
         }
     }
@@ -1128,7 +1157,7 @@ impl WgttWorld {
             let now = ctx.now();
             let gi = self.cfg.gi;
             for c in 0..self.clients.len() {
-                if self.clients[c].serving.is_some() || self.pending_reattach.contains_key(&c) {
+                if self.clients[c].serving.is_some() || self.pending_reattach[c].is_some() {
                     self.aps[ap]
                         .client_mut(ClientId(c as u32), gi)
                         .assoc
@@ -1152,7 +1181,7 @@ impl WgttWorld {
         // map. In-flight switch timers and re-attach retries die silently
         // (their events are eaten while `controller_down` is set).
         self.ctrl.crash_wipe();
-        self.pending_reattach.clear();
+        self.pending_reattach.fill(None);
         self.resync = None;
     }
 
@@ -1311,7 +1340,7 @@ impl WgttWorld {
         self.ctrl.selector_mut(client).record_switch(now);
         let epoch = self.ctrl.engine.allocate_epoch(client);
         self.sys.control_packets += 1;
-        self.pending_reattach.insert(c, (target, 0, epoch));
+        self.pending_reattach[c] = Some((target, 0, epoch));
         self.backhaul_send(
             ctx,
             CONTROL_PACKET_BYTES,
@@ -1345,7 +1374,7 @@ impl WgttWorld {
             let faulty = !self.faults.is_empty();
             for c in 0..self.clients.len() {
                 let client = ClientId(c as u32);
-                if self.ctrl.engine.in_flight(client) || self.pending_reattach.contains_key(&c) {
+                if self.ctrl.engine.in_flight(client) || self.pending_reattach[c].is_some() {
                     continue;
                 }
                 let current = self.ctrl.serving(client);
@@ -1428,35 +1457,89 @@ impl WgttWorld {
     fn on_accuracy_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         for c in 0..self.clients.len() {
-            // Oracle: instantaneous ESNR argmax over in-range APs. The
-            // winner's memo is kept so the capacity integral below reuses
-            // the ranking's 16-QAM integration instead of redoing it.
+            // Oracle: instantaneous ESNR argmax over in-range APs. Memos
+            // are kept for the winner and the serving AP so the capacity
+            // integral below reuses the ranking's 16-QAM integrations, and
+            // an AP whose best tone — an exact ceiling on its ESNR — sits
+            // at or below the incumbent is skipped without integrating
+            // (`e > b` would have been false regardless).
+            let serving = self.serving_of(c);
+            // Visit last tick's winner first: channel coherence makes it
+            // the likely incumbent, so the ceiling prunes below discard
+            // almost every other AP before any ESNR integration. Visit
+            // order cannot change the outcome — the update rule is the
+            // exact lexicographic argmax (highest ESNR, lowest AP id on
+            // exact ties) that the plain ascending scan computes.
+            let warm = self.last_oracle[c];
             let mut best: Option<(usize, f64)> = None;
             let mut best_esnr: Option<EsnrMemo> = None;
-            for ap in 0..self.aps.len() {
+            let mut serving_esnr: Option<EsnrMemo> = None;
+            for ap in warm
+                .into_iter()
+                .chain((0..self.aps.len()).filter(|&a| Some(a) != warm))
+            {
                 if self.ap_down[ap] || !self.in_radio_range(ap, c, now) {
                     continue;
                 }
+                let is_serving = serving == Some(ap);
+                // Prunable once even a ceiling on this AP's ESNR cannot
+                // win the lexicographic argmax against the incumbent.
+                let cannot_beat = |bound: f64| {
+                    best.is_some_and(|(bi, b)| bound < b || (bound == b && ap > bi))
+                };
+                if !is_serving
+                    && cannot_beat(
+                        self.mean_snr(ap, c, now) + self.links[ap][c].peak_tone_headroom_db(),
+                    )
+                {
+                    // Static ceiling: no fading realization lifts a tone
+                    // past mean + headroom, so skip the whole channel
+                    // evaluation.
+                    continue;
+                }
                 let mut memo = EsnrMemo::new(&self.csi(ap, c, now));
+                if !is_serving && cannot_beat(memo.best_tone_db()) {
+                    continue;
+                }
                 let e = memo.esnr_db(Modulation::Qam16);
-                if best.map_or(true, |(_, b)| e > b) {
+                let wins = best.is_none_or(|(bi, b)| e > b || (e == b && ap < bi));
+                if wins {
                     best = Some((ap, e));
+                }
+                if is_serving {
+                    // The serving memo doubles as the winner's when the
+                    // serving AP is the oracle choice.
+                    serving_esnr = Some(memo);
+                } else if wins {
                     best_esnr = Some(memo);
                 }
             }
-            let serving = self.serving_of(c);
+            self.last_oracle[c] = best.map(|(ap, _)| ap);
             if let Some((oracle, _)) = best {
                 // Capacity-loss integral (Figs 4, 21): the best link's
                 // instantaneous capacity minus what the serving link offers.
                 let gi = self.cfg.gi;
-                let mut oracle_esnr = best_esnr.expect("memo kept with best");
+                let oracle_is_serving = serving == Some(oracle);
+                let mut oracle_esnr = if oracle_is_serving {
+                    serving_esnr.take()
+                } else {
+                    best_esnr.take()
+                }
+                .expect("memo kept with best");
                 let best_cap = self.cfg.per_model.capacity_with(&mut oracle_esnr, gi, 1500);
                 let serv_cap = match serving {
                     Some(s) if s == oracle => best_cap,
-                    Some(s) => self
-                        .cfg
-                        .per_model
-                        .capacity_bps(gi, &self.csi(s, c, now), 1500),
+                    // `capacity_bps` is exactly `capacity_with` on a fresh
+                    // memo of the same (cached) CSI, so reusing the
+                    // ranking's serving memo is bit-identical; the fallback
+                    // covers a serving AP that is down or out of range.
+                    Some(s) => match serving_esnr.as_mut() {
+                        Some(sm) => self.cfg.per_model.capacity_with(sm, gi, 1500),
+                        None => self
+                            .cfg
+                            .per_model
+                            .capacity_bps(gi, &self.csi(s, c, now), 1500),
+                    },
                     None => 0.0,
                 };
                 let m = &mut self.clients[c].metrics;
@@ -1479,6 +1562,38 @@ impl WgttWorld {
     // ---------- radio: contention rounds ----------
 
     fn on_contention_round(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        // Loan the pooled buffers to the round body; every exit path comes
+        // back through here, so the capacity survives for the next round.
+        let mut busy = std::mem::take(&mut self.scratch_busy);
+        let mut contenders = std::mem::take(&mut self.scratch_contenders);
+        let mut active = std::mem::take(&mut self.scratch_active);
+        let mut granted = std::mem::take(&mut self.scratch_granted);
+        busy.clear();
+        contenders.clear();
+        active.clear();
+        granted.clear();
+        self.contention_round_body(ctx, &mut busy, &mut contenders, &mut active, &mut granted);
+        self.scratch_busy = busy;
+        self.scratch_contenders = contenders;
+        self.scratch_active = active;
+        self.scratch_granted = granted;
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn contention_round_body(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        busy: &mut Vec<NodeKey>,
+        contenders: &mut Vec<(NodeKey, u32)>,
+        active: &mut Vec<(wgtt_phy::Position, wgtt_phy::Position, usize)>,
+        granted: &mut Vec<(
+            NodeKey,
+            u32,
+            (wgtt_phy::Position, wgtt_phy::Position),
+            usize,
+            bool,
+        )>,
+    ) {
         self.round_scheduled = false;
         let now = ctx.now();
         // Livelock guard: a node that reports work but can never build a
@@ -1495,8 +1610,7 @@ impl WgttWorld {
                         .filter(|(_, a)| a.has_work())
                         .map(|(i, a)| (
                             i,
-                            a.clients
-                                .iter()
+                            a.clients_iter()
                                 .map(|(c, s)| (
                                     c.0,
                                     s.serving,
@@ -1521,7 +1635,7 @@ impl WgttWorld {
             self.rounds_at_ts = (now, 0);
         }
         // Drop finished transmissions from the active registry.
-        self.active_geo.retain(|_, &mut (_, _, end, _)| end > now);
+        self.active_geo.retain(|&(_, _, _, end, _)| end > now);
         if self.trace {
             eprintln!(
                 "[{now}] round: active={} ap_work={:?} cl_work={:?}",
@@ -1541,13 +1655,9 @@ impl WgttWorld {
             );
         }
         // Gather contenders: nodes with pending frames whose radio is not
-        // already mid-transmission.
-        let busy: std::collections::HashSet<NodeKey> = self
-            .active_geo
-            .values()
-            .map(|&(_, _, _, key)| key)
-            .collect();
-        let mut contenders: Vec<(NodeKey, u32)> = Vec::new();
+        // already mid-transmission. The active set is a handful of entries,
+        // so a linear `contains` beats hashing and allocates nothing.
+        busy.extend(self.active_geo.iter().map(|&(_, _, _, _, key)| key));
         for ap in 0..self.aps.len() {
             if !self.ap_down[ap] && self.aps[ap].has_work() && !busy.contains(&NodeKey::Ap(ap)) {
                 let draw = self.aps[ap].backoff.draw(&mut self.rng);
@@ -1589,8 +1699,7 @@ impl WgttWorld {
                     // geometry, and hence multi-client results, depend on
                     // iteration order); fall back to the boresight patch.
                     let rx = w.aps[ap]
-                        .clients
-                        .iter()
+                        .clients_iter()
                         .filter(|(_, s)| s.has_downlink_work())
                         .min_by_key(|(c, _)| c.0)
                         .map(|(c, _)| w.client_pos(c.0 as usize, now))
@@ -1619,21 +1728,12 @@ impl WgttWorld {
                 NodeKey::Client(c) => w.serving_of(c).map(|s| w.cfg.channel_of(s)).unwrap_or(0),
             }
         };
-        let active: Vec<(wgtt_phy::Position, wgtt_phy::Position, usize)> = self
-            .active_geo
-            .values()
-            .map(|&(t, r, _, key)| (t, r, chan_of(self, key)))
-            .collect();
+        for i in 0..self.active_geo.len() {
+            let (_, t, r, _, key) = self.active_geo[i];
+            active.push((t, r, chan_of(self, key)));
+        }
         let min_draw = contenders[0].1;
-        #[allow(clippy::type_complexity)]
-        let mut granted: Vec<(
-            NodeKey,
-            u32,
-            (wgtt_phy::Position, wgtt_phy::Position),
-            usize,
-            bool,
-        )> = Vec::new();
-        for &(node, draw) in &contenders {
+        for &(node, draw) in contenders.iter() {
             let pos = tx_rx_pos(self, node);
             let chan = chan_of(self, node);
             // A contender within carrier-sense range of an ongoing
@@ -1673,21 +1773,22 @@ impl WgttWorld {
         if granted.is_empty() {
             // Everyone with work is inside an active transmission's CS
             // range; retry when the earliest one ends.
-            if let Some(end) = self.active_geo.values().map(|&(_, _, e, _)| e).min() {
+            if let Some(end) = self.active_geo.iter().map(|&(_, _, _, e, _)| e).min() {
                 self.round_scheduled = true;
                 ctx.schedule_at(end.max(now), Ev::ContentionRound);
             }
             return;
         }
         let mut latest_end = now;
-        for (node, draw, pos, _chan, collided) in granted {
+        for &(node, draw, pos, _chan, collided) in granted.iter() {
             let grant = now + difs() + slot() * draw as u64;
             let started = match node {
                 NodeKey::Ap(ap) => self.start_ap_tx(ctx, ap, grant, collided),
                 NodeKey::Client(c) => self.start_client_tx(ctx, c, grant, collided),
             };
             if let Some((tx_id, end)) = started {
-                self.active_geo.insert(tx_id, (pos.0, pos.1, end, node));
+                // Tx ids are monotone: pushing keeps the registry id-sorted.
+                self.active_geo.push((tx_id, pos.0, pos.1, end, node));
                 latest_end = latest_end.max(end);
             }
         }
@@ -1711,8 +1812,7 @@ impl WgttWorld {
         let now = ctx.now();
         let max_dur = SimDuration::from_millis(4);
         let st = self.aps[ap]
-            .clients
-            .get_mut(&client)
+            .client_get_mut(client)
             .expect("picked client exists");
         if st.serving || (st.draining && st.drain_cyclic) {
             self.sys.dup_data_dropped += st.refill_nic();
@@ -1832,8 +1932,15 @@ impl WgttWorld {
     // ---------- radio: transmission resolution ----------
 
     fn on_tx_done(&mut self, ctx: &mut Ctx<'_, Ev>, tx_id: u64) {
-        self.active_geo.remove(&tx_id);
-        match self.in_flight.remove(&tx_id) {
+        if let Ok(i) = self.active_geo.binary_search_by_key(&tx_id, |e| e.0) {
+            self.active_geo.remove(i);
+        }
+        let done = self
+            .in_flight
+            .binary_search_by_key(&tx_id, |e| e.0)
+            .ok()
+            .map(|i| self.in_flight.remove(i).1);
+        match done {
             Some(AirTx::ApAggregate {
                 ap,
                 client,
@@ -1982,7 +2089,7 @@ impl WgttWorld {
             let report = esnr.esnr_db(Modulation::Qam16);
             self.report_csi(ctx, ap, c, report, now);
         }
-        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+        let Some(st) = self.aps[ap].client_get_mut(client) else {
             return; // state wiped by a crash/reboot cycle mid-flight
         };
         if ba_received {
@@ -2030,7 +2137,7 @@ impl WgttWorld {
                     }
                 }
             }
-            let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+            let Some(st) = self.aps[ap].client_get_mut(client) else {
                 return;
             };
             st.ratectl.on_tx_result(now, mcs, false);
@@ -2058,7 +2165,7 @@ impl WgttWorld {
         now: SimTime,
     ) {
         let client = ClientId(c as u32);
-        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+        let Some(st) = self.aps[ap].client_get_mut(client) else {
             return;
         };
         for (seq, packet, retries) in unacked.into_iter().rev() {
@@ -2081,7 +2188,7 @@ impl WgttWorld {
             return;
         }
         let client = ClientId(c as u32);
-        let Some(st) = self.aps[ap].clients.get_mut(&client) else {
+        let Some(st) = self.aps[ap].client_get_mut(client) else {
             return;
         };
         if !st.seen_bas.insert((ba.start_seq, ba.bitmap)) {
@@ -2256,8 +2363,7 @@ impl WgttWorld {
             };
             // Only associated APs bridge data frames.
             let associated = self.aps[*ap]
-                .clients
-                .get(&client)
+                .client(client)
                 .is_some_and(|s| s.assoc.state() == AssocState::Associated);
             if !forwards || !associated || self.faults.partitioned(*ap, now) {
                 continue;
@@ -2310,8 +2416,7 @@ impl WgttWorld {
             .map(|&(ap, _)| ap)
             .filter(|&ap| {
                 self.aps[ap]
-                    .clients
-                    .get(&client)
+                    .client(client)
                     .is_some_and(|s| s.assoc.state() == AssocState::Associated)
             })
             .collect();
@@ -2331,7 +2436,7 @@ impl WgttWorld {
                     (ap, jitter_us, snr_at_client)
                 })
                 .collect();
-            resp.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("jitter not NaN"));
+            resp.sort_by(|a, b| a.1.total_cmp(&b.1));
             let (first_ap, first_jitter, first_snr) = resp[0];
             // Later responders defer via CCA unless within the detection
             // window; overlapping comparable-power responses collide.

@@ -19,7 +19,7 @@
 
 use wgtt_core::config::SystemConfig;
 use wgtt_core::protocol_check::{check, CheckerConfig, ViolationKind};
-use wgtt_core::runner::{run, FlowSpec, RunResult, Scenario};
+use wgtt_core::runner::{run, run_reference, FlowSpec, RunResult, Scenario};
 use wgtt_sim::{FaultSchedule, SimDuration, SimTime};
 
 fn udp_flows() -> Vec<FlowSpec> {
@@ -210,6 +210,16 @@ fn chaos_schedule_is_deterministic() {
     let fp = fingerprint(&a);
     assert_eq!(fp, fingerprint(&b), "same seed+schedule diverged");
     emit_probe("chaos_drive", &fp);
+}
+
+/// The calendar-queue hot path and the retained legacy heap-queue
+/// reference path must agree bit-for-bit even with the backhaul
+/// duplicating and reordering frames (heavy cancel/reschedule churn).
+#[test]
+fn reference_queue_path_is_bit_identical_under_chaos() {
+    let a = run(drive(202, 25.0, chaos_schedule(0.05, 0.05)));
+    let b = run_reference(drive(202, 25.0, chaos_schedule(0.05, 0.05)));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 
 /// Zero-rate duplication/reordering windows must take the exact healthy

@@ -5,7 +5,7 @@
 //! deterministically for a given seed and fault schedule.
 
 use wgtt_core::config::SystemConfig;
-use wgtt_core::runner::{run, FlowSpec, RunResult, Scenario};
+use wgtt_core::runner::{run, run_reference, FlowSpec, RunResult, Scenario};
 use wgtt_sim::{FaultSchedule, SimDuration, SimRng, SimTime};
 
 fn udp_flows() -> Vec<FlowSpec> {
@@ -138,6 +138,21 @@ fn identical_seed_and_schedule_are_bit_identical() {
     };
     let a = run(drive(77, faults()));
     let b = run(drive(77, faults()));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+/// The calendar-queue hot path and the retained legacy heap-queue
+/// reference path must be indistinguishable at the metric level, even
+/// under a fault schedule that exercises cancels (outages, CSI drops).
+#[test]
+fn reference_queue_path_is_bit_identical() {
+    let faults = || {
+        FaultSchedule::new()
+            .with_ap_outage(3, SimTime::from_secs(1), SimTime::from_secs(3))
+            .with_csi_drops(SimTime::from_secs(2), SimTime::from_secs(6), 0.3)
+    };
+    let a = run(drive(77, faults()));
+    let b = run_reference(drive(77, faults()));
     assert_eq!(fingerprint(&a), fingerprint(&b));
 }
 

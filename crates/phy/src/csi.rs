@@ -32,10 +32,14 @@ pub fn subcarrier_offsets_hz() -> [f64; NUM_SUBCARRIERS] {
 
 /// One CSI measurement: the complex response per subcarrier plus the
 /// large-scale (mean) SNR the fading rides on.
+///
+/// The response is a fixed-size array: every HT20 snapshot has exactly 56
+/// used subcarriers, and the inline storage keeps snapshot creation —
+/// the hottest constructor in the simulator — off the heap entirely.
 #[derive(Debug, Clone)]
 pub struct Csi {
     /// Complex channel response per subcarrier, unit mean power.
-    pub h: Vec<Cplx>,
+    pub h: [Cplx; NUM_SUBCARRIERS],
     /// Large-scale SNR in dB (path loss + antenna + budget, no fast
     /// fading).
     pub mean_snr_db: f64,
@@ -43,17 +47,22 @@ pub struct Csi {
 
 impl Csi {
     /// Per-subcarrier SNR in dB: `mean_snr_db + 10·log10(|H_k|²)`.
-    pub fn per_subcarrier_snr_db(&self) -> Vec<f64> {
-        self.h
-            .iter()
-            .map(|h| self.mean_snr_db + linear_to_db(h.abs2()))
-            .collect()
+    pub fn per_subcarrier_snr_db(&self) -> [f64; NUM_SUBCARRIERS] {
+        let mut out = [0.0; NUM_SUBCARRIERS];
+        for (o, h) in out.iter_mut().zip(&self.h) {
+            *o = self.mean_snr_db + linear_to_db(h.abs2());
+        }
+        out
     }
 
     /// Per-subcarrier SNR in linear scale.
-    pub fn per_subcarrier_snr_linear(&self) -> Vec<f64> {
+    pub fn per_subcarrier_snr_linear(&self) -> [f64; NUM_SUBCARRIERS] {
         let base = 10f64.powf(self.mean_snr_db / 10.0);
-        self.h.iter().map(|h| base * h.abs2()).collect()
+        let mut out = [0.0; NUM_SUBCARRIERS];
+        for (o, h) in out.iter_mut().zip(&self.h) {
+            *o = base * h.abs2();
+        }
+        out
     }
 
     /// Average received power SNR across subcarriers, in dB — what a plain
@@ -87,7 +96,7 @@ mod tests {
     #[test]
     fn flat_channel_snrs_equal_mean() {
         let csi = Csi {
-            h: vec![Cplx::ONE; NUM_SUBCARRIERS],
+            h: [Cplx::ONE; NUM_SUBCARRIERS],
             mean_snr_db: 25.0,
         };
         for snr in csi.per_subcarrier_snr_db() {
@@ -100,7 +109,7 @@ mod tests {
 
     #[test]
     fn faded_subcarrier_drops_snr() {
-        let mut h = vec![Cplx::ONE; NUM_SUBCARRIERS];
+        let mut h = [Cplx::ONE; NUM_SUBCARRIERS];
         h[10] = Cplx::new(0.1, 0.0); // 20 dB fade
         let csi = Csi {
             h,
@@ -116,7 +125,7 @@ mod tests {
     #[test]
     fn zero_channel_clamps() {
         let csi = Csi {
-            h: vec![Cplx::ZERO; 4],
+            h: [Cplx::ZERO; NUM_SUBCARRIERS],
             mean_snr_db: 20.0,
         };
         for snr in csi.per_subcarrier_snr_db() {

@@ -116,12 +116,21 @@ impl PerModel {
         gi: crate::mcs::GuardInterval,
         len_bytes: usize,
     ) -> f64 {
-        Mcs::all()
-            .map(|m| {
-                let e = esnr.esnr_db(m.modulation());
-                self.expected_goodput_bps(m, gi, e, len_bytes)
-            })
-            .fold(0.0, f64::max)
+        // Densest MCS first: at healthy SNR its expected goodput already
+        // exceeds every slower MCS's ceiling (`rate × 1`, since the success
+        // probability never exceeds 1), so those integrations are skipped.
+        // Bit-identical to folding over all eight: a skipped MCS cannot
+        // raise the max, and `f64::max` over non-NaN values is
+        // order-independent.
+        let mut best = 0.0f64;
+        for m in Mcs::all().rev() {
+            if (m.data_rate_bps(gi) as f64) <= best {
+                continue;
+            }
+            let e = esnr.esnr_db(m.modulation());
+            best = best.max(self.expected_goodput_bps(m, gi, e, len_bytes));
+        }
+        best
     }
 
     /// Pre-memoization reference implementation of [`Self::capacity_bps`]:
@@ -181,7 +190,7 @@ mod tests {
 
     fn flat_csi(snr_db: f64) -> Csi {
         Csi {
-            h: vec![Cplx::ONE; NUM_SUBCARRIERS],
+            h: [Cplx::ONE; NUM_SUBCARRIERS],
             mean_snr_db: snr_db,
         }
     }

@@ -14,7 +14,7 @@
 //! This is the metric the WGTT controller compares across APs (§3.1.1 of
 //! the paper).
 
-use crate::csi::Csi;
+use crate::csi::{Csi, NUM_SUBCARRIERS};
 use crate::pathloss::linear_to_db;
 
 /// Modulation schemes used by 802.11n single-stream MCS 0–7.
@@ -60,29 +60,59 @@ impl Modulation {
     }
 }
 
+/// The exponent polynomial of the A&S 7.1.26 erfc approximation:
+/// `erfc(z) = t·exp(−z² + B(t))` for `z ≥ 0`, `t = 1/(1 + z/2)`.
+#[inline]
+fn erfc_poly(t: f64) -> f64 {
+    -1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277))))))))
+}
+
 /// Complementary error function.
 ///
 /// Abramowitz & Stegun 7.1.26-based rational approximation with |ε| ≤
 /// 1.5·10⁻⁷, extended to the full real line by symmetry. Accurate enough
-/// for BER work, where the inputs live within a few tens of dB.
+/// for BER work, where the inputs live within a few tens of dB. The inner
+/// exponential uses the deterministic [`crate::fastmath::exp`] kernel, so
+/// BER values do not depend on the host libm.
 pub fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let tau = t
-        * (-z * z - 1.26551223
-            + t * (1.00002368
-                + t * (0.37409196
-                    + t * (0.09678418
-                        + t * (-0.18628806
-                            + t * (0.27886807
-                                + t * (-1.13520398
-                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
-            .exp();
+    let tau = t * crate::fastmath::exp(-z * z + erfc_poly(t));
     if x >= 0.0 {
         tau
     } else {
         2.0 - tau
     }
+}
+
+/// `ln erfc(z)` and its derivative for `z ≥ 0`, from the closed form of the
+/// same approximation [`erfc`] uses: `ln t − z² + B(t)`.
+///
+/// Evaluating the logarithm analytically never under- or overflows, which
+/// is what lets [`ber_inverse`] run Newton's method at BERs far below the
+/// smallest subnormal of the linear-domain function.
+#[inline]
+fn ln_erfc_with_deriv(z: f64) -> (f64, f64) {
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let val = crate::fastmath::ln(t) - z * z + erfc_poly(t);
+    // B'(t), then chain through dt/dz = −t²/2; d(ln t)/dz = −t/2.
+    let bp = 1.00002368
+        + t * (2.0 * 0.37409196
+            + t * (3.0 * 0.09678418
+                + t * (4.0 * -0.18628806
+                    + t * (5.0 * 0.27886807
+                        + t * (6.0 * -1.13520398
+                            + t * (7.0 * 1.48851587
+                                + t * (8.0 * -0.82215223 + t * (9.0 * 0.17087277))))))));
+    let deriv = -0.5 * t - 2.0 * z - 0.5 * t * t * bp;
+    (val, deriv)
 }
 
 /// The Gaussian Q-function, `Q(x) = ½·erfc(x/√2)`.
@@ -109,30 +139,74 @@ pub fn ber(modulation: Modulation, snr_linear: f64) -> f64 {
     }
 }
 
+/// `(c, k)` such that `ber(m, g) = c·Q(√(g/k))`.
+#[inline]
+fn q_params(modulation: Modulation) -> (f64, f64) {
+    match modulation {
+        Modulation::Bpsk => (1.0, 0.5),
+        Modulation::Qpsk => (1.0, 1.0),
+        Modulation::Qam16 => (0.75, 5.0),
+        Modulation::Qam64 => (7.0 / 12.0, 21.0),
+    }
+}
+
 /// Inverse of [`ber`]: the (linear) SNR at which the modulation attains the
-/// given bit error rate. Solved by bisection — `ber` is strictly decreasing
-/// in SNR.
+/// given bit error rate.
+///
+/// Every modulation's BER is `c·Q(√(g/k))`, so inverting it is one erfc
+/// inversion: solve `erfc(u) = 2·target/c` for `u = √(g/2k)`. A
+/// probit-style initial guess is polished by safeguarded Newton iteration
+/// on the analytic log-domain closed form of [`erfc`]'s approximation
+/// ([`ln_erfc_with_deriv`]) — typically 4–6 evaluations where the former
+/// geometric bisection needed ~46 full BER evaluations, and immune to the
+/// underflow that makes the linear-domain function flat at high SNR. A
+/// shrinking bracket guarantees convergence even if a Newton step misfires.
 pub fn ber_inverse(modulation: Modulation, target_ber: f64) -> f64 {
     // Outside the achievable range, clamp to the search bounds.
-    let (mut lo, mut hi) = (1e-9, 1e9);
+    let (lo, hi) = (1e-9, 1e9);
     if target_ber >= ber(modulation, lo) {
         return lo;
     }
     if target_ber <= ber(modulation, hi) {
         return hi;
     }
-    for _ in 0..200 {
-        let mid = (lo * hi).sqrt(); // geometric bisection suits dB scale
-        if ber(modulation, mid) > target_ber {
-            lo = mid;
+    let (c, k) = q_params(modulation);
+    // After the clamps, erfc(u) = y has its root strictly inside
+    // [√(lo/2k), √(hi/2k)] — erfc evaluated analytically in the log domain
+    // cannot underflow, so the bracket endpoints need no special cases.
+    let ln_y = crate::fastmath::ln(2.0 * target_ber / c);
+    let mut blo = (lo / (2.0 * k)).sqrt();
+    let mut bhi = (hi / (2.0 * k)).sqrt();
+    let mut u = if ln_y > -std::f64::consts::LN_2 {
+        // y > ½ ⇒ small root: erfc(u) ≈ 1 − 2u/√π.
+        0.886_226_925_452_758 * (1.0 - crate::fastmath::exp(ln_y))
+    } else {
+        // Asymptotic tail: ln erfc(u) ≈ −u² − ln(u√π).
+        let u0 = (-ln_y).sqrt();
+        (-ln_y - crate::fastmath::ln(1.772_453_850_905_516 * u0))
+            .max(0.25)
+            .sqrt()
+    }
+    .clamp(blo, bhi);
+    for _ in 0..80 {
+        let (f, df) = ln_erfc_with_deriv(u);
+        let g = f - ln_y;
+        if g > 0.0 {
+            blo = u; // erfc(u) still above the target ⇒ root is to the right
         } else {
-            hi = mid;
+            bhi = u;
         }
-        if hi / lo < 1.0 + 1e-12 {
+        let mut next = u - g / df;
+        if !(next > blo && next < bhi) {
+            next = (blo * bhi).sqrt(); // safeguard: geometric bisection step
+        }
+        let done = (next - u).abs() <= 1e-14 * u;
+        u = next;
+        if done {
             break;
         }
     }
-    (lo * hi).sqrt()
+    2.0 * k * u * u
 }
 
 /// Effective SNR in dB for a modulation given per-subcarrier linear SNRs.
@@ -168,7 +242,7 @@ pub fn esnr_from_csi(modulation: Modulation, csi: &Csi) -> f64 {
 /// values to the corresponding [`esnr_from_csi`] calls (it delegates to the
 /// same [`esnr_db`] on the same input — locked by `memo_matches_direct`).
 pub struct EsnrMemo {
-    snr_linear: Vec<f64>,
+    snr_linear: [f64; NUM_SUBCARRIERS],
     cache: [Option<f64>; 4],
 }
 
@@ -179,6 +253,21 @@ impl EsnrMemo {
             snr_linear: csi.per_subcarrier_snr_linear(),
             cache: [None; 4],
         }
+    }
+
+    /// The best tone's SNR in dB — an exact upper bound on
+    /// [`Self::esnr_db`] for **every** modulation, since `esnr_db` clamps
+    /// to it. One pass over the SNR vector, no BER work: rankers use it to
+    /// skip the full integration for snapshots that cannot beat an
+    /// incumbent (the comparison is bit-exact because the clamp inside
+    /// `esnr_db` computes the identical fold).
+    pub fn best_tone_db(&self) -> f64 {
+        let max_tone = self
+            .snr_linear
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        linear_to_db(max_tone)
     }
 
     /// The snapshot's ESNR in dB for `modulation`, computed on first use.
@@ -277,6 +366,50 @@ mod tests {
         }
     }
 
+    /// The pre-Newton reference implementation: geometric bisection over
+    /// the same [`ber`], kept to pin the fast inversion's accuracy.
+    fn ber_inverse_bisect(modulation: Modulation, target_ber: f64) -> f64 {
+        let (mut lo, mut hi) = (1e-9, 1e9);
+        if target_ber >= ber(modulation, lo) {
+            return lo;
+        }
+        if target_ber <= ber(modulation, hi) {
+            return hi;
+        }
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if ber(modulation, mid) > target_ber {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi / lo < 1.0 + 1e-12 {
+                break;
+            }
+        }
+        (lo * hi).sqrt()
+    }
+
+    #[test]
+    fn newton_inverse_matches_bisection_reference() {
+        for m in Modulation::ALL {
+            // SNR grid from −80 to +80 dB: targets from ~c/2 down past the
+            // underflow floor of the linear-domain erfc (where both sides
+            // must clamp identically).
+            for i in 0..=400 {
+                let db = -80.0 + 0.4 * i as f64;
+                let t = ber(m, db_to_linear(db));
+                let got = ber_inverse(m, t);
+                let want = ber_inverse_bisect(m, t);
+                let rel = ((got - want) / want).abs();
+                assert!(
+                    rel < 1e-9,
+                    "{m:?} target {t:e}: newton {got:e} vs bisect {want:e}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn flat_channel_esnr_equals_snr() {
         let snrs = vec![db_to_linear(18.0); 56];
@@ -299,7 +432,7 @@ mod tests {
     #[test]
     fn esnr_from_csi_consistent() {
         let csi = Csi {
-            h: vec![Cplx::ONE; 56],
+            h: [Cplx::ONE; 56],
             mean_snr_db: 21.0,
         };
         let e = esnr_from_csi(Modulation::Qam16, &csi);
@@ -317,11 +450,11 @@ mod tests {
     fn memo_matches_direct() {
         // The memo must be bit-identical to per-call esnr_from_csi — it is
         // a pure cache, not a numerical shortcut.
-        let mut h: Vec<Cplx> = Vec::new();
-        for i in 0..56 {
+        let mut h = [Cplx::ZERO; 56];
+        for (i, x) in h.iter_mut().enumerate() {
             let re = 0.3 + (i as f64 * 0.37).sin();
             let im = (i as f64 * 0.11).cos() * 0.8;
-            h.push(Cplx::new(re, im));
+            *x = Cplx::new(re, im);
         }
         let csi = Csi {
             h,
@@ -333,6 +466,28 @@ mod tests {
             // Repeated queries hit the cache and must not drift.
             assert_eq!(memo.esnr_db(m).to_bits(), direct.to_bits(), "{m:?}");
             assert_eq!(memo.esnr_db(m).to_bits(), direct.to_bits(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn best_tone_bounds_every_modulation() {
+        let mut h = [Cplx::ZERO; 56];
+        for (i, x) in h.iter_mut().enumerate() {
+            *x = Cplx::new(
+                0.2 + (i as f64 * 0.53).sin(),
+                (i as f64 * 0.29).cos() * 1.1,
+            );
+        }
+        for snr in [-3.0, 8.0, 19.0, 33.0] {
+            let csi = Csi {
+                h,
+                mean_snr_db: snr,
+            };
+            let mut memo = EsnrMemo::new(&csi);
+            let bound = memo.best_tone_db();
+            for m in Modulation::ALL {
+                assert!(memo.esnr_db(m) <= bound, "{m:?} at {snr} dB");
+            }
         }
     }
 

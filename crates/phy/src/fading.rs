@@ -200,6 +200,66 @@ impl TappedDelayLine {
     pub fn power_gain(&self, t_s: f64, fd_hz: f64) -> f64 {
         self.freq_response(t_s, fd_hz, &[0.0])[0].abs2()
     }
+
+    /// Static upper bound on `|H_k(t)|` over every time and subcarrier:
+    /// the triangle inequality across taps, with each tap's scattered
+    /// phasors assumed momentarily aligned. No realization of this channel
+    /// can push any tone's amplitude above it, so a ranker can discard the
+    /// link from its *mean* SNR alone — no fading evaluation — whenever
+    /// even this ceiling cannot beat an incumbent.
+    pub fn peak_gain_bound(&self) -> f64 {
+        self.taps
+            .iter()
+            .map(|tap| {
+                let n = tap.sinusoids.len() as f64;
+                let scattered_peak = n * (1.0 / n).sqrt() * (tap.power / (tap.k + 1.0)).sqrt();
+                let los = (tap.power * tap.k / (tap.k + 1.0)).sqrt();
+                scattered_peak + los
+            })
+            .sum()
+    }
+
+    /// Precomputes the tap × subcarrier twiddle matrix
+    /// `e^{−j2π f_k τ_i}` (row-major by tap) for
+    /// [`Self::freq_response_into`]. The twiddles depend only on the tap
+    /// delays and the subcarrier grid — both fixed at construction — so a
+    /// link computes them once and reuses them for every CSI snapshot.
+    /// Each entry is produced by the exact expression
+    /// [`Self::freq_response`] evaluates inline, so the fast path stays
+    /// bit-identical to the reference.
+    pub fn twiddles(&self, subcarriers_hz: &[f64]) -> Vec<Cplx> {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let mut out = Vec::with_capacity(self.taps.len() * subcarriers_hz.len());
+        for tap in &self.taps {
+            for &f in subcarriers_hz {
+                out.push(Cplx::from_phase(-two_pi * f * tap.delay_s));
+            }
+        }
+        out
+    }
+
+    /// Allocation-free [`Self::freq_response`]: writes the response into
+    /// `out` using a twiddle matrix from [`Self::twiddles`] over the same
+    /// subcarrier grid (`twiddles.len() == num_taps · out.len()`).
+    ///
+    /// Bit-identical to the reference: the taps-outer loop performs, for
+    /// each subcarrier, the same additions `h += g_i · w_{i,k}` in the same
+    /// tap order 0..N as the reference's subcarrier-outer loop — locked by
+    /// `twiddled_response_is_bit_exact`.
+    pub fn freq_response_into(&self, t_s: f64, fd_hz: f64, twiddles: &[Cplx], out: &mut [Cplx]) {
+        assert_eq!(
+            twiddles.len(),
+            self.taps.len() * out.len(),
+            "twiddle matrix does not match this tap/subcarrier grid"
+        );
+        out.fill(Cplx::ZERO);
+        for (tap, row) in self.taps.iter().zip(twiddles.chunks_exact(out.len())) {
+            let g = tap.gain(t_s, fd_hz);
+            for (h, &w) in out.iter_mut().zip(row) {
+                *h += g * w;
+            }
+        }
+    }
 }
 
 /// Maximum Doppler shift for a vehicle speed and carrier wavelength.
@@ -228,6 +288,21 @@ mod tests {
 
     fn ht20_subcarriers() -> Vec<f64> {
         crate::csi::subcarrier_offsets_hz().to_vec()
+    }
+
+    #[test]
+    fn peak_gain_bound_holds_over_samples() {
+        for seed in [3u64, 17, 99] {
+            let line = tdl(seed);
+            let bound = line.peak_gain_bound();
+            let subs = ht20_subcarriers();
+            for i in 0..400 {
+                let t = i as f64 * 0.37e-3;
+                for h in line.freq_response(t, 180.0, &subs) {
+                    assert!(h.abs() <= bound, "seed {seed}: |H|={} > {bound}", h.abs());
+                }
+            }
+        }
     }
 
     #[test]
@@ -260,6 +335,32 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.re, y.re);
             assert_eq!(x.im, y.im);
+        }
+    }
+
+    #[test]
+    fn twiddled_response_is_bit_exact() {
+        // The precomputed-twiddle fast path must reproduce the reference
+        // response bit-for-bit across times, speeds, and tap counts.
+        let subs = ht20_subcarriers();
+        for num_taps in [1, 3, 5] {
+            let cfg = FadingConfig {
+                num_taps,
+                ..FadingConfig::default()
+            };
+            let ch = TappedDelayLine::new(&cfg, &mut SimRng::new(17 + num_taps as u64));
+            let tw = ch.twiddles(&subs);
+            for step in 0..50 {
+                let t = step as f64 * 0.0073;
+                let fd = 10.0 + step as f64 * 3.0;
+                let reference = ch.freq_response(t, fd, &subs);
+                let mut fast = vec![Cplx::ZERO; subs.len()];
+                ch.freq_response_into(t, fd, &tw, &mut fast);
+                for (a, b) in reference.iter().zip(&fast) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
         }
     }
 

@@ -12,6 +12,8 @@
 //! * [`pathloss`] — log-distance large-scale loss and the link budget;
 //! * [`fading`] — tapped-delay-line Rician fast fading with Doppler from
 //!   vehicle speed: the *vehicular picocell regime* generator;
+//! * [`fastmath`] — deterministic in-repo sin/cos/exp kernels so channel
+//!   realizations do not depend on the host libm;
 //! * [`csi`] — 56-subcarrier channel state snapshots;
 //! * [`esnr`] — Effective SNR (Halperin et al.) with exact BER inversion;
 //! * [`mcs`] — the HT20 single-stream rate table;
@@ -29,6 +31,7 @@ pub mod csi;
 pub mod error;
 pub mod esnr;
 pub mod fading;
+pub mod fastmath;
 pub mod geom;
 pub mod link;
 pub mod mcs;

@@ -19,8 +19,9 @@ use crate::fading::{doppler_hz, FadingConfig, TappedDelayLine};
 use crate::geom::{ApSite, Position};
 use crate::pathloss::{LinkBudget, PathLoss};
 use crate::shadowing::{ShadowingConfig, ShadowingProcess};
+use crate::complex::Cplx;
 use serde::{Deserialize, Serialize};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use wgtt_sim::{SimRng, SimTime};
 
 /// Static configuration shared by all links in a deployment.
@@ -67,6 +68,22 @@ struct GeoCache {
     snr_db: f64,
 }
 
+/// Memoized CSI snapshot for one exact `(time, position, speed)` query
+/// (f64/ns bit patterns). A single transmission event asks for the same
+/// snapshot several times (delivery draws, monitor sweep, rate control)
+/// before the clock advances, so a one-slot cache absorbs the repeats
+/// without any invalidation protocol — the [`GeoCache`] idiom extended to
+/// the fading chain.
+#[derive(Debug, Clone)]
+struct CsiCache {
+    t_ns: u64,
+    x_bits: u64,
+    y_bits: u64,
+    z_bits: u64,
+    speed_bits: u64,
+    csi: Csi,
+}
+
 /// The live channel between one AP site and one client.
 #[derive(Debug, Clone)]
 pub struct WirelessLink {
@@ -75,7 +92,14 @@ pub struct WirelessLink {
     fading: TappedDelayLine,
     shadowing: ShadowingProcess,
     subcarriers: [f64; crate::csi::NUM_SUBCARRIERS],
+    /// Tap × subcarrier twiddle matrix (fixed per realization) feeding the
+    /// allocation-free [`TappedDelayLine::freq_response_into`] path.
+    twiddles: Vec<Cplx>,
+    /// Static ceiling of any tone's SNR over the mean, in dB (see
+    /// [`Self::peak_tone_headroom_db`]).
+    peak_tone_headroom_db: f64,
     geo: Cell<Option<GeoCache>>,
+    csi_memo: RefCell<Option<CsiCache>>,
 }
 
 impl WirelessLink {
@@ -86,14 +110,30 @@ impl WirelessLink {
     pub fn new(ap: ApSite, cfg: LinkConfig, rng: &mut SimRng) -> Self {
         let fading = TappedDelayLine::new(&cfg.fading, rng);
         let shadowing = ShadowingProcess::new(&cfg.shadowing, rng);
+        let subcarriers = subcarrier_offsets_hz();
+        let twiddles = fading.twiddles(&subcarriers);
+        // 1 µdB of slack swamps every rounding step in the bound's
+        // derivation while staying far below physical significance.
+        let peak_tone_headroom_db = 20.0 * fading.peak_gain_bound().log10() + 1e-6;
         WirelessLink {
             ap,
             cfg,
             fading,
             shadowing,
-            subcarriers: subcarrier_offsets_hz(),
+            subcarriers,
+            twiddles,
+            peak_tone_headroom_db,
             geo: Cell::new(None),
+            csi_memo: RefCell::new(None),
         }
+    }
+
+    /// Conservative dB headroom of any tone over the mean SNR: no fading
+    /// realization can lift a subcarrier's SNR above
+    /// `mean_snr_db + headroom` (see
+    /// [`TappedDelayLine::peak_gain_bound`]). Static per link.
+    pub fn peak_tone_headroom_db(&self) -> f64 {
+        self.peak_tone_headroom_db
     }
 
     /// The AP site of this link.
@@ -139,14 +179,57 @@ impl WirelessLink {
 
     /// Full CSI snapshot at time `t` for a client at `client` moving at
     /// `speed_mps`.
+    ///
+    /// Memoized for the last exact query (time in ns, position/speed f64
+    /// bits) and computed through the precomputed-twiddle fading path —
+    /// both bit-identical to [`Self::csi_uncached`], locked by
+    /// `csi_cache_is_bit_exact`. The fading realization draws no RNG after
+    /// construction, so caching cannot perturb any draw sequence.
     pub fn csi(&self, t: SimTime, client: &Position, speed_mps: f64) -> Csi {
+        let key = (
+            t.as_nanos(),
+            client.x.to_bits(),
+            client.y.to_bits(),
+            client.z.to_bits(),
+            speed_mps.to_bits(),
+        );
+        if let Some(c) = self.csi_memo.borrow().as_ref() {
+            if (c.t_ns, c.x_bits, c.y_bits, c.z_bits, c.speed_bits) == key {
+                return c.csi.clone();
+            }
+        }
         let fd = doppler_hz(speed_mps, self.cfg.pathloss.wavelength_m());
-        let h = self
-            .fading
-            .freq_response(t.as_secs_f64(), fd, &self.subcarriers);
-        Csi {
+        let mut h = [Cplx::ZERO; crate::csi::NUM_SUBCARRIERS];
+        self.fading
+            .freq_response_into(t.as_secs_f64(), fd, &self.twiddles, &mut h);
+        let csi = Csi {
             h,
             mean_snr_db: self.mean_snr_db(client),
+        };
+        *self.csi_memo.borrow_mut() = Some(CsiCache {
+            t_ns: key.0,
+            x_bits: key.1,
+            y_bits: key.2,
+            z_bits: key.3,
+            speed_bits: key.4,
+            csi: csi.clone(),
+        });
+        csi
+    }
+
+    /// [`Self::csi`] without the snapshot memo or twiddle precompute — the
+    /// reference path the cache is checked against, and the baseline for
+    /// the `perf` harness.
+    pub fn csi_uncached(&self, t: SimTime, client: &Position, speed_mps: f64) -> Csi {
+        let fd = doppler_hz(speed_mps, self.cfg.pathloss.wavelength_m());
+        let hv = self
+            .fading
+            .freq_response(t.as_secs_f64(), fd, &self.subcarriers);
+        let mut h = [Cplx::ZERO; crate::csi::NUM_SUBCARRIERS];
+        h.copy_from_slice(&hv);
+        Csi {
+            h,
+            mean_snr_db: self.mean_snr_db_uncached(client),
         }
     }
 
@@ -340,6 +423,37 @@ mod tests {
             let other_ref = link.mean_snr_db_uncached(&other);
             assert_eq!(link.mean_snr_db(&other).to_bits(), other_ref.to_bits());
             assert_eq!(link.mean_snr_db(&pos).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn csi_cache_is_bit_exact() {
+        // The memoized, twiddle-precomputed snapshot path must match the
+        // uncached reference bit-for-bit: cold, warm (cache hit), and
+        // after evictions by interleaved different queries.
+        let mut cfg = LinkConfig::default();
+        cfg.shadowing.sigma_db = 4.0;
+        let dep = DeploymentConfig::default().build();
+        let mut r = SimRng::new(43).fork("csi");
+        let link = WirelessLink::new(dep.aps[3], cfg, &mut r);
+        let check = |t: SimTime, pos: &Position, speed: f64| {
+            let reference = link.csi_uncached(t, pos, speed);
+            for csi in [link.csi(t, pos, speed), link.csi(t, pos, speed)] {
+                assert_eq!(csi.mean_snr_db.to_bits(), reference.mean_snr_db.to_bits());
+                for (a, b) in csi.h.iter().zip(&reference.h) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
+        };
+        for step in 0..100 {
+            let t = SimTime::from_micros(step * 731);
+            let pos = road_pos(step as f64 * 0.29 - 5.0);
+            check(t, &pos, 6.7);
+            // Different speed at the same instant evicts the slot; the
+            // original query must then recompute identically.
+            check(t, &pos, 11.2);
+            check(t, &pos, 6.7);
         }
     }
 

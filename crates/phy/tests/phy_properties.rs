@@ -72,7 +72,7 @@ proptest! {
     fn capacity_bounded(snr_db in -10.0f64..40.0) {
         let per = PerModel::default();
         let csi = wgtt_phy::Csi {
-            h: vec![wgtt_phy::Cplx::ONE; 56],
+            h: [wgtt_phy::Cplx::ONE; 56],
             mean_snr_db: snr_db,
         };
         let cap = per.capacity_bps(GuardInterval::Short, &csi, 1500);

@@ -422,6 +422,52 @@ mod tests {
     }
 
     #[test]
+    fn time_window_early_run_underflow_keeps_everything() {
+        // Before one full window has elapsed (t < window), the cutoff
+        // `t - window` saturates to zero — nothing may be evicted, even
+        // samples at t = 0.
+        let mut w = TimeWindow::new(SimDuration::from_millis(10));
+        w.push(SimTime::from_millis(0), 1.0);
+        w.push(SimTime::from_millis(3), 2.0);
+        w.push(SimTime::from_millis(9), 3.0);
+        assert_eq!(w.len(), 3);
+        // Explicit evict at t < window is likewise a no-op.
+        w.evict(SimTime::from_millis(9));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn time_window_exact_cutoff_boundary_is_retained() {
+        // A sample exactly `window` old (t == now - window) sits on the
+        // boundary and must be retained — eviction is strict (`t < cutoff`).
+        let mut w = TimeWindow::new(SimDuration::from_millis(10));
+        w.push(SimTime::from_millis(5), 1.0);
+        w.push(SimTime::from_millis(15), 2.0);
+        assert_eq!(w.len(), 2, "t == now - window must survive");
+        // One nanosecond later it is strictly older than the window.
+        w.evict(SimTime::from_millis(15) + SimDuration::from_nanos(1));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.latest(), Some(2.0));
+    }
+
+    #[test]
+    fn time_window_empty_statistics() {
+        // A never-filled and a fully-evicted window agree: no median, no
+        // mean, no latest, no newest_time.
+        let mut w = TimeWindow::new(SimDuration::from_millis(10));
+        assert_eq!(w.median(), None);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.latest(), None);
+        assert_eq!(w.newest_time(), None);
+        w.push(SimTime::from_millis(1), 4.0);
+        w.evict(SimTime::from_secs(1));
+        assert!(w.is_empty());
+        assert_eq!(w.median(), None);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.latest(), None);
+    }
+
+    #[test]
     fn time_window_median_convention() {
         let mut w = TimeWindow::new(SimDuration::from_secs(1));
         for (i, v) in [5.0, 1.0, 9.0, 3.0].iter().enumerate() {

@@ -207,11 +207,15 @@ impl Sub<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
-    /// Panics in debug builds if `rhs > self`; saturates in release.
+    /// Saturates at zero if `rhs > self` — in **both** debug and release
+    /// profiles. (An earlier version `debug_assert!`ed here, which meant a
+    /// latent underflow could pass CI's debug tests yet silently saturate
+    /// in `--release` benches; the profiles now agree.) Call sites that
+    /// *want* to document saturation use [`SimTime::saturating_since`];
+    /// sites that must detect reversal use [`SimTime::checked_since`].
     #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
-        debug_assert!(rhs <= self, "SimTime subtraction underflow");
-        SimDuration(self.0.saturating_sub(rhs.0))
+        self.saturating_since(rhs)
     }
 }
 
@@ -232,9 +236,10 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    /// Saturates at zero, identically in debug and release (see
+    /// [`Sub<SimTime> for SimTime`]).
     #[inline]
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        debug_assert!(rhs <= self, "SimDuration subtraction underflow");
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
@@ -242,7 +247,6 @@ impl Sub for SimDuration {
 impl SubAssign for SimDuration {
     #[inline]
     fn sub_assign(&mut self, rhs: SimDuration) {
-        debug_assert!(rhs <= *self, "SimDuration subtraction underflow");
         self.0 = self.0.saturating_sub(rhs.0);
     }
 }
@@ -371,6 +375,33 @@ mod tests {
         assert_eq!(
             SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(2)),
             SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn subtraction_saturates_in_every_profile() {
+        // Underflowing subtraction must saturate to zero identically in
+        // debug and release builds — this test pins the unified behavior
+        // (an earlier version debug_assert!ed, so debug CI and release
+        // benches disagreed on what `earlier - later` meant).
+        let d = SimTime::from_millis(1) - SimTime::from_millis(5);
+        assert_eq!(d, SimDuration::ZERO);
+        // And it agrees with the explicit spelling.
+        assert_eq!(
+            d,
+            SimTime::from_millis(1).saturating_since(SimTime::from_millis(5))
+        );
+        assert_eq!(
+            SimDuration::from_micros(3) - SimDuration::from_micros(9),
+            SimDuration::ZERO
+        );
+        let mut a = SimDuration::from_nanos(1);
+        a -= SimDuration::from_nanos(2);
+        assert_eq!(a, SimDuration::ZERO);
+        // The detecting spelling still reports the reversal.
+        assert_eq!(
+            SimTime::from_millis(1).checked_since(SimTime::from_millis(5)),
+            None
         );
     }
 
