@@ -8,7 +8,7 @@
 //! serves all clients round-robin.
 
 use crate::cyclic::CyclicQueue;
-use crate::switching::{ApSwitchGuard, ClientResyncState, ResyncReply};
+use crate::switching::{ApSwitchGuard, ClientResyncState, ResyncReply, TermGuard};
 use std::collections::{HashSet, VecDeque};
 use wgtt_mac::blockack::TxScoreboard;
 use wgtt_mac::dcf::Backoff;
@@ -26,9 +26,11 @@ pub const NIC_QUEUE_CAP: usize = 32;
 /// Retry limit for one MPDU at the link layer.
 pub const MPDU_RETRY_LIMIT: u32 = 7;
 
-/// Bound on the degraded-mode uplink buffer: packets an AP holds for the
-/// controller while it is crashed. Beyond this the AP drops (and counts)
-/// new uplink rather than grow without bound.
+/// Default bound on the degraded-mode uplink buffer: packets an AP holds
+/// for the controller while it is crashed (the
+/// [`crate::config::SystemConfig::degraded_uplink_cap`] knob's default).
+/// On overflow the *oldest* held packet is dropped (and counted) — fresh
+/// uplink is worth more than stale when the buffer finally flushes.
 pub const DEGRADED_UPLINK_CAP: usize = 256;
 
 /// Bound on the ring of recently forwarded uplink dedup keys an AP keeps
@@ -120,6 +122,9 @@ impl ApClientState {
         while self.nic_queue.len() < NIC_QUEUE_CAP {
             match self.cyclic.pop_head() {
                 Some(p) => {
+                    // Invariant: `CyclicQueue::insert` rejects un-indexed
+                    // packets (pinned by its `#[should_panic]` test), so
+                    // everything popped from it carries one.
                     let seq = p.index.expect("cyclic packets carry an index");
                     if self.scoreboard.in_window(seq) || self.nic_queue.iter().any(|e| e.seq == seq)
                     {
@@ -188,6 +193,11 @@ pub struct ApState {
     /// reported at resync so the rebooted controller drops cross-restart
     /// retransmissions instead of delivering them twice.
     pub recent_uplink_keys: VecDeque<u64>,
+    /// Controller-term admission guard: fences control/resync frames from
+    /// a zombie ex-primary whose reign a standby has superseded. Wiped
+    /// with the rest of the soft state on an AP crash (lease-less — see
+    /// [`TermGuard`]).
+    pub term_guard: TermGuard,
 }
 
 impl ApState {
@@ -201,19 +211,26 @@ impl ApState {
             next_tx_id: 0,
             uplink_buffer: VecDeque::new(),
             recent_uplink_keys: VecDeque::new(),
+            term_guard: TermGuard::default(),
         }
     }
 
     /// Degraded mode: holds an uplink packet while the controller is
-    /// down. Returns whether the packet was buffered; `false` means the
-    /// bounded buffer is full and the packet must be dropped (counted by
-    /// the caller).
-    pub fn buffer_uplink(&mut self, packet: Packet) -> bool {
-        if self.uplink_buffer.len() >= DEGRADED_UPLINK_CAP {
+    /// down, bounded at `cap`. Returns `true` when the packet fit;
+    /// `false` means the buffer was full and the **oldest** held packet
+    /// was evicted to make room (the caller counts the loss) — when the
+    /// buffer finally flushes, the freshest `cap` packets are the ones
+    /// worth delivering.
+    pub fn buffer_uplink(&mut self, packet: Packet, cap: usize) -> bool {
+        if cap == 0 {
             return false;
         }
+        let fit = self.uplink_buffer.len() < cap;
+        if !fit {
+            self.uplink_buffer.pop_front();
+        }
         self.uplink_buffer.push_back(packet);
-        true
+        fit
     }
 
     /// Remembers the dedup key of an uplink packet this AP just forwarded
@@ -277,10 +294,7 @@ impl ApState {
 
     /// Whether the AP radio has any pending downlink work.
     pub fn has_work(&self) -> bool {
-        self.clients
-            .iter()
-            .flatten()
-            .any(|c| c.has_downlink_work())
+        self.clients.iter().flatten().any(|c| c.has_downlink_work())
     }
 
     /// Picks the next client to serve, round-robin over those with work.
@@ -288,7 +302,8 @@ impl ApState {
     /// the same sequence the sorted-id implementation produced — without
     /// collecting or sorting ids per call.
     pub fn pick_client(&mut self) -> Option<ClientId> {
-        let with_work = |s: &Option<ApClientState>| s.as_ref().is_some_and(|c| c.has_downlink_work());
+        let with_work =
+            |s: &Option<ApClientState>| s.as_ref().is_some_and(|c| c.has_downlink_work());
         let n = self.clients.iter().filter(|s| with_work(s)).count();
         if n == 0 {
             return None;
@@ -442,6 +457,26 @@ mod tests {
         let a = ap.alloc_tx_id();
         let b = ap.alloc_tx_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn degraded_buffer_overflow_drops_oldest() {
+        let mut f = PacketFactory::new();
+        let mut ap = ApState::new(ApId(0));
+        // Cap of 3: packets 0–2 fit; 3 and 4 evict 0 and 1 respectively.
+        for i in 0..3 {
+            assert!(ap.buffer_uplink(pkt(&mut f, i), 3));
+        }
+        assert!(!ap.buffer_uplink(pkt(&mut f, 3), 3));
+        assert!(!ap.buffer_uplink(pkt(&mut f, 4), 3));
+        assert_eq!(ap.uplink_buffer.len(), 3);
+        // The freshest packets survive, in arrival order.
+        let held: Vec<u16> = ap.uplink_buffer.iter().map(|p| p.index.unwrap()).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        // A zero cap holds nothing.
+        let mut none = ApState::new(ApId(1));
+        assert!(!none.buffer_uplink(pkt(&mut f, 0), 0));
+        assert!(none.uplink_buffer.is_empty());
     }
 
     #[test]

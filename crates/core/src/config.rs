@@ -122,6 +122,10 @@ pub struct SystemConfig {
     /// forwarding, and cross-channel CSI, exactly the trade-off the paper
     /// predicts.
     pub channel_stride: usize,
+    /// Bound on each AP's degraded-mode uplink buffer: packets held for
+    /// the controller while it is down, flushed after resync/takeover.
+    /// On overflow the oldest held packet is dropped (and counted).
+    pub degraded_uplink_cap: usize,
 }
 
 impl Default for SystemConfig {
@@ -148,6 +152,7 @@ impl Default for SystemConfig {
             no_priority_penalty: SimDuration::from_millis(15),
             control_loss_prob: 0.0,
             channel_stride: 1,
+            degraded_uplink_cap: crate::ap::DEGRADED_UPLINK_CAP,
         }
     }
 }

@@ -10,9 +10,10 @@
 use crate::cyclic::IndexAllocator;
 use crate::dedup::Deduplicator;
 use crate::health::{ApHealth, HealthConfig};
+use crate::replica::{ClientJournalState, PendingJournalState};
 use crate::selection::{ApSelector, SelectionConfig};
 use crate::switching::{AckOutcome, ClientResyncState, ResyncReply, SwitchEngine};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use wgtt_net::{ApId, ClientId};
 use wgtt_sim::SimTime;
 
@@ -143,7 +144,12 @@ impl ControllerState {
         self.selectors.clear();
         self.allocators.clear();
         self.serving.clear();
+        // The controller term is the one durable scalar (persisted at
+        // bump time): a restart-in-place resumes the same reign, so
+        // already-fenced APs keep accepting the rebuilt controller.
+        let term = self.engine.term();
         self.engine = SwitchEngine::new();
+        self.engine.set_term(term);
         self.dedup = Deduplicator::default();
         self.health = ApHealth::new(HealthConfig::default());
     }
@@ -189,6 +195,8 @@ impl ControllerState {
                     std::cmp::Reverse(s.0),
                 )
             };
+            // Invariant: both call sites guard against an empty slice
+            // (`involved.is_empty()` / `claimants.len() >= 2`).
             *cands
                 .iter()
                 .max_by_key(|s| key(s))
@@ -233,6 +241,8 @@ impl ControllerState {
                 }
                 _ => {
                     let (adopt, st) = best(&claimants);
+                    // Invariant: this arm is `claimants.len() >= 2`, and
+                    // `adopt` is one of them, so another always remains.
                     let stop = claimants
                         .iter()
                         .map(|&(ap, _)| ap)
@@ -253,6 +263,68 @@ impl ControllerState {
             }
         }
         actions
+    }
+
+    /// Snapshots the journaled subset of the controller's soft state for
+    /// one [`crate::replica::JournalBatch`]: per-client epoch high water,
+    /// serving AP, and allocator position for every client any of those
+    /// maps mention, plus the in-flight switch set — all in ascending
+    /// client order so standby replay is deterministic.
+    pub fn journal_snapshot(&self) -> (Vec<ClientJournalState>, Vec<PendingJournalState>) {
+        let mut ids: BTreeSet<ClientId> = BTreeSet::new();
+        ids.extend(self.engine.epochs_sorted().iter().map(|&(c, _)| c));
+        ids.extend(self.serving.keys().copied());
+        ids.extend(self.allocators.keys().copied());
+        let clients = ids
+            .iter()
+            .map(|&client| ClientJournalState {
+                client,
+                epoch: self.engine.current_epoch(client),
+                serving: self.serving.get(&client).copied(),
+                alloc_next: self.allocators.get(&client).map_or(0, |a| a.peek()),
+            })
+            .collect();
+        let pending = self
+            .engine
+            .pending_sorted()
+            .into_iter()
+            .map(|(client, p)| PendingJournalState {
+                client,
+                from: p.from,
+                to: p.to,
+            })
+            .collect();
+        (clients, pending)
+    }
+
+    /// Rebuilds controller soft state from a standby's journaled snapshot
+    /// at takeover — the warm analogue of [`ControllerState::apply_resync`]
+    /// with the journal, not the APs, as the source of truth:
+    ///
+    /// * epochs resume strictly above the journaled high water (the same
+    ///   monotonic floor the resync path enforces);
+    /// * the serving map and index allocators are restored in place;
+    /// * the dedup table is re-primed with the journaled key ring so no
+    ///   duplicate uplink delivery crosses the takeover.
+    ///
+    /// Selector windows and health state are deliberately NOT journaled —
+    /// live CSI rebuilds them within one staleness horizon. In-flight
+    /// switches are the caller's job: each journaled pending entry is
+    /// re-issued under a fresh epoch and the new term.
+    pub fn restore_from_journal(&mut self, clients: &[ClientJournalState], keys: &[u64]) {
+        for cs in clients {
+            self.engine.resume_epochs_above(cs.client, cs.epoch);
+            if let Some(ap) = cs.serving {
+                self.serving.insert(cs.client, ap);
+            }
+            self.allocators
+                .entry(cs.client)
+                .or_default()
+                .resume_at(cs.alloc_next);
+        }
+        for &k in keys {
+            self.dedup.prime_key(k);
+        }
     }
 
     /// The fan-out set for a client's downlink packets: all APs heard from
@@ -512,6 +584,60 @@ mod tests {
             recent_uplink_keys: vec![],
         }];
         assert!(c.apply_resync(t(100), &replies).is_empty());
+    }
+
+    #[test]
+    fn journal_snapshot_is_sorted_and_complete() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        // Client 5: mid-switch. Client 2: settled. Client 9: only an
+        // allocator (saw downlink before any switch).
+        c.serving.insert(ClientId(5), ApId(0));
+        c.engine.issue(t(10), ClientId(5), ApId(0), ApId(1));
+        c.serving.insert(ClientId(2), ApId(3));
+        c.engine.issue(t(0), ClientId(2), ApId(2), ApId(3));
+        c.on_switch_ack(t(5), ClientId(2), ApId(3), 1);
+        c.assign_index(ClientId(9));
+        let (clients, pending) = c.journal_snapshot();
+        let ids: Vec<ClientId> = clients.iter().map(|s| s.client).collect();
+        assert_eq!(ids, vec![ClientId(2), ClientId(5), ClientId(9)]);
+        let c5 = clients.iter().find(|s| s.client == ClientId(5)).unwrap();
+        assert_eq!(c5.epoch, 1);
+        assert_eq!(c5.serving, Some(ApId(0)));
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].client, ClientId(5));
+        assert_eq!(pending[0].from, ApId(0));
+        assert_eq!(pending[0].to, ApId(1));
+    }
+
+    #[test]
+    fn journal_restore_mirrors_resync_guarantees() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let snapshot = vec![
+            ClientJournalState {
+                client: ClientId(1),
+                epoch: 4,
+                serving: Some(ApId(2)),
+                alloc_next: 77,
+            },
+            ClientJournalState {
+                client: ClientId(8),
+                epoch: 2,
+                serving: None,
+                alloc_next: 0,
+            },
+        ];
+        c.restore_from_journal(&snapshot, &[111, 222]);
+        // Epochs resume strictly above the journaled high water.
+        assert_eq!(c.engine.allocate_epoch(ClientId(1)), 5);
+        assert_eq!(c.engine.allocate_epoch(ClientId(8)), 3);
+        assert_eq!(c.serving(ClientId(1)), Some(ApId(2)));
+        assert_eq!(c.serving(ClientId(8)), None);
+        assert_eq!(c.peek_index(ClientId(1)), 77);
+        // Re-primed keys drop as duplicates without counting as passed.
+        assert_eq!(c.dedup.passed(), 0);
+        assert!(!c.dedup.check_key(111));
+        assert!(!c.dedup.check_key(222));
+        assert!(c.dedup.check_key(333));
     }
 
     #[test]

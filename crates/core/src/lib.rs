@@ -42,6 +42,7 @@ pub mod dedup;
 pub mod health;
 pub mod metrics;
 pub mod protocol_check;
+pub mod replica;
 pub mod runner;
 pub mod selection;
 pub mod switching;

@@ -338,6 +338,33 @@ pub struct SystemMetrics {
     /// its client after the guard timeout because no `start` ever landed
     /// anywhere (the client would otherwise be serverless until resync).
     pub local_readoptions: u64,
+    /// Journal batches the primary shipped toward the warm standby.
+    pub journal_batches_shipped: u64,
+    /// Journal batches the standby's replica absorbed (stale/duplicated
+    /// deliveries are not counted — the replica ignores them).
+    pub journal_batches_applied: u64,
+    /// Journal sequence gaps the replica detected (batches lost on the
+    /// backhaul) — each one poisons the dedup-key delta chain and forces
+    /// the takeover to fall back to AP-sourced resync.
+    pub journal_gaps: u64,
+    /// Standby takeovers: the heartbeat went silent past the takeover
+    /// timeout and the standby promoted itself under a fresh term.
+    pub standby_takeovers: u64,
+    /// Completed takeovers: (promotion time, latency since the primary
+    /// crash) — the warm analogue of `resyncs`.
+    pub takeovers: Vec<(SimTime, SimDuration)>,
+    /// Control/resync frames dropped by an AP's term guard because they
+    /// carried a controller term below its high-water mark — a fenced
+    /// zombie ex-primary trying to drive switches after losing a takeover.
+    pub stale_term_dropped: u64,
+    /// Zombie ex-primaries that woke, broadcast under their stale term,
+    /// and got nothing back (every live AP fenced them out).
+    pub zombie_standdowns: u64,
+    /// Control frames dropped instead of processed because they referenced
+    /// protocol state that no longer exists (e.g. a `start` for a client
+    /// whose association was wiped) — graceful degradation where the
+    /// handler would otherwise have to invent state or panic.
+    pub orphaned_control_dropped: u64,
 }
 
 #[cfg(test)]

@@ -45,6 +45,17 @@
 //! resync — unless [`CheckerConfig::resync_naive`] forges the broken
 //! restart-at-zero recovery, which the test suite uses to prove the
 //! checker actually catches the cross-restart aliasing family.
+//!
+//! [`CheckerConfig::max_failovers`] adds the hot-standby choice pair:
+//! [`Choice::FailoverToStandby`] kills the primary mid-schedule and
+//! promotes a journal-fed standby under a bumped controller *term*
+//! (announced to every AP as enumerable in-flight frames, so partially
+//! fenced networks are explored too), and [`Choice::ZombiePrimary`]
+//! re-injects the dead primary's in-flight `stop` stamped with its stale
+//! term. With [`CheckerConfig::fencing`] on, AP-side term high-water
+//! guards drop every zombie frame before it touches state; the
+//! `fencing = false` shim demonstrates the split-brain family
+//! ([`ViolationKind::SplitBrain`]) the fence exists to kill.
 
 use crate::switching::{
     AckOutcome, ApSwitchGuard, StartVerdict, StopVerdict, SwitchEngine, SwitchMsg,
@@ -97,6 +108,15 @@ pub struct CheckerConfig {
     /// naive-resync shim the test suite uses to prove the checker sees
     /// the cross-restart aliasing family.
     pub resync_naive: bool,
+    /// Budget of standby failovers per schedule. Each one kills the
+    /// primary at an arbitrary point, promotes the journal-fed standby
+    /// under a bumped term, and arms the zombie replay choice.
+    pub max_failovers: u32,
+    /// `true` runs the shipped AP-side term fences. `false` forges the
+    /// fence away: zombie frames with a superseded term reach the guards,
+    /// and any that mutate AP state surface as
+    /// [`ViolationKind::SplitBrain`].
+    pub fencing: bool,
     /// Hard cap on explored schedules (the DFS stops cleanly there).
     pub max_schedules: u64,
 }
@@ -113,6 +133,8 @@ impl Default for CheckerConfig {
             epoch_guard: true,
             max_crashes: 0,
             resync_naive: false,
+            max_failovers: 0,
+            fencing: true,
             max_schedules: 1_000_000,
         }
     }
@@ -136,6 +158,14 @@ pub enum Choice {
     /// Restart the controller and resync its epoch space from the AP
     /// guards (or naively, under [`CheckerConfig::resync_naive`]).
     RecoverController,
+    /// Kill the primary and promote the journal-fed standby: term bumped,
+    /// fence announcements put in flight to every AP, the orphaned
+    /// in-flight switch re-driven under a fresh epoch — while the dead
+    /// primary's own frames stay on the wire.
+    FailoverToStandby,
+    /// The dead primary's zombie wakes and re-injects its in-flight
+    /// `stop`, stamped with its superseded term.
+    ZombiePrimary,
 }
 
 /// An invariant the protocol broke on some schedule.
@@ -160,6 +190,12 @@ pub enum ViolationKind {
     /// generation the AP guards have seen — a controller reborn into a
     /// colliding epoch space, re-arming the cross-restart ABA family.
     EpochRegression,
+    /// An AP mutated state for a frame stamped with a term below its term
+    /// high-water mark — a superseded (zombie) controller steering the
+    /// network after its standby took over. Structurally impossible with
+    /// the term fence on; the `fencing = false` shim exists to show the
+    /// checker sees it.
+    SplitBrain,
 }
 
 /// One invariant violation, with the schedule that produced it.
@@ -191,6 +227,9 @@ pub struct CheckReport {
     pub dup_reacks: u64,
     /// Acks eaten by a crashed controller, summed over all schedules.
     pub crash_drops: u64,
+    /// Frames from a superseded controller term the AP fences dropped,
+    /// summed over all schedules.
+    pub term_fence_drops: u64,
     /// Schedules cut short by budget exhaustion with a switch still in
     /// flight (bounded exploration, not a protocol wedge).
     pub incomplete: u64,
@@ -202,11 +241,24 @@ pub struct CheckReport {
 #[derive(Debug, Clone, Copy)]
 enum NetMsg {
     /// Controller → old AP.
-    Stop { ap: usize, to_ap: usize, epoch: u32 },
+    Stop {
+        ap: usize,
+        to_ap: usize,
+        epoch: u32,
+        term: u32,
+    },
     /// Old AP → new AP.
-    Start { ap: usize, k: u16, epoch: u32 },
-    /// New AP → controller.
+    Start {
+        ap: usize,
+        k: u16,
+        epoch: u32,
+        term: u32,
+    },
+    /// New AP → controller. Deliberately un-termed: the controller is the
+    /// term authority and the epoch already pins the generation.
     Ack { from_ap: usize, epoch: u32 },
+    /// New controller → AP term announcement (raises the fence).
+    Announce { ap: usize, term: u32 },
 }
 
 /// Model of one AP's per-client soft state.
@@ -215,6 +267,8 @@ struct ModelAp {
     serving: bool,
     head: Option<u16>,
     guard: ApSwitchGuard,
+    /// Highest controller term this AP has witnessed — the fence.
+    term_seen: u32,
     /// Epochs whose `start` this AP actually applied — the ground truth
     /// completions are checked against.
     applied: Vec<u32>,
@@ -237,6 +291,10 @@ struct State {
     /// Whether the controller is currently crashed.
     controller_down: bool,
     crashes_left: u32,
+    failovers_left: u32,
+    /// Frames the dead primary will re-inject if the zombie choice fires
+    /// (captured at failover, stamped with the superseded term).
+    zombie_frames: Vec<NetMsg>,
     /// Target AP index and epoch of the most recent completion — the
     /// ground truth the terminal head check compares against (epochs are
     /// no longer a pure function of the switch count once a crash can
@@ -247,6 +305,7 @@ struct State {
     stale_drops: u64,
     dup_reacks: u64,
     crash_drops: u64,
+    term_fence_drops: u64,
     trace: Vec<Choice>,
 }
 
@@ -259,6 +318,7 @@ impl State {
                     serving: false,
                     head: None,
                     guard: ApSwitchGuard::default(),
+                    term_seen: 0,
                     applied: Vec::new(),
                 })
                 .collect(),
@@ -271,12 +331,15 @@ impl State {
             max_applied_epoch: 0,
             controller_down: false,
             crashes_left: cfg.max_crashes,
+            failovers_left: cfg.max_failovers,
+            zombie_frames: Vec::new(),
             last_completed: None,
             completions: 0,
             abandons: 0,
             stale_drops: 0,
             dup_reacks: 0,
             crash_drops: 0,
+            term_fence_drops: 0,
             trace: Vec::new(),
         };
         if let Some(&(from, _)) = cfg.switches.first() {
@@ -300,9 +363,11 @@ impl State {
             return Ok(());
         };
         self.next_switch += 1;
-        if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
-            self.engine
-                .issue(self.now, CLIENT, ApId(from as u32), ApId(to as u32))
+        if let Some(SwitchMsg::Stop {
+            to_ap, epoch, term, ..
+        }) = self
+            .engine
+            .issue(self.now, CLIENT, ApId(from as u32), ApId(to as u32))
         {
             // Cross-restart monotonicity: an epoch at or below what some
             // AP already saw aliases a prior generation — the reborn
@@ -317,6 +382,7 @@ impl State {
                     ap: from,
                     to_ap: to_ap.0 as usize,
                     epoch,
+                    term,
                 },
             );
         }
@@ -328,7 +394,9 @@ impl State {
     /// a schedule choice, which keeps the abandon scenarios' trees small.
     fn send(&mut self, cfg: &CheckerConfig, m: NetMsg) {
         let dest_dead = match m {
-            NetMsg::Stop { ap, .. } | NetMsg::Start { ap, .. } => cfg.dead_aps.contains(&ap),
+            NetMsg::Stop { ap, .. } | NetMsg::Start { ap, .. } | NetMsg::Announce { ap, .. } => {
+                cfg.dead_aps.contains(&ap)
+            }
             NetMsg::Ack { .. } => false, // the controller is never dead here
         };
         if !dest_dead {
@@ -358,6 +426,12 @@ impl State {
             v.push(Choice::RecoverController);
         } else if self.crashes_left > 0 {
             v.push(Choice::CrashController);
+        }
+        if !self.controller_down && self.failovers_left > 0 {
+            v.push(Choice::FailoverToStandby);
+        }
+        if !self.zombie_frames.is_empty() {
+            v.push(Choice::ZombiePrimary);
         }
         v
     }
@@ -391,7 +465,9 @@ impl State {
                     self.now = fire_at;
                 }
                 match self.engine.on_timeout(self.now, CLIENT) {
-                    Some(SwitchMsg::Stop { to_ap, epoch, .. }) => {
+                    Some(SwitchMsg::Stop {
+                        to_ap, epoch, term, ..
+                    }) => {
                         let from = self
                             .engine
                             .pending(CLIENT)
@@ -403,6 +479,7 @@ impl State {
                                 ap: from,
                                 to_ap: to_ap.0 as usize,
                                 epoch,
+                                term,
                             },
                         );
                     }
@@ -428,7 +505,12 @@ impl State {
                 if self.engine.in_flight(CLIENT) {
                     self.next_switch -= 1;
                 }
+                // The term is the one durable scalar (mirrors the
+                // production `crash_wipe`): a restart-in-place resumes
+                // the same reign.
+                let term = self.engine.term();
                 self.engine = SwitchEngine::new();
+                self.engine.set_term(term);
             }
             Choice::RecoverController => {
                 self.controller_down = false;
@@ -440,6 +522,48 @@ impl State {
                 }
                 self.issue_next(cfg)?;
             }
+            Choice::FailoverToStandby => {
+                self.failovers_left -= 1;
+                let old_term = self.engine.term();
+                // The journal high-water: the standby resumes epochs
+                // strictly above everything the primary ever allocated
+                // (the checker models a current, un-gapped replica; the
+                // lagged/gapped case degrades to the resync path, which
+                // `max_crashes` slices already cover).
+                let floor = self.engine.current_epoch(CLIENT);
+                if let Some(p) = self.engine.pending(CLIENT).copied() {
+                    // The dying primary's in-flight switch: forgotten by
+                    // the new reign (re-driven below under a fresh
+                    // epoch), but its zombie can replay the `stop` later.
+                    self.zombie_frames.push(NetMsg::Stop {
+                        ap: p.from.0 as usize,
+                        to_ap: p.to.0 as usize,
+                        epoch: p.epoch,
+                        term: old_term,
+                    });
+                    self.next_switch -= 1;
+                }
+                self.engine = SwitchEngine::new();
+                self.engine.set_term(old_term + 1);
+                self.engine.resume_epochs_above(CLIENT, floor);
+                // Fence announcements are ordinary in-flight frames: the
+                // DFS enumerates every partially-fenced network.
+                for ap in 0..cfg.n_aps {
+                    self.send(
+                        cfg,
+                        NetMsg::Announce {
+                            ap,
+                            term: old_term + 1,
+                        },
+                    );
+                }
+                self.issue_next(cfg)?;
+            }
+            Choice::ZombiePrimary => {
+                for m in std::mem::take(&mut self.zombie_frames) {
+                    self.send(cfg, m);
+                }
+            }
         }
         if self.aps.iter().filter(|a| a.serving).count() > 1 {
             return Err(ViolationKind::DualServing);
@@ -447,10 +571,36 @@ impl State {
         Ok(())
     }
 
+    /// Term fence at frame arrival. `Ok(true)` means the frame may
+    /// proceed with a *current-or-newer* term (the fence is raised);
+    /// `Ok(false)` means it was fenced off; the caller gets `stale` back
+    /// to flag split-brain if a fenced-off frame would have mutated state
+    /// under the `fencing = false` shim.
+    fn term_fence(&mut self, cfg: &CheckerConfig, ap: usize, term: u32) -> (bool, bool) {
+        if term < self.aps[ap].term_seen {
+            if cfg.fencing {
+                self.term_fence_drops += 1;
+                return (false, true);
+            }
+            return (true, true);
+        }
+        self.aps[ap].term_seen = term;
+        (true, false)
+    }
+
     /// Processes a delivered frame through the production state machines.
     fn process(&mut self, cfg: &CheckerConfig, m: NetMsg) -> Result<(), ViolationKind> {
         match m {
-            NetMsg::Stop { ap, to_ap, epoch } => {
+            NetMsg::Stop {
+                ap,
+                to_ap,
+                epoch,
+                term,
+            } => {
+                let (proceed, stale_term) = self.term_fence(cfg, ap, term);
+                if !proceed {
+                    return Ok(());
+                }
                 let verdict = if cfg.epoch_guard {
                     self.aps[ap].guard.on_stop(epoch)
                 } else {
@@ -459,6 +609,11 @@ impl State {
                 match verdict {
                     StopVerdict::Stale => self.stale_drops += 1,
                     StopVerdict::Process => {
+                        if stale_term {
+                            // The shim let a superseded reign demote an
+                            // AP: the zombie is steering the network.
+                            return Err(ViolationKind::SplitBrain);
+                        }
                         self.aps[ap].serving = false;
                         self.send(
                             cfg,
@@ -466,12 +621,17 @@ impl State {
                                 ap: to_ap,
                                 k: k_of(epoch),
                                 epoch,
+                                term,
                             },
                         );
                     }
                 }
             }
-            NetMsg::Start { ap, k, epoch } => {
+            NetMsg::Start { ap, k, epoch, term } => {
+                let (proceed, stale_term) = self.term_fence(cfg, ap, term);
+                if !proceed {
+                    return Ok(());
+                }
                 let verdict = if cfg.epoch_guard {
                     self.aps[ap].guard.on_start(epoch)
                 } else {
@@ -484,6 +644,9 @@ impl State {
                         self.send(cfg, NetMsg::Ack { from_ap: ap, epoch });
                     }
                     StartVerdict::Apply => {
+                        if stale_term {
+                            return Err(ViolationKind::SplitBrain);
+                        }
                         if epoch < self.max_applied_epoch {
                             return Err(ViolationKind::StaleHeadWrite);
                         }
@@ -494,6 +657,11 @@ impl State {
                         self.send(cfg, NetMsg::Ack { from_ap: ap, epoch });
                     }
                 }
+            }
+            NetMsg::Announce { ap, term } => {
+                // Idempotent fence raise; a stale announce is a no-op
+                // either way (`max`), so no violation can hide here.
+                self.aps[ap].term_seen = self.aps[ap].term_seen.max(term);
             }
             NetMsg::Ack { from_ap, epoch } => {
                 if self.controller_down {
@@ -590,6 +758,7 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
         report.stale_drops += st.stale_drops;
         report.dup_reacks += st.dup_reacks;
         report.crash_drops += st.crash_drops;
+        report.term_fence_drops += st.term_fence_drops;
         if st.engine.in_flight(CLIENT) {
             report.incomplete += 1;
         }
@@ -714,5 +883,62 @@ mod tests {
         assert_eq!(report.incomplete, 0, "every schedule must resolve");
         assert_eq!(report.abandons, 1);
         assert_eq!(report.completions, 0);
+    }
+
+    /// Standby failover + zombie replay under the shipped fences: the
+    /// whole schedule space — every interleaving of the zombie's replayed
+    /// `stop`, the fence announcements, and the new reign's re-driven
+    /// switch — is violation-free, and the fence actually fires along the
+    /// way.
+    #[test]
+    fn standby_failover_with_fencing_is_clean() {
+        let cfg = CheckerConfig {
+            n_aps: 2,
+            switches: vec![(0, 1)],
+            max_dups: 0,
+            max_drops: 1,
+            max_timeouts: 0,
+            max_failovers: 1,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "fenced failover must be violation-free, got {:?}",
+            report.violations.first()
+        );
+        assert!(!report.truncated, "the space must be covered exhaustively");
+        assert!(report.completions > 0);
+        assert!(
+            report.term_fence_drops > 0,
+            "no schedule ever exercised the term fence"
+        );
+    }
+
+    /// The same failover space with the term fence forged away: the
+    /// zombie's stale-term frames reach the guards, and schedules where a
+    /// fence announcement outran the zombie surface the split-brain
+    /// family the fence exists to kill.
+    #[test]
+    fn unfenced_zombie_is_caught_as_split_brain() {
+        let cfg = CheckerConfig {
+            n_aps: 2,
+            switches: vec![(0, 1)],
+            max_dups: 0,
+            max_drops: 1,
+            max_timeouts: 0,
+            max_failovers: 1,
+            fencing: false,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::SplitBrain),
+            "expected SplitBrain among {:?}",
+            report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+        );
     }
 }

@@ -33,6 +33,16 @@ use wgtt_sim::{SimDuration, SimRng, SimTime};
 /// `start`/`ack` from switch N is indistinguishable from switch N+1's
 /// (the classic ABA hazard), and the receiver would reposition the wrong
 /// AP's queue head or complete a switch that never ran.
+///
+/// Every message additionally carries the **controller term** — a
+/// monotonically increasing generation number for the controller identity
+/// itself. Epochs fence switch generations *within* one controller's
+/// reign; the term fences *across* controllers: when a warm standby takes
+/// over after a primary crash it does so under `term + 1`, and a zombie
+/// ex-primary that wakes up later can only stamp frames with its stale
+/// term, which every AP's [`TermGuard`] rejects. Without the term, a
+/// zombie with a journal-lagged epoch table could issue `stop`s that pass
+/// the per-client epoch guards (split brain).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwitchMsg {
     /// Controller → old AP: cease transmitting to the client; hand over to
@@ -44,6 +54,8 @@ pub enum SwitchMsg {
         to_ap: ApId,
         /// Switch generation this `stop` belongs to.
         epoch: u32,
+        /// Controller term this `stop` was issued under.
+        term: u32,
     },
     /// Old AP → new AP: begin at cyclic-queue index `k`.
     Start {
@@ -53,6 +65,8 @@ pub enum SwitchMsg {
         k: u16,
         /// Switch generation this `start` belongs to.
         epoch: u32,
+        /// Controller term inherited from the admitting `stop`.
+        term: u32,
     },
     /// New AP → controller: switch complete.
     Ack {
@@ -63,6 +77,8 @@ pub enum SwitchMsg {
         from_ap: ApId,
         /// Switch generation this `ack` belongs to.
         epoch: u32,
+        /// Controller term inherited from the applied `start`.
+        term: u32,
     },
 }
 
@@ -255,6 +271,9 @@ pub struct SwitchEngine {
     abandon_cursor: usize,
     /// `ack` wait before retransmitting `stop`.
     timeout: SimDuration,
+    /// Controller term stamped into every `stop` this engine issues
+    /// (0 is reserved as "no term witnessed"; real terms start at 1).
+    term: u32,
 }
 
 impl SwitchEngine {
@@ -268,7 +287,20 @@ impl SwitchEngine {
             abandon_log: Vec::new(),
             abandon_cursor: 0,
             timeout: SimDuration::from_millis(30),
+            term: 1,
         }
+    }
+
+    /// The controller term this engine stamps into issued messages.
+    pub fn term(&self) -> u32 {
+        self.term
+    }
+
+    /// Installs the controller term (used by standby takeover, which must
+    /// issue under a term strictly above the crashed primary's). Never
+    /// lowers the current term.
+    pub fn set_term(&mut self, term: u32) {
+        self.term = self.term.max(term);
     }
 
     /// Allocates the next switch epoch for `client`. Used internally by
@@ -312,6 +344,24 @@ impl SwitchEngine {
         self.pending.get(&client)
     }
 
+    /// Every in-flight switch in ascending client order — the journal
+    /// shipper snapshots these so a standby can re-drive them under fresh
+    /// epochs after takeover (the crash loses the retransmission timers).
+    pub fn pending_sorted(&self) -> Vec<(ClientId, PendingSwitch)> {
+        let mut v: Vec<(ClientId, PendingSwitch)> =
+            self.pending.iter().map(|(&c, &p)| (c, p)).collect();
+        v.sort_by_key(|&(c, _)| c);
+        v
+    }
+
+    /// Every client with an allocated epoch, ascending client order (for
+    /// the journal snapshot — iteration order must be deterministic).
+    pub fn epochs_sorted(&self) -> Vec<(ClientId, u32)> {
+        let mut v: Vec<(ClientId, u32)> = self.epochs.iter().map(|(&c, &e)| (c, e)).collect();
+        v.sort_by_key(|&(c, _)| c);
+        v
+    }
+
     /// Starts a switch, returning the `stop` message to transmit. Returns
     /// `None` (and does nothing) if one is already in flight.
     pub fn issue(
@@ -340,6 +390,7 @@ impl SwitchEngine {
             client,
             to_ap: to,
             epoch,
+            term: self.term,
         })
     }
 
@@ -384,6 +435,7 @@ impl SwitchEngine {
             client,
             to_ap: p.to,
             epoch: p.epoch,
+            term: self.term,
         })
     }
 
@@ -407,6 +459,7 @@ impl SwitchEngine {
         if from_ap != p.to {
             return AckOutcome::WrongSource;
         }
+        // Invariant: `p` above was borrowed from this same map entry.
         let p = self.pending.remove(&client).expect("checked above");
         let issued = self.issued_at.remove(&client).unwrap_or(p.sent_at);
         let rec = SwitchRecord {
@@ -529,6 +582,53 @@ impl ApSwitchGuard {
     }
 }
 
+/// AP-side verdict on the controller term carried by an incoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermVerdict {
+    /// Term at or above this AP's high-water mark: admit the frame (and
+    /// the mark is raised to it).
+    Accept,
+    /// Term strictly below the high-water mark: the frame was stamped by
+    /// a fenced ex-controller (a zombie primary that lost a takeover).
+    /// Processing it would let a dead controller's stale epoch table
+    /// drive switches — the split-brain hazard the term exists to close.
+    Stale,
+}
+
+/// Per-AP controller-term guard — the AP side of the takeover fence,
+/// mirroring [`ApSwitchGuard`]'s high-water idiom one level up: the epoch
+/// guard orders switch generations within a controller's reign, the term
+/// guard orders the reigns themselves. Shared verbatim by the simulator's
+/// AP handlers (`world.rs`) and the interleaving checker
+/// (`protocol_check`).
+///
+/// Term 0 is reserved as "no controller witnessed"; real terms start
+/// at 1. Like the epoch guard, the mark lives in volatile AP state and is
+/// wiped by an AP crash — a rebooted AP re-learns the current term from
+/// the first frame it admits (documented limitation: lease-less fencing,
+/// same trust model as the epoch guards).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TermGuard {
+    /// Highest controller term seen in any admitted frame.
+    latest: u32,
+}
+
+impl TermGuard {
+    /// Admission check for a frame stamped with `term`.
+    pub fn on_frame(&mut self, term: u32) -> TermVerdict {
+        if term < self.latest {
+            return TermVerdict::Stale;
+        }
+        self.latest = term;
+        TermVerdict::Accept
+    }
+
+    /// Highest controller term this AP has witnessed.
+    pub fn latest(&self) -> u32 {
+        self.latest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +656,7 @@ mod tests {
                 client: C,
                 to_ap: ApId(2),
                 epoch: 1,
+                term: 1,
             }
         );
         assert!(e.in_flight(C));
@@ -647,6 +748,38 @@ mod tests {
     }
 
     #[test]
+    fn term_guard_fences_zombie_frames() {
+        let mut g = TermGuard::default();
+        // First controller witnessed: term 1 admits and raises the mark.
+        assert_eq!(g.on_frame(1), TermVerdict::Accept);
+        assert_eq!(g.on_frame(1), TermVerdict::Accept);
+        // Standby takeover: term 2 admits, and from then on the zombie
+        // ex-primary's term-1 frames are structurally rejected.
+        assert_eq!(g.on_frame(2), TermVerdict::Accept);
+        assert_eq!(g.on_frame(1), TermVerdict::Stale);
+        assert_eq!(g.latest(), 2);
+        // A fresh guard (crash-wiped AP) re-learns from the first frame —
+        // including a zombie's; that is the documented lease-less window.
+        let mut wiped = TermGuard::default();
+        assert_eq!(wiped.on_frame(1), TermVerdict::Accept);
+    }
+
+    #[test]
+    fn engine_stamps_its_term_and_never_lowers_it() {
+        let mut e = SwitchEngine::new();
+        assert_eq!(e.term(), 1);
+        e.set_term(3);
+        let msg = e.issue(t(0), C, ApId(0), ApId(1)).unwrap();
+        assert!(matches!(msg, SwitchMsg::Stop { term: 3, .. }));
+        // Retransmissions carry the current term too.
+        let again = e.on_timeout(t(30), C).unwrap();
+        assert!(matches!(again, SwitchMsg::Stop { term: 3, .. }));
+        // A lower term never rolls back.
+        e.set_term(2);
+        assert_eq!(e.term(), 3);
+    }
+
+    #[test]
     fn no_concurrent_switch_for_same_client() {
         let mut e = SwitchEngine::new();
         assert!(e.issue(t(0), C, ApId(0), ApId(1)).is_some());
@@ -668,6 +801,7 @@ mod tests {
                 client: C,
                 to_ap: ApId(1),
                 epoch: 1,
+                term: 1,
             }
         );
         assert_eq!(e.pending(C).unwrap().retries, 1);

@@ -23,7 +23,8 @@ use crate::config::{Mode, SystemConfig};
 use crate::controller::{ControllerState, ResyncAction};
 use crate::dedup::Deduplicator;
 use crate::metrics::SystemMetrics;
-use crate::switching::{AckOutcome, ResyncReply, SwitchMsg, CONTROL_PACKET_BYTES};
+use crate::replica::{JournalBatch, Replica};
+use crate::switching::{AckOutcome, ResyncReply, SwitchMsg, TermVerdict, CONTROL_PACKET_BYTES};
 use wgtt_mac::blockack::BlockAckFrame;
 use wgtt_mac::timing::{
     ampdu_airtime, block_ack_airtime, difs, frame_airtime, sifs, slot, MAX_AMPDU_BYTES,
@@ -68,6 +69,42 @@ const READOPT_GUARD: SimDuration = SimDuration::from_millis(100);
 /// finalizing with whatever arrived (covers APs that die between the
 /// broadcast and their reply).
 const RESYNC_DEADLINE: SimDuration = SimDuration::from_millis(50);
+
+/// Cadence of primary→standby journal batches. The batch doubles as the
+/// primary's heartbeat toward the standby.
+const JOURNAL_INTERVAL: SimDuration = SimDuration::from_millis(10);
+
+/// Standby failure-detector tick: how often it re-evaluates journal
+/// silence against [`TAKEOVER_TIMEOUT`].
+const STANDBY_CHECK_INTERVAL: SimDuration = SimDuration::from_millis(5);
+
+/// Journal silence past which the standby declares the primary dead and
+/// takes over. More than three journal intervals, so one delayed batch
+/// never triggers a takeover on its own.
+const TAKEOVER_TIMEOUT: SimDuration = SimDuration::from_millis(35);
+
+/// The warm standby: a journal replica plus the failure-detector state
+/// that decides when to promote it. Only instantiated when the fault
+/// schedule arms a controller failover — unarmed runs never allocate one,
+/// keeping them bit-identical to the single-controller engine.
+struct Standby {
+    /// The journal-fed replica of the primary's soft state.
+    replica: Replica,
+    /// When the last journal batch arrived (the heartbeat clock).
+    last_batch_at: SimTime,
+    /// Whether this standby has already promoted itself.
+    taken_over: bool,
+}
+
+impl Standby {
+    fn new() -> Self {
+        Standby {
+            replica: Replica::new(),
+            last_batch_at: SimTime::ZERO,
+            taken_over: false,
+        }
+    }
+}
 
 /// One post-reboot resync round: the controller has broadcast `Resync` and
 /// is collecting AP replies. Uplink copies arriving mid-round are held so
@@ -163,6 +200,7 @@ pub enum Ev {
         client: usize,
         to_ap: usize,
         epoch: u32,
+        term: u32,
     },
     /// Old AP finished processing the stop (kernel query done).
     StopDone {
@@ -170,6 +208,7 @@ pub enum Ev {
         client: usize,
         to_ap: usize,
         epoch: u32,
+        term: u32,
     },
     /// `start(c, k)` arrives at the new AP.
     StartAtAp {
@@ -177,6 +216,7 @@ pub enum Ev {
         client: usize,
         k: u16,
         epoch: u32,
+        term: u32,
     },
     /// New AP finished processing the start.
     StartDone {
@@ -184,12 +224,14 @@ pub enum Ev {
         client: usize,
         k: u16,
         epoch: u32,
+        term: u32,
     },
     /// `ack` arrives back at the controller.
     AckAtController {
         client: usize,
         from_ap: usize,
         epoch: u32,
+        term: u32,
     },
     /// CSI report arrives at the controller.
     CsiAtController {
@@ -247,8 +289,9 @@ pub enum Ev {
     /// Fault injection: the controller restarts blank and broadcasts
     /// `Resync` to every reachable AP.
     ControllerRecover,
-    /// Post-reboot `Resync` broadcast arrives at an AP.
-    ResyncAtAp { ap: usize },
+    /// Post-reboot `Resync` broadcast arrives at an AP, stamped with the
+    /// issuing controller's term (a zombie's stale term is fenced here).
+    ResyncAtAp { ap: usize, term: u32 },
     /// An AP's resync reply arrives back at the controller.
     ResyncReplyAtController {
         reply: crate::switching::ResyncReply,
@@ -264,6 +307,21 @@ pub enum Ev {
         client: usize,
         epoch: u32,
     },
+    /// Primary ships one journal batch to the standby (armed runs only).
+    JournalShip,
+    /// A journal batch arrives at the standby replica.
+    JournalAtStandby { batch: JournalBatch },
+    /// Standby failure-detector tick: promote on journal silence.
+    StandbyCheck,
+    /// Post-takeover term announcement arrives at an AP: raises its term
+    /// fence and flushes degraded-mode uplink toward the new controller.
+    TermAnnounceAtAp { ap: usize, term: u32 },
+    /// The crashed ex-primary process un-freezes and, unaware it was
+    /// superseded, tries to resume its reign with stale state.
+    ZombieWake,
+    /// The zombie's resync round got no takers (every AP fenced it): it
+    /// concludes it was superseded and stands down.
+    ZombieDeadline,
 }
 
 /// The world.
@@ -308,6 +366,23 @@ pub struct WgttWorld {
     resync: Option<ResyncSession>,
     /// Monotone resync round counter (guards stale deadline events).
     resync_seq: u64,
+    /// Warm standby (lazily created on the first journal/detector event;
+    /// stays `None` forever in unarmed runs).
+    standby: Option<Standby>,
+    /// When the primary crashed with a standby armed (None until then;
+    /// cleared at takeover) — the takeover-latency clock.
+    primary_crashed_at: Option<SimTime>,
+    /// Journal batch sequence counter (1-based, see `JournalBatch::seq`).
+    journal_seq: u64,
+    /// Dedup keys the controller forwarded since the last journal batch
+    /// (the per-batch delta; drained at each ship).
+    journal_pending_keys: Vec<u64>,
+    /// Term the ex-primary held when it crashed — the stale term its
+    /// zombie stamps on frames at wake.
+    zombie_term: u32,
+    /// In-flight switches at crash time: the zombie re-drives these on
+    /// wake (the split-brain hazard the term fence exists to stop).
+    zombie_pending: Vec<(ClientId, crate::switching::PendingSwitch)>,
     /// Emergency re-attaches in progress, dense by client index:
     /// `Some((target AP, retries, switch epoch))` while one is pending.
     /// Index order equals the old ordered-map iteration order, so the
@@ -335,7 +410,13 @@ pub struct WgttWorld {
     /// (tx id, tx position, rx position, end time, transmitter key).
     /// Id order makes every scan cross-process deterministic, same as the
     /// ordered map this replaces.
-    active_geo: Vec<(u64, wgtt_phy::Position, wgtt_phy::Position, SimTime, NodeKey)>,
+    active_geo: Vec<(
+        u64,
+        wgtt_phy::Position,
+        wgtt_phy::Position,
+        SimTime,
+        NodeKey,
+    )>,
     /// DCF collisions observed (stats).
     pub dcf_collisions: u64,
     /// Reusable contention-round buffers (cleared each round, capacity
@@ -438,6 +519,12 @@ impl WgttWorld {
             controller_down: false,
             resync: None,
             resync_seq: 0,
+            standby: None,
+            primary_crashed_at: None,
+            journal_seq: 0,
+            journal_pending_keys: Vec::new(),
+            zombie_term: 0,
+            zombie_pending: Vec::new(),
             pending_reattach: vec![None; n_clients],
             pending_failover: vec![None; n_clients],
             last_oracle: vec![None; n_clients],
@@ -651,7 +738,7 @@ impl WgttWorld {
             self.sys.re_wedged_switches += 1;
             return;
         }
-        let Some(SwitchMsg::Stop { epoch, .. }) =
+        let Some(SwitchMsg::Stop { epoch, term, .. }) =
             self.ctrl
                 .engine
                 .issue(now, client, ApId(from as u32), ApId(to as u32))
@@ -669,6 +756,7 @@ impl WgttWorld {
                 client: c,
                 to_ap: to,
                 epoch,
+                term,
             },
         );
         let timeout = self.ctrl.engine.timeout();
@@ -682,9 +770,16 @@ impl WgttWorld {
         c: usize,
         to_ap: usize,
         epoch: u32,
+        term: u32,
     ) {
         if !self.ap_reachable(ap, ctx.now()) {
             return; // lost; the controller's switch timeout drives retries
+        }
+        // Term fence at frame arrival: a frame from a superseded
+        // controller reign is dropped before it can touch any state.
+        if let TermVerdict::Stale = self.aps[ap].term_guard.on_frame(term) {
+            self.sys.stale_term_dropped += 1;
+            return;
         }
         // Control packets are prioritized past data queues; without
         // priority they wait behind the backlog.
@@ -699,6 +794,7 @@ impl WgttWorld {
                 client: c,
                 to_ap,
                 epoch,
+                term,
             },
         );
     }
@@ -710,9 +806,14 @@ impl WgttWorld {
         c: usize,
         to_ap: usize,
         epoch: u32,
+        term: u32,
     ) {
         if self.ap_down[ap] {
-            return; // crashed while processing the stop
+            // Crashed while processing the stop: the frame's target state
+            // died under it. Counted — a burst here during a fault window
+            // is the observable trace of orphaned control traffic.
+            self.sys.orphaned_control_dropped += 1;
+            return;
         }
         let gi = self.cfg.gi;
         let flush = self.cfg.flush_on_switch;
@@ -750,6 +851,7 @@ impl WgttWorld {
                     client: c,
                     k,
                     epoch,
+                    term,
                 },
             );
         }
@@ -804,8 +906,21 @@ impl WgttWorld {
         self.ensure_round(ctx);
     }
 
-    fn on_start_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16, epoch: u32) {
+    #[allow(clippy::too_many_arguments)]
+    fn on_start_at_ap(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        k: u16,
+        epoch: u32,
+        term: u32,
+    ) {
         if !self.ap_reachable(ap, ctx.now()) {
+            return;
+        }
+        if let TermVerdict::Stale = self.aps[ap].term_guard.on_frame(term) {
+            self.sys.stale_term_dropped += 1;
             return;
         }
         let mut delay = self.cfg.switch_timings.sample_start(&mut self.rng);
@@ -819,13 +934,25 @@ impl WgttWorld {
                 client: c,
                 k,
                 epoch,
+                term,
             },
         );
     }
 
-    fn on_start_done(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, c: usize, k: u16, epoch: u32) {
+    #[allow(clippy::too_many_arguments)]
+    fn on_start_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Ev>,
+        ap: usize,
+        c: usize,
+        k: u16,
+        epoch: u32,
+        term: u32,
+    ) {
         if self.ap_down[ap] {
-            return; // crashed while processing the start
+            // Crashed while processing the start — see `on_stop_done`.
+            self.sys.orphaned_control_dropped += 1;
+            return;
         }
         let gi = self.cfg.gi;
         let st = self.aps[ap].client_mut(ClientId(c as u32), gi);
@@ -851,6 +978,7 @@ impl WgttWorld {
                             client: c,
                             from_ap: ap,
                             epoch,
+                            term,
                         },
                     );
                 }
@@ -881,12 +1009,17 @@ impl WgttWorld {
                     client: c,
                     from_ap: ap,
                     epoch,
+                    term,
                 },
             );
         }
         self.ensure_round(ctx);
     }
 
+    /// The ack's echoed term is intentionally unchecked: the controller
+    /// is the term authority, and the per-client epoch already pins the
+    /// ack to the exact switch generation (terms order *reigns*, epochs
+    /// order generations within them).
     fn on_ack_at_controller(
         &mut self,
         ctx: &mut Ctx<'_, Ev>,
@@ -959,8 +1092,9 @@ impl WgttWorld {
             return; // the crashed controller's timers die with it
         }
         let client = ClientId(c as u32);
-        if let Some(SwitchMsg::Stop { to_ap, epoch, .. }) =
-            self.ctrl.engine.on_timeout(ctx.now(), client)
+        if let Some(SwitchMsg::Stop {
+            to_ap, epoch, term, ..
+        }) = self.ctrl.engine.on_timeout(ctx.now(), client)
         {
             let from = self
                 .ctrl
@@ -979,6 +1113,7 @@ impl WgttWorld {
                     client: c,
                     to_ap: to,
                     epoch,
+                    term,
                 },
             );
         } else if !self.ctrl.engine.in_flight(client) {
@@ -1060,6 +1195,7 @@ impl WgttWorld {
         self.sys.emergency_reattaches += 1;
         self.sys.control_packets += 1;
         self.pending_reattach[c] = Some((target, 0, epoch));
+        let term = self.ctrl.engine.term();
         self.backhaul_send(
             ctx,
             CONTROL_PACKET_BYTES,
@@ -1069,6 +1205,7 @@ impl WgttWorld {
                 client: c,
                 k,
                 epoch,
+                term,
             },
         );
         ctx.schedule_in(
@@ -1100,6 +1237,7 @@ impl WgttWorld {
         // already-applied duplicate into a bare re-ack.
         self.pending_reattach[c] = Some((target, retries + 1, epoch));
         self.sys.control_packets += 1;
+        let term = self.ctrl.engine.term();
         self.backhaul_send(
             ctx,
             CONTROL_PACKET_BYTES,
@@ -1109,6 +1247,7 @@ impl WgttWorld {
                 client: c,
                 k,
                 epoch,
+                term,
             },
         );
         ctx.schedule_in(
@@ -1170,12 +1309,20 @@ impl WgttWorld {
 
     // ---------- controller crash / resync ----------
 
-    fn on_controller_crash(&mut self, _ctx: &mut Ctx<'_, Ev>) {
+    fn on_controller_crash(&mut self, ctx: &mut Ctx<'_, Ev>) {
         if self.controller_down {
             return;
         }
         self.controller_down = true;
         self.sys.controller_crashes += 1;
+        if !self.faults.controller_failovers.is_empty() {
+            // A standby is armed: start the takeover-latency clock and
+            // freeze what the dying process held — its term and in-flight
+            // switches are exactly what the zombie replays at wake.
+            self.primary_crashed_at = Some(ctx.now());
+            self.zombie_term = self.ctrl.engine.term();
+            self.zombie_pending = self.ctrl.engine.pending_sorted();
+        }
         // The process is gone and every piece of soft state with it:
         // selectors, epoch table, dedup table, health tracker, serving
         // map. In-flight switch timers and re-attach retries die silently
@@ -1189,15 +1336,22 @@ impl WgttWorld {
         if !self.controller_down {
             return;
         }
-        let now = ctx.now();
         self.controller_down = false;
         self.sys.controller_recoveries += 1;
         if self.cfg.mode != Mode::Wgtt {
             return; // the baseline keeps no controller soft state to resync
         }
-        // Broadcast `Resync` to every reachable AP over the management
-        // channel (reliable TCP, not the lossy datagram fast path), then
-        // rebuild state from whatever answers arrive before the deadline.
+        self.start_resync(ctx);
+    }
+
+    /// Broadcasts `Resync` to every reachable AP over the management
+    /// channel (reliable TCP, not the lossy datagram fast path), then
+    /// rebuilds state from whatever answers arrive before the deadline.
+    /// Shared by the cold-restart recovery path and a takeover whose
+    /// journal replica cannot be trusted (gapped or never fed).
+    fn start_resync(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let term = self.ctrl.engine.term();
         self.resync_seq += 1;
         let seq = self.resync_seq;
         let live: Vec<usize> = (0..self.aps.len())
@@ -1205,7 +1359,12 @@ impl WgttWorld {
             .collect();
         for &ap in &live {
             self.sys.control_packets += 1;
-            self.backhaul_send(ctx, CONTROL_PACKET_BYTES, false, Ev::ResyncAtAp { ap });
+            self.backhaul_send(
+                ctx,
+                CONTROL_PACKET_BYTES,
+                false,
+                Ev::ResyncAtAp { ap, term },
+            );
         }
         self.resync = Some(ResyncSession {
             seq,
@@ -1221,10 +1380,16 @@ impl WgttWorld {
         }
     }
 
-    fn on_resync_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize) {
+    fn on_resync_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, term: u32) {
         let now = ctx.now();
         if !self.ap_reachable(ap, now) || self.controller_down {
             return; // died in flight, or the controller crashed again
+        }
+        // Term fence before anything observable: a zombie ex-primary's
+        // resync must neither earn a reply nor flush held uplink.
+        if let TermVerdict::Stale = self.aps[ap].term_guard.on_frame(term) {
+            self.sys.stale_term_dropped += 1;
+            return;
         }
         let reply = self.aps[ap].resync_reply();
         // Reply size scales with what it carries: per-client protocol
@@ -1258,7 +1423,11 @@ impl WgttWorld {
             return;
         }
         let Some(session) = &mut self.resync else {
-            return; // the deadline already finalized this round
+            // No open round: the deadline already finalized this one, or
+            // the reply answers a superseded reign's broadcast (a zombie
+            // ex-primary's resync probes land here and die harmlessly).
+            self.sys.orphaned_control_dropped += 1;
+            return;
         };
         self.sys.resync_replies += 1;
         session.replies.push(reply);
@@ -1341,6 +1510,7 @@ impl WgttWorld {
         let epoch = self.ctrl.engine.allocate_epoch(client);
         self.sys.control_packets += 1;
         self.pending_reattach[c] = Some((target, 0, epoch));
+        let term = self.ctrl.engine.term();
         self.backhaul_send(
             ctx,
             CONTROL_PACKET_BYTES,
@@ -1350,12 +1520,217 @@ impl WgttWorld {
                 client: c,
                 k,
                 epoch,
+                term,
             },
         );
         ctx.schedule_in(
             self.ctrl.engine.timeout(),
             Ev::ReattachTimeout { client: c },
         );
+    }
+
+    // ---------- warm standby: journal, takeover, zombie fencing ----------
+
+    /// Primary side: snapshot controller soft state into a journal batch
+    /// and ship it to the standby. The batch doubles as the heartbeat, so
+    /// the tick keeps rescheduling while the primary is down — silence,
+    /// not absence of the timer, is what the standby detects.
+    fn on_journal_ship(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        if now < self.traffic_until + SimDuration::from_millis(500) {
+            ctx.schedule_in(JOURNAL_INTERVAL, Ev::JournalShip);
+        }
+        if self.controller_down {
+            return; // a dead primary ships nothing: this is the heartbeat gap
+        }
+        if self.standby.as_ref().is_some_and(|s| s.taken_over) {
+            return; // the standby *is* the controller now; nobody tails it
+        }
+        self.journal_seq += 1;
+        let (clients, pending) = self.ctrl.journal_snapshot();
+        let batch = JournalBatch {
+            term: self.ctrl.engine.term(),
+            seq: self.journal_seq,
+            clients,
+            pending,
+            dedup_keys: std::mem::take(&mut self.journal_pending_keys),
+        };
+        self.sys.journal_batches_shipped += 1;
+        let bytes = batch.wire_bytes();
+        // The journal rides its own replication channel: serialized by the
+        // backhaul's bandwidth model but exempt from the datagram-path
+        // impairments (it is TCP-like; the replica's seq numbers absorb
+        // what reordering remains). Scheduled lag windows model a
+        // congested or throttled replication link.
+        let lag = self.faults.journal_lag_at(now);
+        if let Some(d) = self.backhaul.transit(bytes) {
+            ctx.schedule_in(d + lag, Ev::JournalAtStandby { batch });
+        }
+    }
+
+    /// Standby side: absorb one journal batch into the replica and reset
+    /// the failure-detector clock.
+    fn on_journal_at_standby(&mut self, ctx: &mut Ctx<'_, Ev>, batch: JournalBatch) {
+        let now = ctx.now();
+        let sb = self.standby.get_or_insert_with(Standby::new);
+        if sb.taken_over {
+            return; // post-takeover stragglers from the dead reign
+        }
+        match sb.replica.apply(&batch) {
+            crate::replica::ApplyOutcome::Applied => {
+                self.sys.journal_batches_applied += 1;
+                sb.last_batch_at = now;
+            }
+            crate::replica::ApplyOutcome::AppliedAfterGap => {
+                self.sys.journal_batches_applied += 1;
+                self.sys.journal_gaps += 1;
+                sb.last_batch_at = now;
+            }
+            crate::replica::ApplyOutcome::Stale => {}
+        }
+    }
+
+    /// Standby failure detector: journal silence past the takeover
+    /// timeout (with the primary actually down — the sim's stand-in for a
+    /// lease protocol that prevents spurious promotion) promotes the
+    /// replica to controller under a freshly bumped term.
+    fn on_standby_check(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        if now < self.traffic_until + SimDuration::from_millis(500) {
+            ctx.schedule_in(STANDBY_CHECK_INTERVAL, Ev::StandbyCheck);
+        }
+        let Some(crashed_at) = self.primary_crashed_at else {
+            return;
+        };
+        if !self.controller_down {
+            return;
+        }
+        let sb = self.standby.get_or_insert_with(Standby::new);
+        if sb.taken_over || now.saturating_since(sb.last_batch_at) <= TAKEOVER_TIMEOUT {
+            return;
+        }
+        // Takeover. Copy what the replica holds, then promote.
+        sb.taken_over = true;
+        let fed = sb.replica.fed();
+        let gapped = sb.replica.gapped();
+        let replica_term = sb.replica.term();
+        let clients = sb.replica.clients().to_vec();
+        let keys = sb.replica.keys().to_vec();
+        let pending = sb.replica.pending().to_vec();
+        self.primary_crashed_at = None;
+        self.sys.standby_takeovers += 1;
+        self.sys
+            .takeovers
+            .push((now, now.saturating_since(crashed_at)));
+        self.controller_down = false;
+        // Fence first: the new reign's term exceeds anything the dead
+        // primary (or its zombie) can ever stamp.
+        let new_term = replica_term.max(self.zombie_term).max(1) + 1;
+        self.ctrl.engine.set_term(new_term);
+        if fed {
+            self.ctrl.restore_from_journal(&clients, &keys);
+        }
+        // Announce the term to every reachable AP (reliable channel):
+        // raises their fences and flushes degraded-mode uplink.
+        for ap in 0..self.aps.len() {
+            if self.ap_reachable(ap, now) {
+                self.sys.control_packets += 1;
+                self.backhaul_send(
+                    ctx,
+                    CONTROL_PACKET_BYTES,
+                    false,
+                    Ev::TermAnnounceAtAp { ap, term: new_term },
+                );
+            }
+        }
+        if fed && !gapped {
+            // Journal current: re-drive the in-flight switches the crash
+            // orphaned, each under a fresh epoch of the new term.
+            for p in pending {
+                self.issue_switch(ctx, p.client.0 as usize, p.from.0 as usize, p.to.0 as usize);
+            }
+            self.ensure_round(ctx);
+        } else {
+            // Never fed, or a lost batch poisoned the dedup-key delta:
+            // fall back to AP-sourced resync (term-stamped), which
+            // rebuilds everything from the APs' authoritative copies.
+            self.start_resync(ctx);
+        }
+    }
+
+    /// A term announcement lands at an AP: raise its fence and let
+    /// degraded-mode uplink held for the dead primary flow to the new one
+    /// (the restored dedup table catches cross-reign duplicates).
+    fn on_term_announce_at_ap(&mut self, ctx: &mut Ctx<'_, Ev>, ap: usize, term: u32) {
+        let now = ctx.now();
+        if !self.ap_reachable(ap, now) {
+            return;
+        }
+        if let TermVerdict::Stale = self.aps[ap].term_guard.on_frame(term) {
+            self.sys.stale_term_dropped += 1;
+            return;
+        }
+        let held: Vec<Packet> = self.aps[ap].uplink_buffer.drain(..).collect();
+        for packet in held {
+            self.sys.degraded_uplink_flushed += 1;
+            let wire = packet.len_bytes + wgtt_net::TUNNEL_OVERHEAD_BYTES;
+            self.backhaul_send(
+                ctx,
+                wire,
+                false,
+                Ev::UplinkCopyAtController {
+                    from_ap: ap,
+                    packet,
+                },
+            );
+        }
+    }
+
+    /// The ex-primary process un-freezes, unaware a standby superseded
+    /// it, and resumes its reign from where it stopped: re-driving its
+    /// in-flight `stop`s and broadcasting a resync — all stamped with its
+    /// stale term, so every fenced AP drops them on arrival. This is the
+    /// split-brain scenario; the term guards are what make it structurally
+    /// harmless.
+    fn on_zombie_wake(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        let now = ctx.now();
+        let term = self.zombie_term;
+        let pending = std::mem::take(&mut self.zombie_pending);
+        for (client, p) in pending {
+            self.sys.control_packets += 1;
+            self.backhaul_send(
+                ctx,
+                CONTROL_PACKET_BYTES,
+                true,
+                Ev::StopAtAp {
+                    ap: p.from.0 as usize,
+                    client: client.0 as usize,
+                    to_ap: p.to.0 as usize,
+                    epoch: p.epoch,
+                    term,
+                },
+            );
+        }
+        for ap in 0..self.aps.len() {
+            if self.ap_reachable(ap, now) {
+                self.sys.control_packets += 1;
+                self.backhaul_send(
+                    ctx,
+                    CONTROL_PACKET_BYTES,
+                    false,
+                    Ev::ResyncAtAp { ap, term },
+                );
+            }
+        }
+        // No fence ever answers: the zombie hears nothing by its resync
+        // deadline and concludes it was superseded.
+        ctx.schedule_in(RESYNC_DEADLINE, Ev::ZombieDeadline);
+    }
+
+    /// The zombie's resync deadline passes with zero replies (every AP
+    /// fenced it): it stands down for good.
+    fn on_zombie_deadline(&mut self, _ctx: &mut Ctx<'_, Ev>) {
+        self.sys.zombie_standdowns += 1;
     }
 
     // ---------- selection ----------
@@ -1484,9 +1859,8 @@ impl WgttWorld {
                 let is_serving = serving == Some(ap);
                 // Prunable once even a ceiling on this AP's ESNR cannot
                 // win the lexicographic argmax against the incumbent.
-                let cannot_beat = |bound: f64| {
-                    best.is_some_and(|(bi, b)| bound < b || (bound == b && ap > bi))
-                };
+                let cannot_beat =
+                    |bound: f64| best.is_some_and(|(bi, b)| bound < b || (bound == b && ap > bi));
                 if !is_serving
                     && cannot_beat(
                         self.mean_snr(ap, c, now) + self.links[ap][c].peak_tone_headroom_db(),
@@ -1520,6 +1894,9 @@ impl WgttWorld {
                 // instantaneous capacity minus what the serving link offers.
                 let gi = self.cfg.gi;
                 let oracle_is_serving = serving == Some(oracle);
+                // Invariant: the ranking loop above stores a memo for
+                // whichever arm won; `best` being `Some` proves the
+                // corresponding memo was kept.
                 let mut oracle_esnr = if oracle_is_serving {
                     serving_esnr.take()
                 } else {
@@ -1811,6 +2188,8 @@ impl WgttWorld {
         let gi = self.cfg.gi;
         let now = ctx.now();
         let max_dur = SimDuration::from_millis(4);
+        // Invariant: `pick_client` only returns ids present in this AP's
+        // client table, and nothing runs between the two calls.
         let st = self.aps[ap]
             .client_get_mut(client)
             .expect("picked client exists");
@@ -1848,6 +2227,7 @@ impl WgttWorld {
             if !entry.registered && st.scoreboard.available() == 0 {
                 break;
             }
+            // Invariant: the `while let` guard peeked this same front.
             let mut entry = st.nic_queue.pop_front().expect("front exists");
             if !entry.registered {
                 st.scoreboard.register(entry.seq);
@@ -2093,6 +2473,7 @@ impl WgttWorld {
             return; // state wiped by a crash/reboot cycle mid-flight
         };
         if ba_received {
+            // Invariant: `ba_received` is only set where `ba` was built.
             let frame = ba.expect("ba exists when received");
             st.seen_bas.insert((frame.start_seq, frame.bitmap));
             let newly = st.scoreboard.on_block_ack(&frame);
@@ -2368,10 +2749,14 @@ impl WgttWorld {
             if !forwards || !associated || self.faults.partitioned(*ap, now) {
                 continue;
             }
-            // Any controller crash in the schedule engages the degraded
-            // uplink path; with none this is the exact healthy code path.
-            let crash_faults = !self.faults.controller_crashes.is_empty();
+            // Any controller crash (or failover window) in the schedule
+            // engages the degraded uplink path; with none this is the
+            // exact healthy code path.
+            let crash_faults = !self.faults.controller_crashes.is_empty()
+                || !self.faults.controller_failovers.is_empty();
             for seq in got {
+                // Invariant: `got` is a subset of the sequences of
+                // `entries`, built a few lines up from the same aggregate.
                 let e = entries
                     .iter()
                     .find(|e| e.seq == *seq)
@@ -2384,7 +2769,8 @@ impl WgttWorld {
                 if crash_faults && self.controller_down {
                     // Local autonomy: hold uplink at the AP (bounded)
                     // while the controller is down; flushed at resync.
-                    if self.aps[from_ap].buffer_uplink(pkt) {
+                    let cap = self.cfg.degraded_uplink_cap;
+                    if self.aps[from_ap].buffer_uplink(pkt, cap) {
                         self.sys.degraded_uplink_buffered += 1;
                     } else {
                         self.sys.degraded_uplink_dropped += 1;
@@ -2575,6 +2961,12 @@ impl WgttWorld {
         if !pass {
             self.sys.uplink_duplicates += 1;
             return;
+        }
+        if !self.faults.controller_failovers.is_empty() {
+            // Journal the forwarded key so the standby's restored dedup
+            // table suppresses cross-takeover duplicates of this packet.
+            self.journal_pending_keys
+                .push(Deduplicator::key(packet.client, packet.ip_ident));
         }
         let latency = self.cfg.server_latency;
         ctx.schedule_in(latency, Ev::PacketAtServer(packet));
@@ -3090,7 +3482,17 @@ pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
             FaultEdge::ControllerRecover => {
                 sim.schedule_at(t, Ev::ControllerRecover);
             }
+            FaultEdge::ZombieWake => {
+                sim.schedule_at(t, Ev::ZombieWake);
+            }
         }
+    }
+    // Warm-standby machinery only spins up when a failover is armed: an
+    // unarmed run schedules no journal or detector events at all, keeping
+    // it bit-identical to the single-controller engine.
+    if mode == Mode::Wgtt && !sim.world().faults.controller_failovers.is_empty() {
+        sim.schedule_at(SimTime::from_millis(10), Ev::JournalShip);
+        sim.schedule_at(SimTime::from_millis(5), Ev::StandbyCheck);
     }
     for f in 0..n_flows {
         match &sim.world().flows[f].kind {
@@ -3134,29 +3536,34 @@ impl World for WgttWorld {
                 client,
                 to_ap,
                 epoch,
-            } => self.on_stop_at_ap(ctx, ap, client, to_ap, epoch),
+                term,
+            } => self.on_stop_at_ap(ctx, ap, client, to_ap, epoch, term),
             Ev::StopDone {
                 ap,
                 client,
                 to_ap,
                 epoch,
-            } => self.on_stop_done(ctx, ap, client, to_ap, epoch),
+                term,
+            } => self.on_stop_done(ctx, ap, client, to_ap, epoch, term),
             Ev::StartAtAp {
                 ap,
                 client,
                 k,
                 epoch,
-            } => self.on_start_at_ap(ctx, ap, client, k, epoch),
+                term,
+            } => self.on_start_at_ap(ctx, ap, client, k, epoch, term),
             Ev::StartDone {
                 ap,
                 client,
                 k,
                 epoch,
-            } => self.on_start_done(ctx, ap, client, k, epoch),
+                term,
+            } => self.on_start_done(ctx, ap, client, k, epoch, term),
             Ev::AckAtController {
                 client,
                 from_ap,
                 epoch,
+                term: _,
             } => self.on_ack_at_controller(ctx, client, from_ap, epoch),
             Ev::CsiAtController {
                 ap,
@@ -3189,12 +3596,18 @@ impl World for WgttWorld {
             Ev::ReattachTimeout { client } => self.on_reattach_timeout(ctx, client),
             Ev::ControllerCrash => self.on_controller_crash(ctx),
             Ev::ControllerRecover => self.on_controller_recover(ctx),
-            Ev::ResyncAtAp { ap } => self.on_resync_at_ap(ctx, ap),
+            Ev::ResyncAtAp { ap, term } => self.on_resync_at_ap(ctx, ap, term),
             Ev::ResyncReplyAtController { reply } => self.on_resync_reply_at_controller(ctx, reply),
             Ev::ResyncDeadline { seq } => self.on_resync_deadline(ctx, seq),
             Ev::ReAdoptTimeout { ap, client, epoch } => {
                 self.on_readopt_timeout(ctx, ap, client, epoch)
             }
+            Ev::JournalShip => self.on_journal_ship(ctx),
+            Ev::JournalAtStandby { batch } => self.on_journal_at_standby(ctx, batch),
+            Ev::StandbyCheck => self.on_standby_check(ctx),
+            Ev::TermAnnounceAtAp { ap, term } => self.on_term_announce_at_ap(ctx, ap, term),
+            Ev::ZombieWake => self.on_zombie_wake(ctx),
+            Ev::ZombieDeadline => self.on_zombie_deadline(ctx),
         }
     }
 }

@@ -72,6 +72,21 @@ pub struct ControllerOutage {
     pub until: SimTime,
 }
 
+/// Journal-lag window: during `[from, until)` every primary→standby
+/// journal batch suffers `extra` additional one-way delay on top of the
+/// backhaul model (a congested replication link). Lag close to the
+/// standby's takeover timeout widens the window of journal state the
+/// takeover never saw — the knob the replication bench sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalLagWindow {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Added one-way journal delivery delay.
+    pub extra: SimDuration,
+}
+
 /// CSI-report drop window: each CSI report is independently discarded with
 /// `drop_prob` during `[from, until)` (a flaky CSI extraction tool).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +168,12 @@ pub enum FaultEdge {
     ControllerCrash,
     /// The central controller restarts (soft state lost).
     ControllerRecover,
+    /// The crashed ex-primary wakes as a **zombie**: a warm standby took
+    /// over its reign while it was down, so instead of restarting as the
+    /// controller it comes back believing it still holds the old term and
+    /// immediately tries to reassert itself — the split-brain scenario the
+    /// AP-side term guards must fence out.
+    ZombieWake,
 }
 
 /// The full fault plan for one run. Empty by default (= healthy run).
@@ -166,6 +187,11 @@ pub struct FaultSchedule {
     pub partitions: Vec<PartitionWindow>,
     /// Controller crash/restart windows.
     pub controller_crashes: Vec<ControllerOutage>,
+    /// Controller failover windows: the primary crashes at `from` with a
+    /// warm standby armed to take over, and wakes as a zombie at `until`.
+    pub controller_failovers: Vec<ControllerOutage>,
+    /// Journal replication lag windows.
+    pub journal_lag: Vec<JournalLagWindow>,
     /// CSI-report drop windows.
     pub csi_drops: Vec<CsiDropWindow>,
     /// Backhaul duplication windows.
@@ -186,6 +212,8 @@ impl FaultSchedule {
             && self.backhaul.is_empty()
             && self.partitions.is_empty()
             && self.controller_crashes.is_empty()
+            && self.controller_failovers.is_empty()
+            && self.journal_lag.is_empty()
             && self.csi_drops.is_empty()
             && self.duplication.is_empty()
             && self.reordering.is_empty()
@@ -269,6 +297,67 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a controller **failover** window (builder style): the primary
+    /// crashes at `from` with a warm standby armed to take over, and the
+    /// ex-primary wakes as a zombie at `until` (it does *not* resume the
+    /// controller role — the standby holds the reign by then, and the
+    /// zombie's stale-term frames must be fenced by the AP term guards).
+    /// Panics on a zero-length window or one overlapping any existing
+    /// controller window of either kind — there is only one controller
+    /// process timeline.
+    pub fn with_controller_failover(mut self, from: SimTime, until: SimTime) -> Self {
+        Self::assert_window(
+            "controller failover",
+            self.controller_crashes
+                .iter()
+                .chain(self.controller_failovers.iter())
+                .map(|o| (o.from, o.until)),
+            from,
+            until,
+        );
+        self.controller_failovers
+            .push(ControllerOutage { from, until });
+        self
+    }
+
+    /// Adds a journal replication lag window (builder style).
+    pub fn with_journal_lag(mut self, from: SimTime, until: SimTime, extra: SimDuration) -> Self {
+        assert!(from < until, "journal lag window must be non-empty");
+        assert!(extra > SimDuration::ZERO, "journal lag must be > 0");
+        self.journal_lag
+            .push(JournalLagWindow { from, until, extra });
+        self
+    }
+
+    /// Adds a rapid crash/reboot **flapping** burst for one AP (builder
+    /// style): starting at `from`, the AP cycles with period `period`,
+    /// spending the first `duty` fraction of each cycle down, until the
+    /// cycle start reaches `until`. Each down-phase is an ordinary
+    /// [`ApOutage`], so the usual overlap validation applies against any
+    /// pre-existing outages of the same AP.
+    pub fn with_ap_flapping(
+        mut self,
+        ap: usize,
+        from: SimTime,
+        until: SimTime,
+        period: SimDuration,
+        duty: f64,
+    ) -> Self {
+        assert!(from < until, "flapping window must be non-empty");
+        assert!(period > SimDuration::ZERO, "flapping period must be > 0");
+        assert!(
+            (0.0..1.0).contains(&duty) && duty > 0.0,
+            "flapping duty must be in (0, 1)"
+        );
+        let down = SimDuration::from_secs_f64(period.as_secs_f64() * duty);
+        let mut t = from;
+        while t < until {
+            self = self.with_ap_outage(ap, t, t + down);
+            t += period;
+        }
+        self
+    }
+
     /// Adds a CSI drop window (builder style).
     pub fn with_csi_drops(mut self, from: SimTime, until: SimTime, drop_prob: f64) -> Self {
         assert!(from < until, "csi window must be non-empty");
@@ -328,10 +417,26 @@ impl FaultSchedule {
     }
 
     /// Whether the central controller is dead at `t`.
+    ///
+    /// Only cold crash/restart windows count: during a *failover* window
+    /// the standby may already have taken over mid-window, so controller
+    /// liveness there is runtime state the simulator tracks itself, not a
+    /// schedule-derivable fact.
     pub fn controller_down(&self, t: SimTime) -> bool {
         self.controller_crashes
             .iter()
             .any(|o| o.from <= t && t < o.until)
+    }
+
+    /// Extra one-way journal delivery delay at `t` (windows sum).
+    pub fn journal_lag_at(&self, t: SimTime) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for w in &self.journal_lag {
+            if w.from <= t && t < w.until {
+                extra += w.extra;
+            }
+        }
+        extra
     }
 
     /// The combined backhaul impairment at `t`. Loss, duplication, and
@@ -391,6 +496,10 @@ impl FaultSchedule {
             edges.push((o.from, FaultEdge::ControllerCrash));
             edges.push((o.until, FaultEdge::ControllerRecover));
         }
+        for o in &self.controller_failovers {
+            edges.push((o.from, FaultEdge::ControllerCrash));
+            edges.push((o.until, FaultEdge::ZombieWake));
+        }
         edges.sort_by_key(|&(t, e)| {
             (
                 t,
@@ -399,6 +508,7 @@ impl FaultSchedule {
                     FaultEdge::ControllerCrash => (0, usize::MAX),
                     FaultEdge::Reboot(ap) => (1, ap),
                     FaultEdge::ControllerRecover => (1, usize::MAX),
+                    FaultEdge::ZombieWake => (2, usize::MAX),
                 },
             )
         });
@@ -668,6 +778,75 @@ mod tests {
             .with_controller_crash(t(200), t(300));
         assert!(s.ap_down(0, t(250)));
         assert!(s.controller_down(t(250)));
+    }
+
+    #[test]
+    fn failover_window_edges_and_liveness() {
+        let s = FaultSchedule::new().with_controller_failover(t(100), t(400));
+        assert!(!s.is_empty());
+        // The schedule does NOT claim the controller is down: the standby
+        // may take over mid-window, so liveness is runtime state.
+        assert!(!s.controller_down(t(200)));
+        assert_eq!(
+            s.edges(),
+            vec![
+                (t(100), FaultEdge::ControllerCrash),
+                (t(400), FaultEdge::ZombieWake),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps existing")]
+    fn failover_overlapping_cold_crash_rejected() {
+        let _ = FaultSchedule::new()
+            .with_controller_crash(t(100), t(300))
+            .with_controller_failover(t(200), t(500));
+    }
+
+    #[test]
+    fn journal_lag_windows_sum() {
+        let s = FaultSchedule::new()
+            .with_journal_lag(t(0), t(100), SimDuration::from_millis(5))
+            .with_journal_lag(t(50), t(200), SimDuration::from_millis(20));
+        assert!(!s.is_empty());
+        assert_eq!(s.journal_lag_at(t(10)), SimDuration::from_millis(5));
+        assert_eq!(s.journal_lag_at(t(60)), SimDuration::from_millis(25));
+        assert_eq!(s.journal_lag_at(t(150)), SimDuration::from_millis(20));
+        assert_eq!(s.journal_lag_at(t(500)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn flapping_expands_to_disjoint_outages() {
+        // 1 s of flapping at 200 ms period, 25% duty: 5 cycles, each down
+        // for the first 50 ms.
+        let s = FaultSchedule::new().with_ap_flapping(
+            3,
+            t(1000),
+            t(2000),
+            SimDuration::from_millis(200),
+            0.25,
+        );
+        assert_eq!(s.ap_outages.len(), 5);
+        assert!(s.ap_down(3, t(1000)));
+        assert!(s.ap_down(3, t(1049)));
+        assert!(!s.ap_down(3, t(1050)));
+        assert!(s.ap_down(3, t(1200)));
+        assert!(!s.ap_down(3, t(1999)));
+        // 10 crash/reboot edges, interleaved in order.
+        assert_eq!(s.edges().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty must be in")]
+    fn flapping_full_duty_rejected() {
+        let _ = FaultSchedule::new().with_ap_flapping(
+            0,
+            t(0),
+            t(1000),
+            SimDuration::from_millis(100),
+            1.0,
+        );
     }
 
     #[test]

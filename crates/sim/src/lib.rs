@@ -40,7 +40,7 @@ pub mod time;
 pub use engine::{Ctx, EnginePerf, Simulator, World};
 pub use fault::{
     ApOutage, BackhaulFault, BackhaulImpairment, ControllerOutage, CsiDropWindow, DupWindow,
-    FaultEdge, FaultSchedule, PartitionWindow, ReorderWindow,
+    FaultEdge, FaultSchedule, JournalLagWindow, PartitionWindow, ReorderWindow,
 };
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
