@@ -10,9 +10,12 @@
 //! the baseline fails (checked only when both runs measured it — the
 //! counter reads 0 unless the `perf` binary's counting allocator was
 //! installed). The live microbenchmarks must show the memoized hot paths
-//! ≥1.1× their reference implementations. The parallel fan-out must reach
-//! ≥2× speedup — asserted only when the fresh run saw ≥4 cores, since a
-//! single-core host cannot exhibit it.
+//! ≥1.1× their reference implementations. The two parallelism legs — the
+//! batch fan-out and the intra-run lockstep-shard sweep — must each reach
+//! ≥2× speedup; both are asserted only when the fresh run saw ≥4 cores
+//! (detected once, reported up front), since a smaller host cannot
+//! exhibit the speedup. On such hosts the gate prints a visible
+//! `WARN skip` for each leg instead of silently passing.
 
 use serde_json::Value;
 use std::process::ExitCode;
@@ -129,20 +132,42 @@ fn main() -> ExitCode {
         }
     }
 
+    // Detect host parallelism once — from the fresh report, which recorded
+    // what the measuring run actually saw — and report it up front so a
+    // skipped speedup leg is attributable from the gate output alone.
     let cores = field(&fresh, &["cores"]);
-    let speedup = field(&fresh, &["parallel", "speedup"]);
-    if cores >= PARALLEL_MIN_CORES {
-        if speedup < PARALLEL_MIN_SPEEDUP {
+    let enforce_speedups = cores >= PARALLEL_MIN_CORES;
+    println!(
+        "host {cores:.0} core(s): speedup checks {}",
+        if enforce_speedups {
+            "enforced"
+        } else {
+            "skipped (need 4+ cores)"
+        }
+    );
+    let speedup_legs = [
+        ("parallel fan-out", field(&fresh, &["parallel", "speedup"])),
+        (
+            "lockstep scaling",
+            field(&fresh, &["scaling", "speedup_at_4"]),
+        ),
+    ];
+    for (leg, speedup) in speedup_legs {
+        if !enforce_speedups {
             println!(
-                "FAIL parallel: {speedup:.2}x speedup on {cores:.0} cores \
+                "WARN skip {leg}: {cores:.0} core(s) cannot show \
+                 {PARALLEL_MIN_SPEEDUP}x (measured {speedup:.2}x)"
+            );
+            warnings += 1;
+        } else if speedup < PARALLEL_MIN_SPEEDUP {
+            println!(
+                "FAIL {leg}: {speedup:.2}x speedup on {cores:.0} cores \
                  < {PARALLEL_MIN_SPEEDUP}x"
             );
             failures += 1;
         } else {
-            println!("ok   parallel: {speedup:.2}x speedup on {cores:.0} cores");
+            println!("ok   {leg}: {speedup:.2}x speedup on {cores:.0} cores");
         }
-    } else {
-        println!("skip parallel speedup check: only {cores:.0} core(s)");
     }
 
     println!("perf_gate: {failures} failure(s), {warnings} warning(s)");

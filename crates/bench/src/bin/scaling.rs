@@ -1,0 +1,7 @@
+//! Runs the lockstep-shard scaling experiment (pass `--fast` for a
+//! shorter corridor).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    print!("{}", wgtt_bench::scaling::report(fast));
+}

@@ -34,6 +34,7 @@ pub mod fig24;
 pub mod par;
 pub mod perf;
 pub mod resilience;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -69,5 +70,6 @@ pub fn all_experiments() -> Vec<(&'static str, ReportFn)> {
         ("resilience", resilience::report),
         ("controller_resilience", controller_resilience::report),
         ("chaos", chaos::report),
+        ("scaling", scaling::report),
     ]
 }

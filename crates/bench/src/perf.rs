@@ -20,7 +20,7 @@ use wgtt_phy::{DeploymentConfig, GuardInterval, LinkConfig, PerModel, Position, 
 use wgtt_sim::{SimRng, SimTime};
 
 /// Current `BENCH.json` schema version.
-pub const SCHEMA: u32 = 2;
+pub const SCHEMA: u32 = 3;
 
 /// Per-scenario throughput record.
 #[derive(Debug, Serialize)]
@@ -60,6 +60,20 @@ pub struct ParallelPerf {
     pub speedup: f64,
 }
 
+/// Intra-run lockstep-shard scaling (one worker-count sweep over the
+/// `scaling` experiment's fast corridor; see [`crate::scaling`]).
+#[derive(Debug, Serialize)]
+pub struct ScalingPerf {
+    /// Shards in the corridor.
+    pub shards: usize,
+    /// Events/sec per worker count, ascending over
+    /// [`crate::scaling::WORKER_SWEEP`].
+    pub events_per_sec: Vec<f64>,
+    /// Speedup of the 4-worker leg over the 1-worker leg (≈1 on a
+    /// single-core host — the gate only enforces it on ≥4 cores).
+    pub speedup_at_4: f64,
+}
+
 /// One memoized-vs-reference microbenchmark.
 #[derive(Debug, Serialize)]
 pub struct HotpathPerf {
@@ -86,6 +100,8 @@ pub struct PerfReport {
     pub scenarios: Vec<ScenarioPerf>,
     /// Serial-vs-parallel fan-out measurement.
     pub parallel: ParallelPerf,
+    /// Intra-run lockstep-shard scaling measurement.
+    pub scaling: ScalingPerf,
     /// ESNR memoization vs per-MCS reintegration.
     pub esnr_hotpath: HotpathPerf,
     /// Link geometry cache vs full path-loss chain.
@@ -160,6 +176,23 @@ fn parallel_perf() -> ParallelPerf {
         } else {
             1.0
         },
+    }
+}
+
+/// Runs the scaling corridor's worker sweep (fast variant) and distills
+/// the curve into the gate's inputs.
+fn scaling_perf() -> ScalingPerf {
+    let sweep = crate::scaling::run_experiment(true);
+    let speedup_at_4 = sweep
+        .points
+        .iter()
+        .find(|p| p.workers == 4)
+        .map(|p| p.speedup)
+        .unwrap_or(1.0);
+    ScalingPerf {
+        shards: sweep.shards,
+        events_per_sec: sweep.points.iter().map(|p| p.events_per_sec).collect(),
+        speedup_at_4,
     }
 }
 
@@ -269,6 +302,7 @@ pub fn collect() -> PerfReport {
         threads: crate::par::thread_count(usize::MAX),
         scenarios,
         parallel: parallel_perf(),
+        scaling: scaling_perf(),
         esnr_hotpath: esnr_hotpath(),
         geo_hotpath: geo_hotpath(),
     }
@@ -293,6 +327,7 @@ pub fn render(report: &PerfReport) -> String {
     format!(
         "Perf calibration suite ({} cores, {} threads)\n{}\n\
          parallel: {} jobs, {:.2}s serial vs {:.2}s parallel = {:.2}x\n\
+         scaling: {} shards, {:.2}x at 4 workers\n\
          esnr hot path: {:.2}x memoized vs reference\n\
          geo hot path: {:.2}x cached vs reference\n",
         report.cores,
@@ -305,6 +340,8 @@ pub fn render(report: &PerfReport) -> String {
         report.parallel.serial_wall_s,
         report.parallel.parallel_wall_s,
         report.parallel.speedup,
+        report.scaling.shards,
+        report.scaling.speedup_at_4,
         report.esnr_hotpath.gain,
         report.geo_hotpath.gain,
     )

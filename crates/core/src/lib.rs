@@ -45,6 +45,7 @@ pub mod protocol_check;
 pub mod replica;
 pub mod runner;
 pub mod selection;
+pub mod shard;
 pub mod switching;
 pub mod world;
 
@@ -52,5 +53,8 @@ pub use config::{BaselineConfig, Mode, SystemConfig};
 pub use health::{ApHealth, HealthConfig};
 pub use runner::{run, ClientSpec, FlowSpec, RunResult, Scenario, TrajectorySpec};
 pub use selection::{ApSelector, SelectionConfig, WindowEstimator};
+pub use shard::{run_sharded, Migration, ShardedRunResult, ShardedScenario};
 pub use switching::{AbandonRecord, SwitchEngine, SwitchMsg, SwitchRecord, SwitchTimings};
-pub use world::{prime_events, Ev, FlowKind, WgttWorld};
+pub use world::{
+    prime_events, prime_migrant_events, Ev, FlowKind, MigrantFlow, MigrantSpec, WgttWorld,
+};

@@ -365,6 +365,104 @@ pub struct SystemMetrics {
     /// whose association was wiped) — graceful degradation where the
     /// handler would otherwise have to invent state or panic.
     pub orphaned_control_dropped: u64,
+    /// Clients retired out of this world at a shard boundary (lockstep
+    /// sharding; zero in unsharded runs).
+    pub migrated_out: u64,
+    /// Clients admitted into this world from a neighboring shard.
+    pub migrated_in: u64,
+    /// Events dropped because their target client had already been
+    /// retired to another shard (in-flight stragglers at migration time).
+    pub departed_drops: u64,
+}
+
+impl SystemMetrics {
+    /// Folds another world's counters into this one — the deterministic
+    /// cross-shard reduction for lockstep runs. Callers merge shards in
+    /// ascending shard-id order, so the `Vec` fields (resync/takeover
+    /// latency samples) concatenate in a fixed order regardless of worker
+    /// count. Every field must be folded here; the `merge_covers_every_
+    /// field` test fails to compile when a new counter is added without a
+    /// fold.
+    pub fn merge(&mut self, other: &SystemMetrics) {
+        // Destructure so adding a SystemMetrics field without updating the
+        // merge is a compile error, not a silent under-count.
+        let SystemMetrics {
+            uplink_copies,
+            uplink_duplicates,
+            control_packets,
+            downlink_copies,
+            flushed_packets,
+            ap_crashes,
+            ap_reboots,
+            abandoned_switches,
+            emergency_reattaches,
+            re_wedged_switches,
+            stale_control_dropped,
+            dup_control_dropped,
+            mis_switches,
+            backhaul_dup_deliveries,
+            dup_data_dropped,
+            backhaul_reorders,
+            controller_crashes,
+            controller_recoveries,
+            resync_replies,
+            resync_repairs,
+            resyncs,
+            controller_rx_dropped,
+            degraded_uplink_buffered,
+            degraded_uplink_dropped,
+            degraded_uplink_flushed,
+            local_readoptions,
+            journal_batches_shipped,
+            journal_batches_applied,
+            journal_gaps,
+            standby_takeovers,
+            takeovers,
+            stale_term_dropped,
+            zombie_standdowns,
+            orphaned_control_dropped,
+            migrated_out,
+            migrated_in,
+            departed_drops,
+        } = other;
+        self.uplink_copies += uplink_copies;
+        self.uplink_duplicates += uplink_duplicates;
+        self.control_packets += control_packets;
+        self.downlink_copies += downlink_copies;
+        self.flushed_packets += flushed_packets;
+        self.ap_crashes += ap_crashes;
+        self.ap_reboots += ap_reboots;
+        self.abandoned_switches += abandoned_switches;
+        self.emergency_reattaches += emergency_reattaches;
+        self.re_wedged_switches += re_wedged_switches;
+        self.stale_control_dropped += stale_control_dropped;
+        self.dup_control_dropped += dup_control_dropped;
+        self.mis_switches += mis_switches;
+        self.backhaul_dup_deliveries += backhaul_dup_deliveries;
+        self.dup_data_dropped += dup_data_dropped;
+        self.backhaul_reorders += backhaul_reorders;
+        self.controller_crashes += controller_crashes;
+        self.controller_recoveries += controller_recoveries;
+        self.resync_replies += resync_replies;
+        self.resync_repairs += resync_repairs;
+        self.resyncs.extend_from_slice(resyncs);
+        self.controller_rx_dropped += controller_rx_dropped;
+        self.degraded_uplink_buffered += degraded_uplink_buffered;
+        self.degraded_uplink_dropped += degraded_uplink_dropped;
+        self.degraded_uplink_flushed += degraded_uplink_flushed;
+        self.local_readoptions += local_readoptions;
+        self.journal_batches_shipped += journal_batches_shipped;
+        self.journal_batches_applied += journal_batches_applied;
+        self.journal_gaps += journal_gaps;
+        self.standby_takeovers += standby_takeovers;
+        self.takeovers.extend_from_slice(takeovers);
+        self.stale_term_dropped += stale_term_dropped;
+        self.zombie_standdowns += zombie_standdowns;
+        self.orphaned_control_dropped += orphaned_control_dropped;
+        self.migrated_out += migrated_out;
+        self.migrated_in += migrated_in;
+        self.departed_drops += departed_drops;
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +532,28 @@ mod tests {
         assert_eq!(m.mean_downlink_bps(SimDuration::from_secs(1)), 0.0);
         assert_eq!(m.switch_count(), 0);
         assert_eq!(m.serving_at(t(5)), None);
+    }
+
+    #[test]
+    fn system_metrics_merge_sums_and_concatenates() {
+        let mut a = SystemMetrics {
+            uplink_copies: 3,
+            ..Default::default()
+        };
+        a.resyncs.push((t(1), SimDuration::from_millis(2)));
+        let mut b = SystemMetrics {
+            uplink_copies: 4,
+            migrated_in: 2,
+            departed_drops: 1,
+            ..Default::default()
+        };
+        b.takeovers.push((t(5), SimDuration::from_millis(6)));
+        a.merge(&b);
+        assert_eq!(a.uplink_copies, 7);
+        assert_eq!(a.migrated_in, 2);
+        assert_eq!(a.departed_drops, 1);
+        assert_eq!(a.resyncs, vec![(t(1), SimDuration::from_millis(2))]);
+        assert_eq!(a.takeovers, vec![(t(5), SimDuration::from_millis(6))]);
     }
 
     #[test]

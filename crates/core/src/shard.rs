@@ -1,0 +1,464 @@
+//! Spatially sharded worlds: a corridor of picocell clusters advancing in
+//! deterministic lockstep (ROADMAP items 2 and 3).
+//!
+//! The paper evaluates one 8-AP road segment; a transit corridor is many
+//! such segments, each with its own controller (§6 sketches exactly this
+//! multi-controller split). This module models the corridor as a chain of
+//! independent [`WgttWorld`] shards — separate radio mediums, backhauls,
+//! and controllers — driven by [`wgtt_sim::lockstep`]. The only
+//! cross-shard interaction is a vehicle leaving one cluster's coverage and
+//! entering the next, which maps onto the lockstep mailbox discipline:
+//!
+//! * **Within an epoch** every shard runs its own event queue to the
+//!   shared horizon. Shards share no state, so worker scheduling order is
+//!   invisible.
+//! * **At the barrier** boundary crossings are detected by scanning shards
+//!   in ascending id and clients in ascending index, staged as
+//!   [`Migration`] messages keyed `(sender shard, sender-local sequence)`,
+//!   and applied in that fixed total order. Identical staging and
+//!   application order at any worker count ⇒ byte-identical results.
+//!
+//! ## Geometry and the epoch horizon
+//!
+//! Every shard uses the same local deployment frame spanning `[lo, hi]`.
+//! Conceptually the corridor concatenates shards with an isolation gap of
+//! `gap_m` between the last AP of one cluster and the first AP of the
+//! next, so clusters never interact over the air. A client *exits* its
+//! shard when its local x passes `hi + gap_m − entry_lead_m`, and is
+//! admitted to the next shard at local `lo − entry_lead_m + overshoot`,
+//! where `overshoot` is how far past the exit threshold the barrier found
+//! it — positions are translated exactly, never snapped, so the epoch
+//! length affects only *when* the handoff is applied, not *where* the
+//! client re-appears.
+//!
+//! The safe epoch horizon bounds that detection delay: a client moving at
+//! `v` overshoots by at most `v·epoch` before the barrier catches it, and
+//! [`ShardedScenario::safe_epoch`] keeps that below half the inter-cluster
+//! gap (`epoch ≤ (gap − lead) / 2v`, additionally capped at 50 ms), so a
+//! migrant always re-appears well before the destination's first AP and
+//! rides the normal probe → CSI → selection association ramp. Worker
+//! count never enters this derivation — the epoch is a scenario constant.
+
+use crate::config::SystemConfig;
+use crate::metrics::SystemMetrics;
+use crate::world::{prime_events, prime_migrant_events, MigrantFlow, MigrantSpec, WgttWorld};
+use wgtt_phy::mobility::ConstantSpeed;
+use wgtt_phy::{mph_to_mps, Position, Trajectory};
+use wgtt_sim::lockstep::{drive, LockstepShard};
+use wgtt_sim::{FaultSchedule, SimDuration, SimTime, Simulator};
+
+/// Hard ceiling on the lockstep epoch: even when the geometry would allow
+/// coarser steps, barriers at least this often keep migration latency and
+/// the scaling experiment's work granularity predictable.
+const EPOCH_CAP: SimDuration = SimDuration::from_millis(50);
+
+/// A corridor of identical picocell clusters with through traffic.
+#[derive(Debug, Clone)]
+pub struct ShardedScenario {
+    /// Per-cluster system configuration (all clusters identical).
+    pub config: SystemConfig,
+    /// Number of clusters in the corridor.
+    pub shards: usize,
+    /// Vehicles initially resident in each cluster.
+    pub clients_per_shard: usize,
+    /// Vehicle speed, mph (all traffic drives +x).
+    pub mph: f64,
+    /// Bumper-to-bumper spacing between successive vehicles, m.
+    pub headway_m: f64,
+    /// Flows attached to every vehicle (UDP only — TCP does not migrate).
+    pub flows: Vec<MigrantFlow>,
+    /// Traffic duration.
+    pub duration: SimDuration,
+    /// Root seed; shard `i` derives its own world seed from it.
+    pub seed: u64,
+    /// Isolation gap between the last AP of one cluster and the first AP
+    /// of the next, m. Must comfortably exceed radio range.
+    pub gap_m: f64,
+    /// How far before a cluster's first AP a migrant is re-admitted, m.
+    pub entry_lead_m: f64,
+    /// Lockstep epoch override; `None` derives [`Self::safe_epoch`].
+    pub epoch: Option<SimDuration>,
+    /// `true` wraps the corridor into a ring: vehicles leaving the last
+    /// cluster re-enter the first, keeping per-shard load constant (the
+    /// scaling experiment uses this).
+    pub ring: bool,
+    /// Per-shard fault schedules (empty = no faults anywhere; otherwise
+    /// exactly one entry per shard).
+    pub shard_faults: Vec<FaultSchedule>,
+}
+
+impl ShardedScenario {
+    /// A ring corridor with the given shape and bulk downlink UDP per
+    /// vehicle — the canonical lockstep workload.
+    pub fn ring_corridor(
+        config: SystemConfig,
+        shards: usize,
+        clients_per_shard: usize,
+        mph: f64,
+        rate_bps: u64,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Self {
+        ShardedScenario {
+            config,
+            shards,
+            clients_per_shard,
+            mph,
+            headway_m: 8.0,
+            flows: vec![MigrantFlow {
+                rate_bps,
+                payload: 1472,
+                uplink: false,
+            }],
+            duration,
+            seed,
+            gap_m: 40.0,
+            entry_lead_m: 4.0,
+            epoch: None,
+            ring: true,
+            shard_faults: Vec::new(),
+        }
+    }
+
+    /// The derived safe epoch: `min(50 ms, (gap − lead) / 2v)` (see the
+    /// module docs for why). Panics if the gap is too small to give any
+    /// positive guard time.
+    pub fn safe_epoch(&self) -> SimDuration {
+        if let Some(e) = self.epoch {
+            return e;
+        }
+        let v = mph_to_mps(self.mph).max(0.1);
+        let guard_m = self.gap_m - self.entry_lead_m;
+        assert!(
+            guard_m > 0.0,
+            "inter-shard gap ({} m) must exceed the entry lead ({} m)",
+            self.gap_m,
+            self.entry_lead_m
+        );
+        EPOCH_CAP.min(SimDuration::from_secs_f64(guard_m / (2.0 * v)))
+    }
+}
+
+/// One cluster plus its event clock.
+struct Shard {
+    sim: Simulator<WgttWorld>,
+}
+
+impl LockstepShard for Shard {
+    fn advance_to(&mut self, horizon: SimTime) {
+        self.sim.run_until(horizon);
+    }
+}
+
+/// One applied boundary crossing (for assertions and the scaling report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Barrier at which the crossing was applied.
+    pub at: SimTime,
+    /// Source shard.
+    pub from: usize,
+    /// Destination shard (`usize::MAX` when the vehicle left a non-ring
+    /// corridor entirely).
+    pub to: usize,
+}
+
+/// Outcome of a sharded run.
+pub struct ShardedRunResult {
+    /// Final per-shard worlds, ascending shard id (all metrics inside).
+    pub worlds: Vec<WgttWorld>,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// All shards' counters merged in ascending shard id order.
+    pub sys: SystemMetrics,
+    /// Applied boundary crossings, in application order.
+    pub migrations: Vec<Migration>,
+    /// Host wall-clock spent inside the lockstep drive.
+    pub wall: std::time::Duration,
+    /// Traffic duration that was simulated.
+    pub duration: SimDuration,
+}
+
+impl ShardedRunResult {
+    /// A compact deterministic fingerprint of everything observable:
+    /// per-shard event counts, switch history, association timelines,
+    /// delivery counters, and the migration log. Byte-identical across
+    /// worker counts by the lockstep contract — the determinism suites
+    /// diff this string directly.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut per_shard = String::new();
+        for (i, w) in self.worlds.iter().enumerate() {
+            let mut h: u64 = 0xcbf29ce484222325;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x100000001b3);
+            };
+            for c in &w.clients {
+                for &(t, ap) in &c.metrics.assoc_timeline {
+                    mix(t.as_nanos());
+                    mix(ap.map(|a| a.0 as u64 + 1).unwrap_or(0));
+                }
+            }
+            let mpdu: u64 = w.clients.iter().map(|c| c.metrics.mpdu_successes).sum();
+            if i > 0 {
+                per_shard.push(',');
+            }
+            let _ = write!(
+                per_shard,
+                "{{\"switches\":{},\"assoc_hash\":{},\"mpdu\":{},\"in\":{},\"out\":{}}}",
+                w.ctrl.engine.history().len(),
+                h,
+                mpdu,
+                w.sys.migrated_in,
+                w.sys.migrated_out,
+            );
+        }
+        let mut mig = String::new();
+        for m in &self.migrations {
+            let _ = write!(mig, "[{},{},{}],", m.at.as_nanos(), m.from, m.to);
+        }
+        format!(
+            "{{\"events\":{},\"migrations\":[{}],\"shards\":[{}],\"departed_drops\":{}}}",
+            self.events,
+            mig.trim_end_matches(','),
+            per_shard,
+            self.sys.departed_drops,
+        )
+    }
+}
+
+/// Deterministic per-shard seed derivation (splitmix64 over the root
+/// seed + shard id) — shards get unrelated channel realizations without
+/// consuming any RNG stream.
+fn shard_seed(root: u64, shard: usize) -> u64 {
+    let mut z = root
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add((shard as u64).wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Builds and runs a sharded corridor on `workers` lockstep threads.
+///
+/// `workers = 1` is the serial reference; any other count must produce a
+/// byte-identical [`ShardedRunResult::fingerprint`] — enforced by the
+/// `lockstep_determinism` suite and the CI worker matrix.
+pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResult {
+    assert!(scenario.shards >= 1, "need at least one shard");
+    assert!(
+        scenario.shard_faults.is_empty() || scenario.shard_faults.len() == scenario.shards,
+        "shard_faults must be empty or provide one schedule per shard"
+    );
+    let dep = scenario.config.deployment.build();
+    let (lo, hi) = dep.extent();
+    let lane_y = dep.lane_near_y;
+    let speed = mph_to_mps(scenario.mph);
+    let exit_x = hi + scenario.gap_m - scenario.entry_lead_m;
+    let traffic_until = SimTime::ZERO + scenario.duration;
+    let epoch = scenario.safe_epoch();
+
+    let mut shards: Vec<Shard> = (0..scenario.shards)
+        .map(|i| {
+            let trajectories: Vec<Box<dyn Trajectory>> = (0..scenario.clients_per_shard)
+                .map(|j| {
+                    Box::new(ConstantSpeed {
+                        start: Position::new(
+                            lo - scenario.entry_lead_m - j as f64 * scenario.headway_m,
+                            lane_y,
+                            1.5,
+                        ),
+                        speed_mps: speed,
+                    }) as Box<dyn Trajectory>
+                })
+                .collect();
+            let mut world = WgttWorld::new(
+                scenario.config.clone(),
+                trajectories,
+                shard_seed(scenario.seed, i),
+                traffic_until,
+                false,
+            );
+            if let Some(f) = scenario.shard_faults.get(i) {
+                world.faults = f.clone();
+            }
+            for c in 0..scenario.clients_per_shard {
+                for f in &scenario.flows {
+                    let kind = if f.uplink {
+                        crate::world::FlowKind::UpUdp(wgtt_net::CbrSource::new(
+                            f.rate_bps,
+                            f.payload,
+                            SimTime::from_millis(1),
+                        ))
+                    } else {
+                        crate::world::FlowKind::DownUdp(wgtt_net::CbrSource::new(
+                            f.rate_bps,
+                            f.payload,
+                            SimTime::from_millis(1),
+                        ))
+                    };
+                    let fidx = world.add_flow(c, kind);
+                    world.flows[fidx].start = SimTime::from_millis(1);
+                }
+            }
+            let mut sim = Simulator::new(world);
+            prime_events(&mut sim);
+            Shard { sim }
+        })
+        .collect();
+
+    // Run past the traffic end so in-flight packets settle (same margin as
+    // the unsharded runner).
+    let settle = SimDuration::from_millis(500);
+    let end = traffic_until + settle;
+    let mut migrations: Vec<Migration> = Vec::new();
+    let n = scenario.shards;
+    let ring = scenario.ring;
+    let flows = scenario.flows.clone();
+    let started = std::time::Instant::now();
+    drive(
+        &mut shards,
+        workers,
+        SimTime::ZERO,
+        end,
+        epoch,
+        |shards, now| {
+            // Stage: ascending sender shard id, ascending client index —
+            // the (sender, sequence) total order of the lockstep contract.
+            let mut staged: Vec<(usize, usize)> = Vec::new(); // (from, local client)
+            for (i, shard) in shards.iter().enumerate() {
+                let w = shard.sim.world();
+                for c in 0..w.clients.len() {
+                    if w.is_resident(c) && w.clients[c].position(now).x >= exit_x {
+                        staged.push((i, c));
+                    }
+                }
+            }
+            // Apply serially in staging order: retire at the source, admit
+            // at the destination with the position translated exactly.
+            for (from, c) in staged {
+                let to = if from + 1 < n {
+                    from + 1
+                } else if ring {
+                    0
+                } else {
+                    usize::MAX
+                };
+                let overshoot = {
+                    let w = shards[from].sim.world();
+                    w.clients[c].position(now).x - exit_x
+                };
+                shards[from].sim.world_mut().retire_client(c, now);
+                if to != usize::MAX {
+                    let spec = MigrantSpec {
+                        entry_x: lo - scenario.entry_lead_m + overshoot,
+                        lane_y,
+                        speed_mps: speed,
+                        flows: if now < traffic_until {
+                            flows.clone()
+                        } else {
+                            Vec::new()
+                        },
+                        log_deliveries: false,
+                    };
+                    let local = shards[to].sim.world_mut().admit_migrant(&spec, now);
+                    prime_migrant_events(&mut shards[to].sim, local);
+                }
+                migrations.push(Migration { at: now, from, to });
+            }
+        },
+    );
+    let wall = started.elapsed();
+
+    let mut events = 0u64;
+    let worlds: Vec<WgttWorld> = shards
+        .into_iter()
+        .map(|s| {
+            events += s.sim.events_processed();
+            s.sim.into_world()
+        })
+        .collect();
+    let mut sys = SystemMetrics::default();
+    for w in &worlds {
+        sys.merge(&w.sys);
+    }
+    ShardedRunResult {
+        worlds,
+        events,
+        sys,
+        migrations,
+        wall,
+        duration: scenario.duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    /// A small, fast corridor that still forces boundary crossings: short
+    /// clusters, one vehicle each, fast traffic.
+    fn tiny() -> ShardedScenario {
+        let mut cfg = SystemConfig::default();
+        cfg.deployment.num_aps = 4;
+        ShardedScenario::ring_corridor(cfg, 2, 1, 35.0, 2_000_000, SimDuration::from_secs(6), 42)
+    }
+
+    #[test]
+    fn vehicles_cross_shard_boundaries() {
+        let r = run_sharded(&tiny(), 1);
+        assert!(
+            !r.migrations.is_empty(),
+            "6 s at 35 mph must cross a 22.5 m cluster + 40 m gap"
+        );
+        assert_eq!(r.sys.migrated_out, r.migrations.len() as u64);
+        assert_eq!(
+            r.sys.migrated_in,
+            r.migrations.iter().filter(|m| m.to != usize::MAX).count() as u64
+        );
+        // Migrants re-associate in the destination cluster: at least one
+        // shard-1 association exists even though both vehicles started
+        // elsewhere only 22.5 m of APs away.
+        for m in &r.migrations {
+            assert!(m.to != usize::MAX, "ring corridor never drops vehicles");
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_worker_count_invariant() {
+        let scenario = tiny();
+        let reference = run_sharded(&scenario, 1).fingerprint();
+        for workers in [2usize, 4] {
+            let got = run_sharded(&scenario, workers).fingerprint();
+            assert_eq!(reference, got, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn non_ring_corridor_drops_vehicles_at_the_end() {
+        let mut s = tiny();
+        s.ring = false;
+        let r = run_sharded(&s, 1);
+        assert!(r
+            .migrations
+            .iter()
+            .any(|m| m.from == 1 && m.to == usize::MAX));
+    }
+
+    #[test]
+    fn safe_epoch_respects_geometry_and_cap() {
+        let s = tiny();
+        let e = s.safe_epoch();
+        // 36 m guard at 35 mph (15.6 m/s): (36 / 2·15.6) s ≈ 1.15 s,
+        // so the 50 ms cap binds.
+        assert_eq!(e, SimDuration::from_millis(50));
+        let mut slow = s;
+        slow.gap_m = 5.0;
+        slow.entry_lead_m = 4.0;
+        // 1 m guard at 15.6 m/s → 32 ms, under the cap.
+        let e2 = slow.safe_epoch();
+        assert!(e2 < SimDuration::from_millis(50));
+        assert!(e2 > SimDuration::from_millis(20));
+    }
+}

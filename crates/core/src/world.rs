@@ -122,6 +122,36 @@ struct ResyncSession {
     held_uplink: Vec<(usize, Packet)>,
 }
 
+/// One CBR UDP flow carried across a shard boundary with its client.
+/// TCP flows do not migrate (v1 limitation: a mid-stream TCP sender's
+/// scoreboard is not transplantable; sharded scenarios use UDP traffic).
+#[derive(Debug, Clone)]
+pub struct MigrantFlow {
+    /// Offered rate, payload bits/s.
+    pub rate_bps: u64,
+    /// Datagram payload, bytes.
+    pub payload: usize,
+    /// `true` = client→server, `false` = server→client.
+    pub uplink: bool,
+}
+
+/// Everything a destination shard needs to re-instantiate a client that
+/// crossed its boundary. Coordinates are in the *destination* shard's
+/// local frame; the sharding layer translates before delivery.
+#[derive(Debug, Clone)]
+pub struct MigrantSpec {
+    /// Along-road position at admission time, m (destination frame).
+    pub entry_x: f64,
+    /// Lane y-coordinate, m.
+    pub lane_y: f64,
+    /// Signed along-road speed, m/s.
+    pub speed_mps: f64,
+    /// Flows to re-attach.
+    pub flows: Vec<MigrantFlow>,
+    /// Whether the new client records per-delivery logs.
+    pub log_deliveries: bool,
+}
+
 /// A downlink traffic flow at the server.
 pub enum FlowKind {
     /// Constant-bit-rate UDP toward the client.
@@ -396,6 +426,11 @@ pub struct WgttWorld {
     /// warm start for the ranking scan. Purely a visit-order hint: the
     /// scan's lexicographic argmax makes the result independent of it.
     last_oracle: Vec<Option<usize>>,
+    /// Dense by client index: `true` once the client was retired out of
+    /// this world (migrated to a neighboring shard at a lockstep barrier).
+    /// All-false in unsharded runs, where every guard on it is a no-op and
+    /// the engine stays bit-identical to the pre-sharding code.
+    pub(crate) departed: Vec<bool>,
     rng: SimRng,
     /// Transmissions on the air, sorted by tx id (ids are monotone, so
     /// inserts append and the order never needs repair). Steady-state
@@ -528,6 +563,7 @@ impl WgttWorld {
             pending_reattach: vec![None; n_clients],
             pending_failover: vec![None; n_clients],
             last_oracle: vec![None; n_clients],
+            departed: vec![false; n_clients],
             rng: root.fork("world"),
             in_flight: Vec::new(),
             next_tx_id: 0,
@@ -571,6 +607,103 @@ impl WgttWorld {
             rto_check_at: None,
         });
         self.flows.len() - 1
+    }
+
+    // ---------- shard-boundary migration ----------
+
+    /// Whether client `c` is still resident in this world (not yet retired
+    /// to a neighboring shard).
+    pub fn is_resident(&self, c: usize) -> bool {
+        !self.departed[c]
+    }
+
+    /// Retires a client that crossed this shard's boundary: every piece of
+    /// live protocol state referencing it — client queues, per-AP
+    /// association slots, controller maps, the pending-switch engine — is
+    /// dropped, and `departed[c]` starts eating the in-flight events that
+    /// still name it. The client's metrics stay in place (they belong to
+    /// this shard's leg of the journey); the slab itself is never removed,
+    /// so no other client's index shifts.
+    ///
+    /// Only called at lockstep barriers; no event handler retires clients,
+    /// so within an epoch residency is constant.
+    pub fn retire_client(&mut self, c: usize, now: SimTime) {
+        assert!(!self.departed[c], "client {c} retired twice");
+        self.departed[c] = true;
+        self.sys.migrated_out += 1;
+        let id = ClientId(c as u32);
+        let cl = &mut self.clients[c];
+        cl.serving = None;
+        cl.uplink_queue.clear();
+        cl.metrics.record_assoc(now, None);
+        for ap in &mut self.aps {
+            if let Some(slot) = ap.clients.get_mut(c) {
+                *slot = None;
+            }
+        }
+        self.ctrl.selectors.remove(&id);
+        self.ctrl.allocators.remove(&id);
+        self.ctrl.serving.remove(&id);
+        self.ctrl.engine.abort(id);
+        self.pending_reattach[c] = None;
+        self.pending_failover[c] = None;
+        self.last_oracle[c] = None;
+    }
+
+    /// Admits a migrant from a neighboring shard as a brand-new resident
+    /// client: fresh per-AP channel realizations (forked off this shard's
+    /// root seed, keyed by admission ordinal so any admission sequence maps
+    /// to a unique, reproducible stream), a constant-speed trajectory
+    /// placed so its position at `now` is `spec.entry_x`, and new flow
+    /// endpoints. Returns the new client index; the caller schedules its
+    /// events via [`prime_migrant_events`].
+    ///
+    /// Association is not carried over — the client attaches through the
+    /// normal probe → CSI → selection pipeline, which models a handoff
+    /// between independently-controlled clusters (ROADMAP item 2's
+    /// multi-controller split).
+    pub fn admit_migrant(&mut self, spec: &MigrantSpec, now: SimTime) -> usize {
+        let c = self.clients.len();
+        let ordinal = self.sys.migrated_in;
+        self.sys.migrated_in += 1;
+        for (a, row) in self.links.iter_mut().enumerate() {
+            debug_assert_eq!(row.len(), c);
+            let mut r = self.rng.fork(&format!("migrant-link/{a}/n{ordinal}"));
+            row.push(WirelessLink::new(
+                self.deployment.aps[a],
+                self.cfg.link.clone(),
+                &mut r,
+            ));
+        }
+        let traj = wgtt_phy::mobility::ConstantSpeed {
+            start: wgtt_phy::Position::new(
+                spec.entry_x - spec.speed_mps * now.as_secs_f64(),
+                spec.lane_y,
+                1.5,
+            ),
+            speed_mps: spec.speed_mps,
+        };
+        self.clients.push(ClientState::new(
+            ClientId(c as u32),
+            Box::new(traj),
+            self.cfg.gi,
+            SimDuration::from_millis(100),
+            spec.log_deliveries,
+        ));
+        self.pending_reattach.push(None);
+        self.pending_failover.push(None);
+        self.last_oracle.push(None);
+        self.departed.push(false);
+        for f in &spec.flows {
+            let kind = if f.uplink {
+                FlowKind::UpUdp(CbrSource::new(f.rate_bps, f.payload, now))
+            } else {
+                FlowKind::DownUdp(CbrSource::new(f.rate_bps, f.payload, now))
+            };
+            let fidx = self.add_flow(c, kind);
+            self.flows[fidx].start = now;
+        }
+        c
     }
 
     // ---------- helpers ----------
@@ -1748,6 +1881,9 @@ impl WgttWorld {
         if self.cfg.mode == Mode::Wgtt {
             let faulty = !self.faults.is_empty();
             for c in 0..self.clients.len() {
+                if self.departed[c] {
+                    continue;
+                }
                 let client = ClientId(c as u32);
                 if self.ctrl.engine.in_flight(client) || self.pending_reattach[c].is_some() {
                     continue;
@@ -1832,6 +1968,9 @@ impl WgttWorld {
     fn on_accuracy_tick(&mut self, ctx: &mut Ctx<'_, Ev>) {
         let now = ctx.now();
         for c in 0..self.clients.len() {
+            if self.departed[c] {
+                continue;
+            }
             // Oracle: instantaneous ESNR argmax over in-range APs. Memos
             // are kept for the winner and the serving AP so the capacity
             // integral below reuses the ranking's 16-QAM integrations, and
@@ -1876,7 +2015,7 @@ impl WgttWorld {
                     continue;
                 }
                 let e = memo.esnr_db(Modulation::Qam16);
-                let wins = best.is_none_or(|(bi, b)| e > b || (e == b && ap < bi));
+                let wins = best.map_or(true, |(bi, b)| e > b || (e == b && ap < bi));
                 if wins {
                     best = Some((ap, e));
                 }
@@ -3265,7 +3404,7 @@ impl WgttWorld {
                     continue;
                 }
                 for c in 0..self.clients.len() {
-                    if !self.in_radio_range(ap, c, now) {
+                    if self.departed[c] || !self.in_radio_range(ap, c, now) {
                         continue;
                     }
                     let csi = self.csi(ap, c, now);
@@ -3511,15 +3650,87 @@ pub fn prime_events(sim: &mut wgtt_sim::Simulator<WgttWorld>) {
     }
 }
 
+/// Schedules the recurring events a freshly admitted migrant needs: its
+/// keep-alive probe timer (which bootstraps CSI flow and thereby its first
+/// association) and one tick per flow attached at admission. The lockstep
+/// barrier calls this right after [`WgttWorld::admit_migrant`]; together
+/// they are the migrant-side analogue of [`prime_events`].
+pub fn prime_migrant_events(sim: &mut wgtt_sim::Simulator<WgttWorld>, client: usize) {
+    let now = sim.now();
+    sim.schedule_at(now, Ev::ProbeTick { client });
+    let flow_ticks: Vec<(SimTime, Ev)> = sim
+        .world()
+        .flows
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.client == client)
+        .map(|(fidx, f)| match &f.kind {
+            FlowKind::DownUdp(src) => (src.next_emit_time().unwrap_or(now), Ev::UdpDownTick(fidx)),
+            FlowKind::UpUdp(src) => (src.next_emit_time().unwrap_or(now), Ev::UplinkAppTick(fidx)),
+            FlowKind::DownTcp(_) => unreachable!("TCP flows do not migrate"),
+        })
+        .collect();
+    for (at, ev) in flow_ticks {
+        sim.schedule_at(at.max(now), ev);
+    }
+}
+
 /// Whether `seq` is still outstanding (un-acked) in the scoreboard.
 fn st_seq_outstanding(st: &crate::ap::ApClientState, seq: u16) -> bool {
     st.scoreboard.unacked().contains(&seq)
+}
+
+impl WgttWorld {
+    /// The client an event targets, if it names exactly one — the hook for
+    /// the departed-client guard in [`World::handle`]. Events without a
+    /// single client target (contention rounds, ticks that loop over all
+    /// clients, fault edges, controller lifecycle) return `None` and guard
+    /// per-client inside their handlers where needed.
+    fn ev_client(&self, ev: &Ev) -> Option<usize> {
+        match ev {
+            Ev::UdpDownTick(f) | Ev::UplinkAppTick(f) | Ev::TcpPump(f) | Ev::TcpRtoCheck(f) => {
+                Some(self.flows[*f].client)
+            }
+            Ev::PacketAtController(p) | Ev::PacketAtServer(p) => Some(p.client.0 as usize),
+            Ev::PacketAtAp { packet, .. } | Ev::UplinkCopyAtController { packet, .. } => {
+                Some(packet.client.0 as usize)
+            }
+            Ev::StopAtAp { client, .. }
+            | Ev::StopDone { client, .. }
+            | Ev::StartAtAp { client, .. }
+            | Ev::StartDone { client, .. }
+            | Ev::AckAtController { client, .. }
+            | Ev::CsiAtController { client, .. }
+            | Ev::BaForwardAtAp { client, .. }
+            | Ev::SwitchTimeout { client }
+            | Ev::RoamCheck { client }
+            | Ev::RoamReqArrive { client, .. }
+            | Ev::RoamRespArrive { client, .. }
+            | Ev::ProbeTick { client }
+            | Ev::ReorderFlush { client }
+            | Ev::RoamComplete { client, .. }
+            | Ev::ReattachTimeout { client }
+            | Ev::ReAdoptTimeout { client, .. } => Some(*client),
+            _ => None,
+        }
+    }
 }
 
 impl World for WgttWorld {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
+        // Departed-client guard: a client retired to another shard can
+        // still be named by events that were already in flight when the
+        // barrier retired it. They are dropped here, centrally, so no
+        // handler ever touches a retired client's wiped state. In
+        // unsharded runs `departed` is all-false and this never fires.
+        if let Some(c) = self.ev_client(&event) {
+            if self.departed[c] {
+                self.sys.departed_drops += 1;
+                return;
+            }
+        }
         match event {
             Ev::UdpDownTick(f) => self.on_udp_down_tick(ctx, f),
             Ev::UplinkAppTick(f) => self.on_uplink_app_tick(ctx, f),

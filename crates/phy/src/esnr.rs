@@ -473,10 +473,7 @@ mod tests {
     fn best_tone_bounds_every_modulation() {
         let mut h = [Cplx::ZERO; 56];
         for (i, x) in h.iter_mut().enumerate() {
-            *x = Cplx::new(
-                0.2 + (i as f64 * 0.53).sin(),
-                (i as f64 * 0.29).cos() * 1.1,
-            );
+            *x = Cplx::new(0.2 + (i as f64 * 0.53).sin(), (i as f64 * 0.29).cos() * 1.1);
         }
         for snr in [-3.0, 8.0, 19.0, 33.0] {
             let csi = Csi {

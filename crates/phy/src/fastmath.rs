@@ -21,6 +21,12 @@
 //! tighter than any physical parameter in the model; the channel model is
 //! unchanged, only its last-ulp realization differs from libm.
 
+// The constants below are fdlibm's, kept textually faithful to the
+// reference implementation: several shadow `std::f64::consts` values or
+// carry more digits than f64 resolves, and rewriting them would obscure
+// the provenance the kernels' accuracy argument rests on.
+#![allow(clippy::approx_constant, clippy::excessive_precision)]
+
 /// 2/π, for quadrant selection.
 const INV_PIO2: f64 = 6.366_197_723_675_813_8e-1;
 /// First 33 bits of π/2.
@@ -70,6 +76,8 @@ const REDUCTION_BOUND: f64 = 1.0e6;
 /// outside. NaN/∞ propagate as NaN.
 #[inline]
 pub fn sincos(x: f64) -> (f64, f64) {
+    // Negated comparison on purpose: NaN fails `<` and takes the fallback.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(x.abs() < REDUCTION_BOUND) {
         // Huge, NaN or infinite: take libm's argument reduction.
         return (x.sin(), x.cos());
@@ -241,8 +249,16 @@ mod tests {
         for _ in 0..20_000 {
             let x = (xorshift(&mut s) - 0.5) * 4.0e5;
             let (sn, cs) = sincos(x);
-            assert!((sn - x.sin()).abs() < 1e-12, "sin({x}) = {sn} vs {}", x.sin());
-            assert!((cs - x.cos()).abs() < 1e-12, "cos({x}) = {cs} vs {}", x.cos());
+            assert!(
+                (sn - x.sin()).abs() < 1e-12,
+                "sin({x}) = {sn} vs {}",
+                x.sin()
+            );
+            assert!(
+                (cs - x.cos()).abs() < 1e-12,
+                "cos({x}) = {cs} vs {}",
+                x.cos()
+            );
         }
     }
 
@@ -299,7 +315,10 @@ mod tests {
             let want = f64::exp(x);
             let got = exp(x);
             let diff = (got - want).abs();
-            assert!(diff <= 4.0 * f64::EPSILON * want.max(f64::MIN_POSITIVE), "exp({x}): {got} vs {want}");
+            assert!(
+                diff <= 4.0 * f64::EPSILON * want.max(f64::MIN_POSITIVE),
+                "exp({x}): {got} vs {want}"
+            );
         }
     }
 

@@ -14,12 +14,12 @@
 //! predicts *downlink* delivery (§3.1.1 of the paper).
 
 use crate::antenna::{Antenna, ParabolicAntenna};
+use crate::complex::Cplx;
 use crate::csi::{subcarrier_offsets_hz, Csi};
 use crate::fading::{doppler_hz, FadingConfig, TappedDelayLine};
 use crate::geom::{ApSite, Position};
 use crate::pathloss::{LinkBudget, PathLoss};
 use crate::shadowing::{ShadowingConfig, ShadowingProcess};
-use crate::complex::Cplx;
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use wgtt_sim::{SimRng, SimTime};

@@ -32,6 +32,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod lockstep;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use fault::{
     ApOutage, BackhaulFault, BackhaulImpairment, ControllerOutage, CsiDropWindow, DupWindow,
     FaultEdge, FaultSchedule, JournalLagWindow, PartitionWindow, ReorderWindow,
 };
+pub use lockstep::{worker_count, LockstepShard, WORKERS_ENV};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

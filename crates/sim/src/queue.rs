@@ -122,9 +122,7 @@ impl<E> LegacyEventQueue<E> {
     /// churn (the long-run disarm-heavy workloads that used to leak).
     pub fn cancel(&mut self, key: EventKey) -> bool {
         let cancelled = self.pending.remove(&key.0);
-        if cancelled
-            && self.heap.len() >= COMPACT_FLOOR
-            && self.heap.len() > 2 * self.pending.len()
+        if cancelled && self.heap.len() >= COMPACT_FLOOR && self.heap.len() > 2 * self.pending.len()
         {
             self.compact();
         }
@@ -462,8 +460,7 @@ impl<E> CalendarQueue<E> {
             }
         }
         self.free.clear();
-        self.free
-            .extend((0..self.slots.len() as u32).rev());
+        self.free.extend((0..self.slots.len() as u32).rev());
         for cell in &mut self.ring {
             cell.clear();
         }
