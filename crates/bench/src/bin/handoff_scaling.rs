@@ -1,0 +1,7 @@
+//! Runs the handoff scaling experiment — data retention vs shard count
+//! (pass `--fast` for a shorter corridor).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    print!("{}", wgtt_bench::handoff_scaling::report(fast));
+}

@@ -1,0 +1,197 @@
+//! Handoff scaling experiment — data retention vs shard count.
+//!
+//! Not a paper figure: this certifies the inter-controller migration
+//! protocol (DESIGN.md §6e). A ring corridor at fixed per-shard load is
+//! replayed at growing shard counts; more shards means proportionally
+//! more boundary crossings per vehicle-second, so any per-crossing data
+//! loss compounds with scale. Retention is delivered bytes over
+//! delivered-plus-seam-lost bytes — `departed_data_bytes` charges every
+//! datagram dropped at a boundary to the denominator, so seam losses
+//! cannot hide. With the real migration protocol the curve must stay
+//! flat (retention ≈ 1 at every width); the naive no-transfer shim is
+//! run at the same shapes to show the compounding loss the protocol
+//! removes.
+
+use crate::common::{render_table, save_json};
+use serde::Serialize;
+use wgtt_core::config::SystemConfig;
+use wgtt_core::shard::{run_sharded, ShardedRunResult, ShardedScenario};
+use wgtt_sim::SimDuration;
+
+/// Shard counts the sweep visits (clients per shard held fixed, so the
+/// total client count grows with the corridor).
+pub const SHARD_SWEEP: [usize; 3] = [2, 4, 8];
+
+/// Vehicles resident in each cluster at t=0.
+pub const CLIENTS_PER_SHARD: usize = 2;
+
+/// One shard-count leg of the sweep.
+#[derive(Debug, Serialize)]
+pub struct HandoffPoint {
+    /// Clusters in the ring.
+    pub shards: usize,
+    /// Total vehicles (`shards × clients_per_shard`).
+    pub clients: usize,
+    /// Boundary crossings the real-protocol run applied.
+    pub migrations: usize,
+    /// Payload bytes delivered to client sinks (real protocol).
+    pub delivered_bytes: u64,
+    /// Wire bytes lost at shard seams (real protocol).
+    pub seam_lost_bytes: u64,
+    /// `delivered / (delivered + seam_lost)` for the real protocol.
+    pub retention: f64,
+    /// Residue datagrams carried across seams by migration records.
+    pub residue_transferred: u64,
+    /// Retention of the naive no-transfer shim at the same shape.
+    pub naive_retention: f64,
+    /// Seam wire bytes the shim dropped.
+    pub naive_lost_bytes: u64,
+}
+
+/// The full sweep.
+#[derive(Debug, Serialize)]
+pub struct HandoffSweep {
+    /// Vehicles per cluster (fixed across legs).
+    pub clients_per_shard: usize,
+    /// One point per shard count, ascending.
+    pub points: Vec<HandoffPoint>,
+}
+
+fn scenario(shards: usize, fast: bool, naive: bool) -> ShardedScenario {
+    let mut cfg = SystemConfig::default();
+    cfg.deployment.num_aps = 4;
+    let duration = if fast {
+        SimDuration::from_secs(4)
+    } else {
+        SimDuration::from_secs(10)
+    };
+    let mut s = ShardedScenario::ring_corridor(
+        cfg,
+        shards,
+        CLIENTS_PER_SHARD,
+        35.0,
+        5_000_000,
+        duration,
+        1717,
+    );
+    s.naive_handoff = naive;
+    s
+}
+
+fn delivered_bytes(r: &ShardedRunResult) -> u64 {
+    r.worlds
+        .iter()
+        .flat_map(|w| w.clients.iter())
+        .flat_map(|c| c.udp_sink.values())
+        .map(|k| k.bytes())
+        .sum()
+}
+
+fn retention(delivered: u64, lost: u64) -> f64 {
+    if delivered + lost == 0 {
+        1.0
+    } else {
+        delivered as f64 / (delivered + lost) as f64
+    }
+}
+
+/// Runs the sweep: for each shard count, the real migration protocol and
+/// the naive no-transfer shim at the same shape.
+pub fn run_experiment(fast: bool) -> HandoffSweep {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let mut points = Vec::new();
+    for &shards in &SHARD_SWEEP {
+        let real = run_sharded(&scenario(shards, fast, false), workers.min(shards));
+        let naive = run_sharded(&scenario(shards, fast, true), workers.min(shards));
+        let delivered = delivered_bytes(&real);
+        let lost = real.sys.departed_data_bytes;
+        let naive_delivered = delivered_bytes(&naive);
+        let naive_lost = naive.sys.departed_data_bytes;
+        points.push(HandoffPoint {
+            shards,
+            clients: shards * CLIENTS_PER_SHARD,
+            migrations: real.migrations.len(),
+            delivered_bytes: delivered,
+            seam_lost_bytes: lost,
+            retention: retention(delivered, lost),
+            residue_transferred: real.sys.residue_transferred,
+            naive_retention: retention(naive_delivered, naive_lost),
+            naive_lost_bytes: naive_lost,
+        });
+    }
+    HandoffSweep {
+        clients_per_shard: CLIENTS_PER_SHARD,
+        points,
+    }
+}
+
+/// Runs and renders the handoff scaling sweep.
+pub fn report(fast: bool) -> String {
+    let sweep = run_experiment(fast);
+    save_json("handoff_scaling", &sweep);
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.shards.to_string(),
+                p.clients.to_string(),
+                p.migrations.to_string(),
+                format!("{:.1}", p.delivered_bytes as f64 / 1e6),
+                p.residue_transferred.to_string(),
+                format!("{:.4}", p.retention),
+                format!("{:.4}", p.naive_retention),
+                format!("{:.1}", p.naive_lost_bytes as f64 / 1e3),
+            ]
+        })
+        .collect();
+    format!(
+        "Handoff scaling — data retention vs shard count \
+         ({} clients/shard, retention = delivered/(delivered+seam-lost))\n{}",
+        sweep.clients_per_shard,
+        render_table(
+            &[
+                "shards",
+                "clients",
+                "handoffs",
+                "deliv MB",
+                "residue",
+                "retention",
+                "naive ret.",
+                "naive kB lost",
+            ],
+            &rows,
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retention_stays_flat_as_shards_grow() {
+        let sweep = run_experiment(true);
+        assert_eq!(sweep.points.len(), SHARD_SWEEP.len());
+        for p in &sweep.points {
+            assert!(p.migrations > 0, "{} shards: no handoffs", p.shards);
+            // The protocol's contract: nothing is lost at any seam, so
+            // retention is exactly flat — 1.0 at every corridor width.
+            assert_eq!(
+                p.seam_lost_bytes, 0,
+                "{} shards lost {} bytes at seams",
+                p.shards, p.seam_lost_bytes
+            );
+            assert_eq!(p.retention, 1.0);
+        }
+        // The shim shows what the flat curve is worth: it must lose data
+        // once crossings happen, and its loss compounds with scale.
+        let naive_losses: Vec<u64> = sweep.points.iter().map(|p| p.naive_lost_bytes).collect();
+        assert!(
+            naive_losses.iter().any(|&b| b > 0),
+            "naive shim never lost a byte — the experiment is not exercising the seams"
+        );
+    }
+}

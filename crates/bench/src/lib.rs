@@ -31,6 +31,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod handoff_scaling;
 pub mod par;
 pub mod perf;
 pub mod resilience;
@@ -71,5 +72,6 @@ pub fn all_experiments() -> Vec<(&'static str, ReportFn)> {
         ("controller_resilience", controller_resilience::report),
         ("chaos", chaos::report),
         ("scaling", scaling::report),
+        ("handoff_scaling", handoff_scaling::report),
     ]
 }

@@ -327,6 +327,29 @@ impl ControllerState {
         }
     }
 
+    /// Imports the controller-side half of an inter-controller migration
+    /// record — the warm-handoff analogue of
+    /// [`ControllerState::restore_from_journal`], with the *source
+    /// controller*, not a journal or the APs, as the source of truth:
+    ///
+    /// * the client's switch epochs resume strictly above the source's
+    ///   high-water, so straggler control frames stamped in the source
+    ///   space can never alias a live generation here;
+    /// * the source's recently-seen uplink idents are re-primed under the
+    ///   client's address in *this* world, so cross-seam retransmits of
+    ///   already-delivered packets drop instead of reaching the Internet
+    ///   twice.
+    ///
+    /// Selector windows, health state, and the serving map are NOT
+    /// imported: the client re-associates through normal selection once
+    /// its first CSI lands, exactly like a resync-repaired client.
+    pub fn import_migration(&mut self, client: ClientId, epoch_max: u32, idents: &[u16]) {
+        self.engine.adopt_epoch_space(client, epoch_max);
+        for &ident in idents {
+            self.dedup.prime_key(Deduplicator::key(client, ident));
+        }
+    }
+
     /// The fan-out set for a client's downlink packets: all APs heard from
     /// within the fan-out horizon plus (always) the serving AP.
     pub fn fanout(&mut self, now: SimTime, client: ClientId) -> Vec<ApId> {
@@ -638,6 +661,24 @@ mod tests {
         assert!(!c.dedup.check_key(111));
         assert!(!c.dedup.check_key(222));
         assert!(c.dedup.check_key(333));
+    }
+
+    #[test]
+    fn migration_import_adopts_epoch_space_and_primes_idents() {
+        let mut c = ControllerState::new(SelectionConfig::default());
+        let client = ClientId(4);
+        c.import_migration(client, 7, &[10, 11]);
+        // The first epoch issued here is strictly above the source's max.
+        assert_eq!(c.engine.allocate_epoch(client), 8);
+        // Transferred idents drop as duplicates under the new address…
+        assert!(!c.dedup.check_key(Deduplicator::key(client, 10)));
+        assert!(!c.dedup.check_key(Deduplicator::key(client, 11)));
+        // …without poisoning other clients or fresh idents.
+        assert!(c.dedup.check_key(Deduplicator::key(client, 12)));
+        assert!(c.dedup.check_key(Deduplicator::key(ClientId(5), 10)));
+        // No serving entry is invented: the migrant re-associates via
+        // selection.
+        assert_eq!(c.serving(client), None);
     }
 
     #[test]

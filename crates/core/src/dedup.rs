@@ -90,6 +90,23 @@ impl Deduplicator {
         self.order.push_back(key);
     }
 
+    /// The IP idents currently remembered for `client`, oldest first.
+    ///
+    /// This is the dedup half of a client's migration record: the source
+    /// controller exports the idents it has recently seen so the
+    /// destination can [`Self::prime_key`] them under the client's new
+    /// address and drop cross-seam retransmits of already-delivered
+    /// packets. Iterating `order` (insertion order) keeps the export
+    /// deterministic regardless of hash-set layout.
+    pub fn idents_for(&self, client: ClientId) -> Vec<u16> {
+        let hi = (client.0 as u64) << 16;
+        self.order
+            .iter()
+            .filter(|&&k| k & !0xFFFF == hi)
+            .map(|&k| (k & 0xFFFF) as u16)
+            .collect()
+    }
+
     /// Packets passed through (first copies).
     pub fn passed(&self) -> u64 {
         self.passed
@@ -259,6 +276,26 @@ mod tests {
         }
         assert_eq!(d.len(), 3);
         assert!(d.check_key(7), "evicted primed key passes again");
+    }
+
+    #[test]
+    fn idents_for_exports_in_insertion_order() {
+        let mut d = Deduplicator::default();
+        let a = ClientId(3);
+        let b = ClientId(4);
+        for ident in [5u16, 2, 9] {
+            assert!(d.check_key(Deduplicator::key(a, ident)));
+        }
+        d.prime_key(Deduplicator::key(b, 5)); // other client, same ident
+        assert_eq!(d.idents_for(a), vec![5, 2, 9]);
+        assert_eq!(d.idents_for(b), vec![5]);
+        assert_eq!(d.idents_for(ClientId(99)), Vec::<u16>::new());
+        // Eviction removes exported idents like any other key.
+        let mut small = Deduplicator::new(2);
+        for ident in [1u16, 2, 3] {
+            assert!(small.check_key(Deduplicator::key(a, ident)));
+        }
+        assert_eq!(small.idents_for(a), vec![2, 3]);
     }
 
     #[test]

@@ -370,9 +370,27 @@ pub struct SystemMetrics {
     pub migrated_out: u64,
     /// Clients admitted into this world from a neighboring shard.
     pub migrated_in: u64,
-    /// Events dropped because their target client had already been
-    /// retired to another shard (in-flight stragglers at migration time).
-    pub departed_drops: u64,
+    /// Control/timer events (CSI reports, probe ticks, switch acks, …)
+    /// dropped because their target client had already been retired to
+    /// another shard. Pure bookkeeping stragglers: dropping them loses no
+    /// client data.
+    pub departed_ctrl_drops: u64,
+    /// Client *data* packets lost at a shard seam: in-flight datagrams of
+    /// a departed client that could not be forwarded to its destination
+    /// shard (non-ring corridor exit, or the naive no-transfer mode).
+    pub departed_data_drops: u64,
+    /// Wire bytes of `departed_data_drops` — charged to the retention
+    /// denominator so seam losses can't silently inflate retention.
+    pub departed_data_bytes: u64,
+    /// In-flight data packets of departed clients captured at the seam
+    /// and forwarded to the destination shard at an epoch barrier.
+    pub seam_forwarded: u64,
+    /// Residue entries (cyclic-queue tail + unacked uplink) imported from
+    /// a migration record into this world.
+    pub residue_transferred: u64,
+    /// Uplink copies dropped because the resync hold buffer was at its
+    /// `degraded_uplink_cap` (oldest-drop policy).
+    pub resync_held_overflow: u64,
 }
 
 impl SystemMetrics {
@@ -423,7 +441,12 @@ impl SystemMetrics {
             orphaned_control_dropped,
             migrated_out,
             migrated_in,
-            departed_drops,
+            departed_ctrl_drops,
+            departed_data_drops,
+            departed_data_bytes,
+            seam_forwarded,
+            residue_transferred,
+            resync_held_overflow,
         } = other;
         self.uplink_copies += uplink_copies;
         self.uplink_duplicates += uplink_duplicates;
@@ -461,7 +484,12 @@ impl SystemMetrics {
         self.orphaned_control_dropped += orphaned_control_dropped;
         self.migrated_out += migrated_out;
         self.migrated_in += migrated_in;
-        self.departed_drops += departed_drops;
+        self.departed_ctrl_drops += departed_ctrl_drops;
+        self.departed_data_drops += departed_data_drops;
+        self.departed_data_bytes += departed_data_bytes;
+        self.seam_forwarded += seam_forwarded;
+        self.residue_transferred += residue_transferred;
+        self.resync_held_overflow += resync_held_overflow;
     }
 }
 
@@ -544,14 +572,24 @@ mod tests {
         let mut b = SystemMetrics {
             uplink_copies: 4,
             migrated_in: 2,
-            departed_drops: 1,
+            departed_ctrl_drops: 1,
+            departed_data_drops: 2,
+            departed_data_bytes: 3000,
+            seam_forwarded: 4,
+            residue_transferred: 5,
+            resync_held_overflow: 6,
             ..Default::default()
         };
         b.takeovers.push((t(5), SimDuration::from_millis(6)));
         a.merge(&b);
         assert_eq!(a.uplink_copies, 7);
         assert_eq!(a.migrated_in, 2);
-        assert_eq!(a.departed_drops, 1);
+        assert_eq!(a.departed_ctrl_drops, 1);
+        assert_eq!(a.departed_data_drops, 2);
+        assert_eq!(a.departed_data_bytes, 3000);
+        assert_eq!(a.seam_forwarded, 4);
+        assert_eq!(a.residue_transferred, 5);
+        assert_eq!(a.resync_held_overflow, 6);
         assert_eq!(a.resyncs, vec![(t(1), SimDuration::from_millis(2))]);
         assert_eq!(a.takeovers, vec![(t(5), SimDuration::from_millis(6))]);
     }

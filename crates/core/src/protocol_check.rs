@@ -46,6 +46,21 @@
 //! restart-at-zero recovery, which the test suite uses to prove the
 //! checker actually catches the cross-restart aliasing family.
 //!
+//! [`CheckerConfig::max_migrations`] adds the inter-controller handoff
+//! choice pair: [`Choice::MigrateExport`] freezes the client at a lockstep
+//! barrier and exports its migration record (switch-epoch high-water,
+//! recently delivered uplink dedup keys, undelivered downlink residue);
+//! [`Choice::MigrateImport`] replays it into a fresh destination
+//! controller. The destination must resume its epoch space strictly above
+//! the record's high-water ([`ViolationKind::EpochRegression`] otherwise),
+//! re-prime the transferred keys so cross-seam retransmits of
+//! already-delivered packets drop instead of reaching the Internet twice
+//! ([`ViolationKind::CrossSeamDuplicate`]), and deliver every residue
+//! datagram ([`ViolationKind::LostResidue`]). The
+//! [`CheckerConfig::migration_naive`] shim forges the pre-handoff
+//! no-transfer admission — fresh identity, record dropped — which the test
+//! suite uses to prove the checker sees all three seam families.
+//!
 //! [`CheckerConfig::max_failovers`] adds the hot-standby choice pair:
 //! [`Choice::FailoverToStandby`] kills the primary mid-schedule and
 //! promotes a journal-fed standby under a bumped controller *term*
@@ -72,6 +87,30 @@ const CLIENT: ClientId = ClientId(7);
 /// per epoch so a stale generation's `k` is distinguishable.
 fn k_of(epoch: u32) -> u16 {
     (epoch as u16) * 10
+}
+
+/// Uplink idents the source controller delivered to the Internet before
+/// the barrier (the keys its dedup filter remembers and exports).
+const MIG_SRC_DELIVERED: [u16; 2] = [0, 1];
+
+/// Uplink idents the client retransmits after crossing the seam. Ident 1
+/// was forwarded-but-unacked at the source — the classic cross-seam
+/// duplicate unless the destination re-primes the transferred keys; ident
+/// 2 was never delivered and must pass.
+const MIG_RETRANSMITS: [u16; 2] = [1, 2];
+
+/// Downlink idents stranded in the source AP's cyclic queue at the
+/// barrier — the residue the record carries across the seam.
+const MIG_DOWN_RESIDUE: [u16; 1] = [100];
+
+/// The checker's miniature migration record: the epoch high-water, the
+/// dedup keys, and the undelivered downlink residue — the same three
+/// pieces the production `MigrationRecord` carries.
+#[derive(Debug, Clone)]
+struct MigRecord {
+    epoch_max: u32,
+    keys: Vec<u16>,
+    residue: Vec<u16>,
 }
 
 /// A checker scenario: which switches run, over how hostile a network.
@@ -117,6 +156,17 @@ pub struct CheckerConfig {
     /// and any that mutate AP state surface as
     /// [`ViolationKind::SplitBrain`].
     pub fencing: bool,
+    /// Budget of inter-controller client migrations per schedule. Each one
+    /// arms an export choice once every configured switch has resolved
+    /// (migrations happen at lockstep barriers, with no switch in flight),
+    /// followed by an import into a fresh destination controller and the
+    /// client's post-seam retransmissions.
+    pub max_migrations: u32,
+    /// `true` forges the pre-handoff no-transfer admission: the exported
+    /// record is dropped, the destination starts with a fresh identity —
+    /// the shim the test suite uses to prove the checker catches the
+    /// epoch-regression, cross-seam-duplicate, and lost-residue families.
+    pub migration_naive: bool,
     /// Hard cap on explored schedules (the DFS stops cleanly there).
     pub max_schedules: u64,
 }
@@ -135,6 +185,8 @@ impl Default for CheckerConfig {
             resync_naive: false,
             max_failovers: 0,
             fencing: true,
+            max_migrations: 0,
+            migration_naive: false,
             max_schedules: 1_000_000,
         }
     }
@@ -166,6 +218,14 @@ pub enum Choice {
     /// The dead primary's zombie wakes and re-injects its in-flight
     /// `stop`, stamped with its superseded term.
     ZombiePrimary,
+    /// Lockstep barrier, source side: freeze the client and export its
+    /// migration record (epoch high-water, dedup keys, downlink residue).
+    MigrateExport,
+    /// Lockstep barrier, destination side: admit the client into a fresh
+    /// controller, importing the record (or discarding it under the
+    /// [`CheckerConfig::migration_naive`] shim), then put the residue and
+    /// the client's post-seam retransmissions on the wire.
+    MigrateImport,
 }
 
 /// An invariant the protocol broke on some schedule.
@@ -196,6 +256,16 @@ pub enum ViolationKind {
     /// the term fence on; the `fencing = false` shim exists to show the
     /// checker sees it.
     SplitBrain,
+    /// An uplink packet the source controller had already delivered to the
+    /// Internet was delivered a second time by the destination — the
+    /// migration failed to carry the dedup keys across the seam, so the
+    /// client's post-handoff retransmit of a forwarded-but-unacked packet
+    /// reached the server twice.
+    CrossSeamDuplicate,
+    /// A downlink datagram stranded in the source AP's queue at the
+    /// barrier never reached the client through the destination — the
+    /// migration dropped the record's residue.
+    LostResidue,
 }
 
 /// One invariant violation, with the schedule that produced it.
@@ -230,6 +300,12 @@ pub struct CheckReport {
     /// Frames from a superseded controller term the AP fences dropped,
     /// summed over all schedules.
     pub term_fence_drops: u64,
+    /// Completed client migrations (export + import pairs), summed over
+    /// all schedules.
+    pub migrations: u64,
+    /// Cross-seam retransmits the destination's re-primed dedup filter
+    /// dropped, summed over all schedules — the transfer visibly working.
+    pub seam_dedup_drops: u64,
     /// Schedules cut short by budget exhaustion with a switch still in
     /// flight (bounded exploration, not a protocol wedge).
     pub incomplete: u64,
@@ -259,6 +335,14 @@ enum NetMsg {
     Ack { from_ap: usize, epoch: u32 },
     /// New controller → AP term announcement (raises the fence).
     Announce { ap: usize, term: u32 },
+    /// Client → destination controller: a post-seam uplink retransmission
+    /// (the dup window straddling the migration barrier).
+    UplinkAtDest { ident: u16 },
+    /// Destination controller → client: a transferred residue datagram
+    /// being re-delivered. Rides the barrier-serialized transfer, not the
+    /// lossy wire, so it is never a drop choice — dropping it would model
+    /// a loss the protocol cannot see and forge `LostResidue`.
+    DownAtDest { ident: u16 },
 }
 
 /// Model of one AP's per-client soft state.
@@ -300,12 +384,27 @@ struct State {
     /// no longer a pure function of the switch count once a crash can
     /// advance the space past the reported high-water mark).
     last_completed: Option<(usize, u32)>,
+    migrations_left: u32,
+    /// Record exported at the barrier, awaiting import.
+    mig_exported: Option<MigRecord>,
+    /// Whether a migration has completed (arms the terminal residue check).
+    mig_done: bool,
+    /// Residue idents the destination owes the client (from the record,
+    /// or from the discarded record under the naive shim).
+    mig_residue: Vec<u16>,
+    /// Idents the destination controller's dedup filter remembers:
+    /// transferred keys plus everything delivered post-seam.
+    dest_seen: Vec<u16>,
+    /// Residue idents actually re-delivered by the destination.
+    dest_down_delivered: Vec<u16>,
     completions: u64,
     abandons: u64,
     stale_drops: u64,
     dup_reacks: u64,
     crash_drops: u64,
     term_fence_drops: u64,
+    migrations: u64,
+    seam_dedup_drops: u64,
     trace: Vec<Choice>,
 }
 
@@ -334,12 +433,20 @@ impl State {
             failovers_left: cfg.max_failovers,
             zombie_frames: Vec::new(),
             last_completed: None,
+            migrations_left: cfg.max_migrations,
+            mig_exported: None,
+            mig_done: false,
+            mig_residue: Vec::new(),
+            dest_seen: Vec::new(),
+            dest_down_delivered: Vec::new(),
             completions: 0,
             abandons: 0,
             stale_drops: 0,
             dup_reacks: 0,
             crash_drops: 0,
             term_fence_drops: 0,
+            migrations: 0,
+            seam_dedup_drops: 0,
             trace: Vec::new(),
         };
         if let Some(&(from, _)) = cfg.switches.first() {
@@ -398,6 +505,9 @@ impl State {
                 cfg.dead_aps.contains(&ap)
             }
             NetMsg::Ack { .. } => false, // the controller is never dead here
+            // Seam legs terminate at the destination controller or the
+            // migrated client — neither is ever a dead AP.
+            NetMsg::UplinkAtDest { .. } | NetMsg::DownAtDest { .. } => false,
         };
         if !dest_dead {
             self.net.push(m);
@@ -406,14 +516,14 @@ impl State {
 
     /// All schedule choices available from this state, in a fixed order
     /// (the enumeration is deterministic).
-    fn choices(&self) -> Vec<Choice> {
+    fn choices(&self, cfg: &CheckerConfig) -> Vec<Choice> {
         let mut v = Vec::new();
         for i in 0..self.net.len() {
             v.push(Choice::Deliver(i));
             if self.dups_left > 0 {
                 v.push(Choice::Duplicate(i));
             }
-            if self.drops_left > 0 {
+            if self.drops_left > 0 && !matches!(self.net[i], NetMsg::DownAtDest { .. }) {
                 v.push(Choice::Drop(i));
             }
         }
@@ -432,6 +542,21 @@ impl State {
         }
         if !self.zombie_frames.is_empty() {
             v.push(Choice::ZombiePrimary);
+        }
+        // Migrations happen at lockstep barriers: every configured switch
+        // has resolved, nothing is in flight at the controller, and the
+        // controller is up to serialize the export.
+        if self.migrations_left > 0
+            && self.next_switch == cfg.switches.len()
+            && !self.engine.in_flight(CLIENT)
+            && !self.controller_down
+            && self.mig_exported.is_none()
+            && !self.mig_done
+        {
+            v.push(Choice::MigrateExport);
+        }
+        if self.mig_exported.is_some() {
+            v.push(Choice::MigrateImport);
         }
         v
     }
@@ -564,6 +689,49 @@ impl State {
                     self.send(cfg, m);
                 }
             }
+            Choice::MigrateExport => {
+                self.migrations_left -= 1;
+                // The record's epoch high-water is the engine counter
+                // joined with every AP guard mark — exactly what the
+                // production `retire_client` exports.
+                self.mig_exported = Some(MigRecord {
+                    epoch_max: self.engine.current_epoch(CLIENT).max(self.guard_floor()),
+                    keys: MIG_SRC_DELIVERED.to_vec(),
+                    residue: MIG_DOWN_RESIDUE.to_vec(),
+                });
+            }
+            Choice::MigrateImport => {
+                let rec = self.mig_exported.take().expect("import gated on export");
+                self.mig_residue = rec.residue.clone();
+                let mut dest = SwitchEngine::new();
+                if !cfg.migration_naive {
+                    // Adopt the source's epoch space, re-prime its dedup
+                    // keys under the client's new address, and re-enqueue
+                    // the residue for delivery.
+                    dest.resume_epochs_above(CLIENT, rec.epoch_max);
+                    self.dest_seen = rec.keys.clone();
+                    for &ident in &rec.residue {
+                        self.send(cfg, NetMsg::DownAtDest { ident });
+                    }
+                }
+                // The destination's first switch allocation: its epoch
+                // must land strictly above the record's high-water, or the
+                // reborn client's frames alias a source generation.
+                if let Some(SwitchMsg::Stop { epoch, .. }) =
+                    dest.issue(self.now, CLIENT, ApId(0), ApId(1))
+                {
+                    if epoch <= rec.epoch_max {
+                        return Err(ViolationKind::EpochRegression);
+                    }
+                }
+                // The client's post-seam retransmissions (the dup window
+                // straddling the barrier).
+                for &ident in &MIG_RETRANSMITS {
+                    self.send(cfg, NetMsg::UplinkAtDest { ident });
+                }
+                self.migrations += 1;
+                self.mig_done = true;
+            }
         }
         if self.aps.iter().filter(|a| a.serving).count() > 1 {
             return Err(ViolationKind::DualServing);
@@ -663,6 +831,29 @@ impl State {
                 // either way (`max`), so no violation can hide here.
                 self.aps[ap].term_seen = self.aps[ap].term_seen.max(term);
             }
+            NetMsg::UplinkAtDest { ident } => {
+                if self.dest_seen.contains(&ident) {
+                    // The transferred (or locally accumulated) dedup key
+                    // catches the retransmit — dropped before the
+                    // Internet sees a second copy.
+                    self.seam_dedup_drops += 1;
+                } else {
+                    self.dest_seen.push(ident);
+                    if MIG_SRC_DELIVERED.contains(&ident) {
+                        // The source already handed this ident to the
+                        // Internet; delivering it again is the exact
+                        // duplication the key transfer exists to prevent.
+                        return Err(ViolationKind::CrossSeamDuplicate);
+                    }
+                }
+            }
+            NetMsg::DownAtDest { ident } => {
+                // Residue re-delivery; the client's transport-layer seq
+                // dedup collapses duplicate copies.
+                if !self.dest_down_delivered.contains(&ident) {
+                    self.dest_down_delivered.push(ident);
+                }
+            }
             NetMsg::Ack { from_ap, epoch } => {
                 if self.controller_down {
                     // A dead controller reads nothing off the wire.
@@ -706,7 +897,16 @@ impl State {
             // wedge — the caller counts it as incomplete.
             return Ok(());
         }
-        if self.completions == cfg.switches.len() as u64 {
+        if self.mig_done {
+            // Every residue datagram the record carried must have reached
+            // the client through the destination.
+            for ident in &self.mig_residue {
+                if !self.dest_down_delivered.contains(ident) {
+                    return Err(ViolationKind::LostResidue);
+                }
+            }
+        }
+        if !cfg.switches.is_empty() && self.completions == cfg.switches.len() as u64 {
             // Everything completed and every straggler drained: exactly
             // the last switch's target serves, at the handoff index of
             // the generation that actually completed it (a crash can
@@ -750,7 +950,7 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
         report.truncated = true;
         return;
     }
-    let choices = st.choices();
+    let choices = st.choices(cfg);
     if choices.is_empty() {
         report.schedules += 1;
         report.completions += st.completions;
@@ -759,6 +959,8 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
         report.dup_reacks += st.dup_reacks;
         report.crash_drops += st.crash_drops;
         report.term_fence_drops += st.term_fence_drops;
+        report.migrations += st.migrations;
+        report.seam_dedup_drops += st.seam_dedup_drops;
         if st.engine.in_flight(CLIENT) {
             report.incomplete += 1;
         }
@@ -913,6 +1115,85 @@ mod tests {
             report.term_fence_drops > 0,
             "no schedule ever exercised the term fence"
         );
+    }
+
+    /// The full migration slice under the shipped transfer: a switch
+    /// resolves, the client crosses the seam with its record, and every
+    /// interleaving of the residue re-delivery and the straddling
+    /// retransmission window is violation-free — no epoch regression, no
+    /// cross-seam duplicate, no lost residue. The re-primed dedup filter
+    /// demonstrably fires on the forwarded-but-unacked retransmit.
+    #[test]
+    fn migration_slice_is_clean() {
+        let cfg = CheckerConfig {
+            switches: vec![(0, 1)],
+            max_migrations: 1,
+            // Duplication is the hostility under test (the dup window
+            // straddling the barrier); drops and timeouts are covered by
+            // the switch slices and only blow up the space here.
+            max_drops: 0,
+            max_timeouts: 0,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "migration transfer must be violation-free, got {:?}",
+            report.violations.first()
+        );
+        assert!(!report.truncated, "the space must be covered exhaustively");
+        assert!(report.migrations > 0, "no schedule ever migrated");
+        assert!(
+            report.seam_dedup_drops > 0,
+            "no schedule ever exercised the transferred dedup keys"
+        );
+    }
+
+    /// The naive shim admits the migrant with a fresh epoch space; its
+    /// first allocation lands at or below the source's high-water, which
+    /// the checker flags as the cross-seam epoch-regression family.
+    #[test]
+    fn naive_migration_epoch_regression_is_caught() {
+        let cfg = CheckerConfig {
+            switches: vec![(0, 1)],
+            max_migrations: 1,
+            migration_naive: true,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::EpochRegression),
+            "expected EpochRegression among {:?}",
+            report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+        );
+    }
+
+    /// With no prior switches the naive shim's fresh epoch space happens
+    /// not to regress — which exposes the two data-plane families: the
+    /// un-primed destination delivers the already-delivered retransmit
+    /// twice, and the discarded record's residue never arrives.
+    #[test]
+    fn naive_migration_loses_and_duplicates() {
+        let cfg = CheckerConfig {
+            switches: vec![],
+            max_migrations: 1,
+            migration_naive: true,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        for kind in [
+            ViolationKind::CrossSeamDuplicate,
+            ViolationKind::LostResidue,
+        ] {
+            assert!(
+                report.violations.iter().any(|v| v.kind == kind),
+                "expected {kind:?} among {:?}",
+                report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+            );
+        }
     }
 
     /// The same failover space with the term fence forged away: the

@@ -85,7 +85,28 @@ pub struct ShardedScenario {
     /// Per-shard fault schedules (empty = no faults anywhere; otherwise
     /// exactly one entry per shard).
     pub shard_faults: Vec<FaultSchedule>,
+    /// `true` disables the inter-controller migration protocol: migrants
+    /// are admitted with a fresh identity and the exported record is
+    /// counted as seam loss. This is the pre-handoff behaviour, kept as a
+    /// measurable shim — experiments and tests compare it against the real
+    /// transfer to show what the isolation gap was hiding.
+    pub naive_handoff: bool,
 }
+
+/// A [`ShardedScenario`] that cannot run: the geometry or fault wiring is
+/// inconsistent. Produced by [`ShardedScenario::validate`] so callers fail
+/// at construction with a message naming the offending values, instead of
+/// panicking deep inside `safe_epoch` at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 impl ShardedScenario {
     /// A ring corridor with the given shape and bulk downlink UDP per
@@ -117,24 +138,51 @@ impl ShardedScenario {
             epoch: None,
             ring: true,
             shard_faults: Vec::new(),
+            naive_handoff: false,
         }
     }
 
+    /// Checks the scenario for consistency. [`run_sharded`] calls this on
+    /// entry; callers building scenarios programmatically should call it
+    /// at construction so a bad geometry is reported where it was written.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.shards < 1 {
+            return Err(ScenarioError("need at least one shard".into()));
+        }
+        if self.gap_m <= self.entry_lead_m {
+            return Err(ScenarioError(format!(
+                "inter-shard gap ({} m) must exceed the entry lead ({} m): \
+                 the guard distance gap − lead bounds how far a vehicle can \
+                 overshoot the boundary before a barrier catches it, and a \
+                 non-positive guard admits no safe epoch",
+                self.gap_m, self.entry_lead_m
+            )));
+        }
+        if !self.shard_faults.is_empty() && self.shard_faults.len() != self.shards {
+            return Err(ScenarioError(format!(
+                "shard_faults must be empty or provide one schedule per \
+                 shard (got {} schedules for {} shards)",
+                self.shard_faults.len(),
+                self.shards
+            )));
+        }
+        Ok(())
+    }
+
     /// The derived safe epoch: `min(50 ms, (gap − lead) / 2v)` (see the
-    /// module docs for why). Panics if the gap is too small to give any
-    /// positive guard time.
+    /// module docs for why). The guard distance is positive for any
+    /// scenario that passes [`Self::validate`]; an invalid geometry
+    /// re-raises that validation error here rather than dividing by a
+    /// non-positive guard.
     pub fn safe_epoch(&self) -> SimDuration {
         if let Some(e) = self.epoch {
             return e;
         }
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
         let v = mph_to_mps(self.mph).max(0.1);
         let guard_m = self.gap_m - self.entry_lead_m;
-        assert!(
-            guard_m > 0.0,
-            "inter-shard gap ({} m) must exceed the entry lead ({} m)",
-            self.gap_m,
-            self.entry_lead_m
-        );
         EPOCH_CAP.min(SimDuration::from_secs_f64(guard_m / (2.0 * v)))
     }
 }
@@ -218,11 +266,18 @@ impl ShardedRunResult {
             let _ = write!(mig, "[{},{},{}],", m.at.as_nanos(), m.from, m.to);
         }
         format!(
-            "{{\"events\":{},\"migrations\":[{}],\"shards\":[{}],\"departed_drops\":{}}}",
+            "{{\"events\":{},\"migrations\":[{}],\"shards\":[{}],\
+             \"departed_ctrl_drops\":{},\"departed_data_drops\":{},\
+             \"departed_data_bytes\":{},\"seam_forwarded\":{},\
+             \"residue_transferred\":{}}}",
             self.events,
             mig.trim_end_matches(','),
             per_shard,
-            self.sys.departed_drops,
+            self.sys.departed_ctrl_drops,
+            self.sys.departed_data_drops,
+            self.sys.departed_data_bytes,
+            self.sys.seam_forwarded,
+            self.sys.residue_transferred,
         )
     }
 }
@@ -245,11 +300,9 @@ fn shard_seed(root: u64, shard: usize) -> u64 {
 /// byte-identical [`ShardedRunResult::fingerprint`] — enforced by the
 /// `lockstep_determinism` suite and the CI worker matrix.
 pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResult {
-    assert!(scenario.shards >= 1, "need at least one shard");
-    assert!(
-        scenario.shard_faults.is_empty() || scenario.shard_faults.len() == scenario.shards,
-        "shard_faults must be empty or provide one schedule per shard"
-    );
+    if let Err(e) = scenario.validate() {
+        panic!("{e}");
+    }
     let dep = scenario.config.deployment.build();
     let (lo, hi) = dep.extent();
     let lane_y = dep.lane_near_y;
@@ -314,7 +367,13 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
     let mut migrations: Vec<Migration> = Vec::new();
     let n = scenario.shards;
     let ring = scenario.ring;
+    let naive = scenario.naive_handoff;
     let flows = scenario.flows.clone();
+    // Persistent routing table: (shard, retired local index) → (shard,
+    // local index) of the client's next hop. Seam datagrams captured after
+    // a client left follow this chain to wherever it currently lives.
+    let mut route: Vec<std::collections::HashMap<usize, (usize, usize)>> =
+        vec![std::collections::HashMap::new(); n];
     let started = std::time::Instant::now();
     drive(
         &mut shards,
@@ -334,8 +393,12 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                     }
                 }
             }
-            // Apply serially in staging order: retire at the source, admit
-            // at the destination with the position translated exactly.
+            // Apply serially in staging order: retire at the source —
+            // exporting the client's migration record — and admit at the
+            // destination with the position translated exactly and the
+            // record imported, so switch epochs resume above the source's
+            // high-water, recent dedup keys stay primed across the seam,
+            // and the undelivered residue is re-enqueued instead of lost.
             for (from, c) in staged {
                 let to = if from + 1 < n {
                     from + 1
@@ -348,23 +411,70 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                     let w = shards[from].sim.world();
                     w.clients[c].position(now).x - exit_x
                 };
-                shards[from].sim.world_mut().retire_client(c, now);
+                let rec = shards[from].sim.world_mut().retire_client(c, now);
                 if to != usize::MAX {
                     let spec = MigrantSpec {
                         entry_x: lo - scenario.entry_lead_m + overshoot,
                         lane_y,
                         speed_mps: speed,
-                        flows: if now < traffic_until {
-                            flows.clone()
-                        } else {
-                            Vec::new()
-                        },
+                        flows: flows.clone(),
                         log_deliveries: false,
                     };
-                    let local = shards[to].sim.world_mut().admit_migrant(&spec, now);
+                    let record = if naive { None } else { Some(&rec) };
+                    let local = shards[to].sim.world_mut().admit_migrant(&spec, record, now);
                     prime_migrant_events(&mut shards[to].sim, local);
+                    route[from].insert(c, (to, local));
+                    if naive {
+                        // The shim throws the record away; charge its
+                        // residue as seam loss at the source.
+                        shards[from]
+                            .sim
+                            .world_mut()
+                            .count_seam_loss(rec.residue.len() as u64, rec.residue_bytes());
+                    }
+                } else {
+                    // Corridor exit: nothing to hand the record to.
+                    shards[from]
+                        .sim
+                        .world_mut()
+                        .count_seam_loss(rec.residue.len() as u64, rec.residue_bytes());
                 }
                 migrations.push(Migration { at: now, from, to });
+            }
+            // Forward seam outboxes: datagrams that reached a shard after
+            // their client had already left (downlink still in flight
+            // through the backhaul, late uplink copies, unacked-requeue
+            // spill). Drained ascending (shard, client), routed along the
+            // migration chain to the client's current residence.
+            for from in 0..n {
+                let drained = shards[from].sim.world_mut().drain_outbox();
+                for (c, entries) in drained {
+                    let (mut s, mut lc) = (from, c);
+                    while let Some(&(ns, nc)) = route[s].get(&lc) {
+                        s = ns;
+                        lc = nc;
+                    }
+                    if naive || (s == from && lc == c) {
+                        // No destination (corridor exit) or the shim is
+                        // active: the datagrams die at the seam.
+                        let bytes: u64 = entries
+                            .iter()
+                            .map(|e| e.payload.packet().len_bytes as u64)
+                            .sum();
+                        shards[from]
+                            .sim
+                            .world_mut()
+                            .count_seam_loss(entries.len() as u64, bytes);
+                        continue;
+                    }
+                    if shards[s].sim.world_mut().deposit_seam(lc, entries) {
+                        // Already associated — the first-association flush
+                        // has run; schedule an explicit re-injection.
+                        shards[s]
+                            .sim
+                            .schedule_at(now, crate::world::Ev::MigrantFlush { client: lc });
+                    }
+                }
             }
         },
     );
@@ -444,6 +554,85 @@ mod tests {
             .migrations
             .iter()
             .any(|m| m.from == 1 && m.to == usize::MAX));
+    }
+
+    #[test]
+    fn validate_checks_both_sides_of_the_guard_boundary() {
+        // Just above the lead: a positive guard distance exists → valid.
+        let mut ok = tiny();
+        ok.gap_m = 4.5;
+        ok.entry_lead_m = 4.0;
+        assert!(ok.validate().is_ok());
+        assert!(ok.safe_epoch() > SimDuration::ZERO);
+        // Equal: zero guard → rejected with both values in the message.
+        let mut eq = tiny();
+        eq.gap_m = 4.0;
+        eq.entry_lead_m = 4.0;
+        let err = eq.validate().unwrap_err().to_string();
+        assert!(err.contains("gap (4 m)"), "message names the gap: {err}");
+        assert!(
+            err.contains("entry lead (4 m)"),
+            "message names the lead: {err}"
+        );
+        // Below: negative guard → rejected too.
+        let mut neg = tiny();
+        neg.gap_m = 2.0;
+        neg.entry_lead_m = 4.0;
+        assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed the entry lead")]
+    fn safe_epoch_reports_invalid_geometry_descriptively() {
+        let mut s = tiny();
+        s.gap_m = 1.0;
+        s.entry_lead_m = 4.0;
+        let _ = s.safe_epoch();
+    }
+
+    #[test]
+    fn mismatched_fault_schedules_are_rejected() {
+        let mut s = tiny();
+        s.shard_faults = vec![FaultSchedule::new()]; // 1 schedule, 2 shards
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("1 schedules for 2 shards"), "{err}");
+    }
+
+    #[test]
+    fn migration_transfers_residue_where_naive_handoff_loses_it() {
+        // Real transfer: every datagram caught mid-flight at a boundary
+        // crossing is re-enqueued at the destination — zero seam loss.
+        let real = run_sharded(&tiny(), 1);
+        assert!(
+            real.sys.residue_transferred > 0,
+            "a 2 Mbit/s stream crossing a boundary must strand some backlog"
+        );
+        assert_eq!(
+            real.sys.departed_data_drops, 0,
+            "the migration protocol must not lose seam datagrams"
+        );
+        assert_eq!(real.sys.departed_data_bytes, 0);
+        // The naive shim (pre-handoff behaviour): the same crossings drop
+        // the record, and the loss is now visible in the metrics instead
+        // of hidden by the isolation gap.
+        let mut shim = tiny();
+        shim.naive_handoff = true;
+        let naive = run_sharded(&shim, 1);
+        assert!(
+            naive.sys.departed_data_drops > 0,
+            "the no-transfer shim must show the seam loss it causes"
+        );
+        assert!(naive.sys.departed_data_bytes > 0);
+        assert_eq!(naive.sys.residue_transferred, 0);
+    }
+
+    #[test]
+    fn naive_fingerprint_is_worker_count_invariant_too() {
+        let mut s = tiny();
+        s.naive_handoff = true;
+        let reference = run_sharded(&s, 1).fingerprint();
+        let got = run_sharded(&s, 2).fingerprint();
+        assert_eq!(reference, got);
     }
 
     #[test]

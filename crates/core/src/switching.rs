@@ -328,6 +328,22 @@ impl SwitchEngine {
         *e = (*e).max(floor);
     }
 
+    /// Imports a migrated client's epoch floor into this controller's
+    /// space. The destination of an inter-controller handoff must resume
+    /// strictly above every generation the source engine ever allocated
+    /// *and* every generation any source AP guard witnessed — otherwise a
+    /// straggler control frame stamped in the source space could alias a
+    /// live generation here and re-arm the ABA hazard across the seam.
+    /// The migrated client has no pending switch by construction (the
+    /// source freezes it at the barrier before exporting).
+    pub fn adopt_epoch_space(&mut self, client: ClientId, floor: u32) {
+        debug_assert!(
+            !self.in_flight(client),
+            "imported client {client} still has a pending switch"
+        );
+        self.resume_epochs_above(client, floor);
+    }
+
     /// The retransmission timeout.
     pub fn timeout(&self) -> SimDuration {
         self.timeout

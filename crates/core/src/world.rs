@@ -152,6 +152,107 @@ pub struct MigrantSpec {
     pub log_deliveries: bool,
 }
 
+/// One in-flight or queued datagram crossing a shard seam, tagged with
+/// where in the pipeline it was captured so the destination world can
+/// re-inject it at the equivalent stage. The packet's `client`/`flow`
+/// ids are in whichever world's space the containing collection says
+/// ([`MigrationRecord`] = source ordinals, `pending_import` = already
+/// rewritten to the destination).
+#[derive(Debug, Clone)]
+pub enum SeamPayload {
+    /// Server→client datagram: cyclic-queue residue or an in-flight copy
+    /// captured between server, controller, and AP. Re-injected at the
+    /// destination controller (fresh index assignment, fresh fan-out);
+    /// the client's per-flow sequence dedup collapses overlapping copies.
+    Downlink(Packet),
+    /// Client→controller copy an AP had already forwarded. Re-injected at
+    /// the destination dedup filter, where a transferred primed key drops
+    /// it if the source controller already delivered it.
+    UplinkCopy(Packet),
+    /// An unacknowledged entry from the client's own uplink queue, with
+    /// its link-layer retry count (the health state of the transfer). The
+    /// destination re-enqueues it for transmission under a fresh 802.11
+    /// sequence.
+    UplinkQueued(Packet, u32),
+    /// A deduplicated uplink datagram already past the controller, caught
+    /// mid-flight to the server. Re-injected at the destination server.
+    ServerBound(Packet),
+}
+
+impl SeamPayload {
+    /// The carried packet.
+    pub fn packet(&self) -> &Packet {
+        match self {
+            SeamPayload::Downlink(p)
+            | SeamPayload::UplinkCopy(p)
+            | SeamPayload::UplinkQueued(p, _)
+            | SeamPayload::ServerBound(p) => p,
+        }
+    }
+
+    fn packet_mut(&mut self) -> &mut Packet {
+        match self {
+            SeamPayload::Downlink(p)
+            | SeamPayload::UplinkCopy(p)
+            | SeamPayload::UplinkQueued(p, _)
+            | SeamPayload::ServerBound(p) => p,
+        }
+    }
+}
+
+/// One migration-record residue entry: a seam datagram plus the ordinal
+/// of its flow *within the client's flow list* (flow ids differ between
+/// worlds; the ordinal is the invariant both sides agree on because the
+/// barrier re-attaches the same flow list in the same order).
+#[derive(Debug, Clone)]
+pub struct SeamEntry {
+    /// Position of the packet's flow in the client's flow list.
+    pub ordinal: usize,
+    /// The datagram and its capture stage.
+    pub payload: SeamPayload,
+}
+
+/// Everything the destination controller needs to resume a migrated
+/// client without losing or double-delivering a datagram across the
+/// seam — the inter-controller handoff record (ROADMAP item 2; the
+/// crash-PR resync machinery is its intellectual seed).
+#[derive(Debug, Clone, Default)]
+pub struct MigrationRecord {
+    /// Switch-epoch high-water at the source: the engine's allocation
+    /// counter joined with every AP guard mark for the client. The
+    /// destination resumes strictly above this.
+    pub epoch_max: u32,
+    /// The IP ident the client's next packet would have carried at the
+    /// source. Continuing the stream keeps fresh destination idents from
+    /// colliding with the transferred dedup keys below.
+    pub next_ident: u16,
+    /// IP idents of this client's uplink packets the source controller
+    /// recently saw, oldest first — re-primed at the destination so a
+    /// cross-seam retransmit of a delivered packet drops instead of
+    /// reaching the Internet twice.
+    pub dedup_idents: Vec<u16>,
+    /// Per-flow next CBR sequence numbers, in flow-ordinal order. The
+    /// destination's re-attached sources resume here so the client sink's
+    /// sequence space stays monotone across the seam.
+    pub flow_seqs: Vec<u64>,
+    /// Undelivered datagrams: the serving AP's cyclic-queue tail (in
+    /// index order), the client's unacked uplink queue (oldest first),
+    /// and any seam datagrams still awaiting re-injection from a previous
+    /// hop. The destination re-enqueues all of it.
+    pub residue: Vec<SeamEntry>,
+}
+
+impl MigrationRecord {
+    /// Total wire bytes of the residue (for loss accounting when a record
+    /// cannot be delivered — corridor exit or naive-handoff mode).
+    pub fn residue_bytes(&self) -> u64 {
+        self.residue
+            .iter()
+            .map(|e| e.payload.packet().len_bytes as u64)
+            .sum()
+    }
+}
+
 /// A downlink traffic flow at the server.
 pub enum FlowKind {
     /// Constant-bit-rate UDP toward the client.
@@ -319,6 +420,11 @@ pub enum Ev {
     /// Fault injection: the controller restarts blank and broadcasts
     /// `Resync` to every reachable AP.
     ControllerRecover,
+    /// Re-inject seam datagrams deposited after a migrant's first
+    /// association (outbox forwards from a later lockstep barrier). The
+    /// sharding layer schedules this at the barrier instant; worlds never
+    /// emit it themselves.
+    MigrantFlush { client: usize },
     /// Post-reboot `Resync` broadcast arrives at an AP, stamped with the
     /// issuing controller's term (a zombie's stale term is fenced here).
     ResyncAtAp { ap: usize, term: u32 },
@@ -431,6 +537,18 @@ pub struct WgttWorld {
     /// All-false in unsharded runs, where every guard on it is a no-op and
     /// the engine stays bit-identical to the pre-sharding code.
     pub(crate) departed: Vec<bool>,
+    /// Dense by client index: seam datagrams of a *departed* client,
+    /// captured by the event guard instead of dropped. Drained by the
+    /// sharding layer at the next lockstep barrier and forwarded to the
+    /// client's destination shard. Always empty in unsharded runs.
+    pub(crate) outbox: Vec<Vec<SeamPayload>>,
+    /// Dense by client index: imported seam datagrams (already rewritten
+    /// into this world's id space) waiting for the migrant's first
+    /// association — re-injecting before the controller has a fan-out set
+    /// would silently drop them. Flushed by the selection tick the moment
+    /// the client associates, or by `Ev::MigrantFlush` for later barriers.
+    /// Always empty in unsharded runs.
+    pending_import: Vec<Vec<SeamPayload>>,
     rng: SimRng,
     /// Transmissions on the air, sorted by tx id (ids are monotone, so
     /// inserts append and the order never needs repair). Steady-state
@@ -564,6 +682,8 @@ impl WgttWorld {
             pending_failover: vec![None; n_clients],
             last_oracle: vec![None; n_clients],
             departed: vec![false; n_clients],
+            outbox: vec![Vec::new(); n_clients],
+            pending_import: vec![Vec::new(); n_clients],
             rng: root.fork("world"),
             in_flight: Vec::new(),
             next_tx_id: 0,
@@ -617,25 +737,109 @@ impl WgttWorld {
         !self.departed[c]
     }
 
-    /// Retires a client that crossed this shard's boundary: every piece of
-    /// live protocol state referencing it — client queues, per-AP
-    /// association slots, controller maps, the pending-switch engine — is
-    /// dropped, and `departed[c]` starts eating the in-flight events that
-    /// still name it. The client's metrics stay in place (they belong to
-    /// this shard's leg of the journey); the slab itself is never removed,
-    /// so no other client's index shifts.
+    /// Flow ids belonging to client `c`, in ascending registration order —
+    /// the ordinal space both sides of a migration agree on.
+    fn client_flow_ids(&self, c: usize) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|f| f.client == c)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// The AP holding the authoritative cyclic queue for `client` — the
+    /// serving AP, or under a frozen mid-switch the freshest claimant by
+    /// the same total order the resync reconstruction uses (newest applied
+    /// `start`, newest guard epoch, lowest AP id). Fan-out copies on other
+    /// APs are already counted as sent and would only re-deliver
+    /// duplicates, so only this AP's tail is exported as residue.
+    fn best_claimant_ap(&self, client: ClientId) -> Option<usize> {
+        (0..self.aps.len())
+            .filter(|&a| self.aps[a].client(client).is_some())
+            .max_by_key(|&a| {
+                let st = self.aps[a].client(client).expect("filtered above");
+                (
+                    st.serving,
+                    st.guard.start_applied(),
+                    st.guard.latest(),
+                    std::cmp::Reverse(a),
+                )
+            })
+    }
+
+    /// Retires a client that crossed this shard's boundary and exports its
+    /// [`MigrationRecord`]: switch-epoch high-water (engine counter joined
+    /// with every AP guard mark), the next IP ident, the dedup filter's
+    /// recent idents, per-flow CBR sequence positions, and the undelivered
+    /// residue — the best claimant AP's cyclic tail, the client's unacked
+    /// uplink queue, and any not-yet-flushed seam imports from a previous
+    /// hop. After export every piece of live protocol state referencing
+    /// the client — per-AP association slots, controller maps, the
+    /// pending-switch engine — is dropped, and `departed[c]` routes the
+    /// in-flight events that still name it into the seam outbox instead of
+    /// the void. The client's metrics stay in place (they belong to this
+    /// shard's leg of the journey); the slab itself is never removed, so
+    /// no other client's index shifts.
     ///
     /// Only called at lockstep barriers; no event handler retires clients,
-    /// so within an epoch residency is constant.
-    pub fn retire_client(&mut self, c: usize, now: SimTime) {
+    /// so within an epoch residency is constant and the export is a
+    /// deterministic function of the barrier-instant world state.
+    pub fn retire_client(&mut self, c: usize, now: SimTime) -> MigrationRecord {
         assert!(!self.departed[c], "client {c} retired twice");
         self.departed[c] = true;
         self.sys.migrated_out += 1;
         let id = ClientId(c as u32);
+        let flow_ids = self.client_flow_ids(c);
+        let ordinal_of = |flow: FlowId| flow_ids.iter().position(|&f| f == flow).unwrap_or(0);
+
+        let mut rec = MigrationRecord {
+            epoch_max: self.ctrl.engine.current_epoch(id),
+            next_ident: self.factory.peek_ident(id),
+            dedup_idents: self.ctrl.dedup.idents_for(id),
+            ..MigrationRecord::default()
+        };
+        for ap in &self.aps {
+            if let Some(st) = ap.client(id) {
+                rec.epoch_max = rec.epoch_max.max(st.guard.latest());
+            }
+        }
+        for &fid in &flow_ids {
+            rec.flow_seqs.push(match &self.flows[fid.0 as usize].kind {
+                FlowKind::DownUdp(s) | FlowKind::UpUdp(s) => s.next_seq(),
+                FlowKind::DownTcp(_) => 0, // TCP flows do not migrate (v1)
+            });
+        }
+        // Downlink residue: drain the authoritative cyclic tail, in index
+        // order (pop_head walks head → tail past delivery gaps).
+        if let Some(best) = self.best_claimant_ap(id) {
+            if let Some(st) = self.aps[best].client_get_mut(id) {
+                while let Some(p) = st.cyclic.pop_head() {
+                    rec.residue.push(SeamEntry {
+                        ordinal: ordinal_of(p.flow),
+                        payload: SeamPayload::Downlink(p),
+                    });
+                }
+            }
+        }
+        // Uplink residue: the client's own unacked queue, oldest first,
+        // carrying link-layer retry counts (the health state).
         let cl = &mut self.clients[c];
         cl.serving = None;
-        cl.uplink_queue.clear();
         cl.metrics.record_assoc(now, None);
+        for e in cl.uplink_queue.drain(..) {
+            rec.residue.push(SeamEntry {
+                ordinal: ordinal_of(e.packet.flow),
+                payload: SeamPayload::UplinkQueued(e.packet, e.retries),
+            });
+        }
+        // Seam datagrams imported on a previous hop but never flushed (the
+        // client crossed again before associating): they ride along.
+        for payload in std::mem::take(&mut self.pending_import[c]) {
+            rec.residue.push(SeamEntry {
+                ordinal: ordinal_of(payload.packet().flow),
+                payload,
+            });
+        }
         for ap in &mut self.aps {
             if let Some(slot) = ap.clients.get_mut(c) {
                 *slot = None;
@@ -648,6 +852,7 @@ impl WgttWorld {
         self.pending_reattach[c] = None;
         self.pending_failover[c] = None;
         self.last_oracle[c] = None;
+        rec
     }
 
     /// Admits a migrant from a neighboring shard as a brand-new resident
@@ -661,8 +866,21 @@ impl WgttWorld {
     /// Association is not carried over — the client attaches through the
     /// normal probe → CSI → selection pipeline, which models a handoff
     /// between independently-controlled clusters (ROADMAP item 2's
-    /// multi-controller split).
-    pub fn admit_migrant(&mut self, spec: &MigrantSpec, now: SimTime) -> usize {
+    /// multi-controller split). Protocol identity *is* carried over when a
+    /// [`MigrationRecord`] is supplied: switch epochs resume strictly
+    /// above the source's high-water, the source's recent dedup idents are
+    /// re-primed under the new address, the IP-ident and per-flow CBR
+    /// sequence streams continue where the source left them, and the
+    /// undelivered residue is parked in `pending_import` until the first
+    /// association re-injects it. Passing `None` is the naive no-transfer
+    /// handoff (fresh identity, residue lost) kept for the loss-accounting
+    /// shim.
+    pub fn admit_migrant(
+        &mut self,
+        spec: &MigrantSpec,
+        record: Option<&MigrationRecord>,
+        now: SimTime,
+    ) -> usize {
         let c = self.clients.len();
         let ordinal = self.sys.migrated_in;
         self.sys.migrated_in += 1;
@@ -694,6 +912,8 @@ impl WgttWorld {
         self.pending_failover.push(None);
         self.last_oracle.push(None);
         self.departed.push(false);
+        self.outbox.push(Vec::new());
+        self.pending_import.push(Vec::new());
         for f in &spec.flows {
             let kind = if f.uplink {
                 FlowKind::UpUdp(CbrSource::new(f.rate_bps, f.payload, now))
@@ -703,7 +923,186 @@ impl WgttWorld {
             let fidx = self.add_flow(c, kind);
             self.flows[fidx].start = now;
         }
+        if let Some(rec) = self.import_record(c, record) {
+            self.pending_import[c] = rec;
+        }
         c
+    }
+
+    /// Applies the controller-and-stream half of a migration record to the
+    /// freshly admitted client `c` and returns its residue rewritten into
+    /// this world's id space (ready for `pending_import`). `None` record —
+    /// the naive no-transfer mode — returns `None` and leaves the fresh
+    /// identity untouched.
+    fn import_record(
+        &mut self,
+        c: usize,
+        record: Option<&MigrationRecord>,
+    ) -> Option<Vec<SeamPayload>> {
+        let rec = record?;
+        let id = ClientId(c as u32);
+        self.factory.resume_ident(id, rec.next_ident);
+        self.ctrl
+            .import_migration(id, rec.epoch_max, &rec.dedup_idents);
+        let flow_ids = self.client_flow_ids(c);
+        for (ordinal, &seq) in rec.flow_seqs.iter().enumerate() {
+            if let Some(&fid) = flow_ids.get(ordinal) {
+                match &mut self.flows[fid.0 as usize].kind {
+                    FlowKind::DownUdp(s) | FlowKind::UpUdp(s) => s.resume_seq(seq),
+                    FlowKind::DownTcp(_) => {}
+                }
+            }
+        }
+        let mut imported = Vec::with_capacity(rec.residue.len());
+        for entry in &rec.residue {
+            match flow_ids.get(entry.ordinal) {
+                Some(&fid) => {
+                    let mut payload = entry.payload.clone();
+                    let p = payload.packet_mut();
+                    p.client = id;
+                    p.flow = fid;
+                    // Downlink indices are allocator-scoped; the
+                    // destination controller assigns fresh ones.
+                    p.index = None;
+                    self.sys.residue_transferred += 1;
+                    imported.push(payload);
+                }
+                None => {
+                    // No matching flow at the destination (traffic window
+                    // closed): the datagram has nowhere to land.
+                    self.sys.departed_data_drops += 1;
+                    self.sys.departed_data_bytes += entry.payload.packet().len_bytes as u64;
+                }
+            }
+        }
+        Some(imported)
+    }
+
+    /// Drains every departed client's seam outbox, in ascending client
+    /// order, resolving each datagram's flow to its ordinal (the flow
+    /// list survives retirement, so the mapping is still available). The
+    /// sharding layer calls this at each lockstep barrier and forwards the
+    /// entries to each client's destination shard.
+    pub fn drain_outbox(&mut self) -> Vec<(usize, Vec<SeamEntry>)> {
+        let mut out = Vec::new();
+        for c in 0..self.outbox.len() {
+            if self.outbox[c].is_empty() {
+                continue;
+            }
+            let flow_ids = self.client_flow_ids(c);
+            let entries: Vec<SeamEntry> = std::mem::take(&mut self.outbox[c])
+                .into_iter()
+                .map(|payload| SeamEntry {
+                    ordinal: flow_ids
+                        .iter()
+                        .position(|&f| f == payload.packet().flow)
+                        .unwrap_or(0),
+                    payload,
+                })
+                .collect();
+            out.push((c, entries));
+        }
+        out
+    }
+
+    /// Deposits late seam datagrams (outbox forwards from a barrier after
+    /// the client's admission) into its pending-import buffer, rewritten
+    /// into this world's id space. Returns `true` if the client is already
+    /// associated — the caller must then schedule an [`Ev::MigrantFlush`]
+    /// to re-inject them, since the first-association hook has already
+    /// run.
+    pub fn deposit_seam(&mut self, c: usize, entries: Vec<SeamEntry>) -> bool {
+        let id = ClientId(c as u32);
+        let flow_ids = self.client_flow_ids(c);
+        for entry in entries {
+            match flow_ids.get(entry.ordinal) {
+                Some(&fid) => {
+                    let mut payload = entry.payload;
+                    let p = payload.packet_mut();
+                    p.client = id;
+                    p.flow = fid;
+                    p.index = None;
+                    self.sys.seam_forwarded += 1;
+                    self.pending_import[c].push(payload);
+                }
+                None => {
+                    self.sys.departed_data_drops += 1;
+                    self.sys.departed_data_bytes += entry.payload.packet().len_bytes as u64;
+                }
+            }
+        }
+        self.clients[c].serving.is_some()
+    }
+
+    /// Counts a migration record (or outbox batch) that could not be
+    /// delivered to any destination — corridor exit or naive-handoff mode.
+    /// Every residue datagram is a seam data loss, charged in packets and
+    /// wire bytes so retention accounting sees it.
+    pub fn count_seam_loss(&mut self, packets: u64, bytes: u64) {
+        self.sys.departed_data_drops += packets;
+        self.sys.departed_data_bytes += bytes;
+    }
+
+    /// Captures a data event addressed to a departed client into its seam
+    /// outbox. Downlink fan-out means the same datagram can arrive as
+    /// several events (one `PacketAtAp` per fan-out AP, plus the original
+    /// `PacketAtController` leg); the `(flow, ip_ident)` pair identifies
+    /// the datagram uniquely within a client, so later copies collapse
+    /// into the first rather than multiplying across the seam.
+    fn capture_seam(&mut self, c: usize, payload: SeamPayload) {
+        if matches!(payload, SeamPayload::Downlink(_)) {
+            let p = payload.packet();
+            let dup = self.outbox[c].iter().any(|q| {
+                matches!(q, SeamPayload::Downlink(_))
+                    && q.packet().flow == p.flow
+                    && q.packet().ip_ident == p.ip_ident
+            });
+            if dup {
+                return;
+            }
+        }
+        self.outbox[c].push(payload);
+    }
+
+    /// Re-injects a migrant's imported seam datagrams at their pipeline
+    /// stages. Called at the client's first association (when the
+    /// controller gains a fan-out set for it) and again by
+    /// [`Ev::MigrantFlush`] for deposits arriving at later barriers.
+    /// Duplication safety does not depend on injection order: downlink
+    /// copies collapse at the client sink's sequence filter, uplink copies
+    /// at the controller's (transferred) dedup keys.
+    fn flush_seam(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.pending_import[c].is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.pending_import[c]);
+        for payload in entries {
+            match payload {
+                SeamPayload::Downlink(p) => self.on_packet_at_controller(ctx, p),
+                SeamPayload::UplinkCopy(p) => {
+                    // The forwarding AP's identity died with the source
+                    // world; the dedup filter only keys on the packet.
+                    self.on_uplink_copy(ctx, 0, p)
+                }
+                SeamPayload::ServerBound(p) => self.on_packet_at_server(ctx, p),
+                SeamPayload::UplinkQueued(p, retries) => {
+                    let cl = &mut self.clients[c];
+                    cl.enqueue_uplink(p);
+                    if let Some(e) = cl.uplink_queue.back_mut() {
+                        e.retries = retries;
+                    }
+                }
+            }
+        }
+        self.ensure_round(ctx);
+    }
+
+    /// Handles [`Ev::MigrantFlush`]: re-inject if the client associated
+    /// before the deposit; otherwise the first-association hook will.
+    fn on_migrant_flush(&mut self, ctx: &mut Ctx<'_, Ev>, c: usize) {
+        if self.clients[c].serving.is_some() {
+            self.flush_seam(ctx, c);
+        }
     }
 
     // ---------- helpers ----------
@@ -1941,6 +2340,10 @@ impl WgttWorld {
                         self.clients[c].metrics.record_assoc(now, Some(target));
                         self.ctrl.selector_mut(client).record_switch(now);
                         self.resolve_failover(c, now);
+                        // A migrant's imported seam residue waited for this
+                        // moment: the controller now has a fan-out set, so
+                        // re-injection can't silently drop.
+                        self.flush_seam(ctx, c);
                         self.ensure_round(ctx);
                     }
                     Some(cur) => {
@@ -3008,7 +3411,15 @@ impl WgttWorld {
                         successes += 1;
                     } else {
                         e.retries += 1;
-                        if e.retries <= UPLINK_RETRY_LIMIT {
+                        if e.retries > UPLINK_RETRY_LIMIT {
+                            continue;
+                        }
+                        if self.departed[c] {
+                            // The burst spanned a retirement barrier: the
+                            // unacked datagram crosses the seam instead of
+                            // re-queueing on the wiped client.
+                            self.outbox[c].push(SeamPayload::UplinkQueued(e.packet, e.retries));
+                        } else {
                             self.clients[c].uplink_queue.push_front(e);
                         }
                     }
@@ -3024,7 +3435,12 @@ impl WgttWorld {
                 cl.ratectl.on_tx_result(now, mcs, false);
                 for mut e in entries.into_iter().rev() {
                     e.retries += 1;
-                    if e.retries <= UPLINK_RETRY_LIMIT {
+                    if e.retries > UPLINK_RETRY_LIMIT {
+                        continue;
+                    }
+                    if self.departed[c] {
+                        self.outbox[c].push(SeamPayload::UplinkQueued(e.packet, e.retries));
+                    } else {
                         cl.uplink_queue.push_front(e);
                     }
                 }
@@ -3078,7 +3494,21 @@ impl WgttWorld {
         }
         if let Some(session) = &mut self.resync {
             // Park until the dedup table is re-primed from the replies;
-            // checking now could deliver a cross-restart duplicate.
+            // checking now could deliver a cross-restart duplicate. The
+            // hold is bounded by the same cap as an AP's degraded-mode
+            // buffer: heavy uplink during a long resync round must not
+            // grow it without limit, so the oldest parked copy is dropped
+            // to admit the newest (uplink diversity and client retries
+            // make an individual dropped copy recoverable).
+            let cap = self.cfg.degraded_uplink_cap;
+            if cap == 0 {
+                self.sys.resync_held_overflow += 1;
+                return;
+            }
+            if session.held_uplink.len() >= cap {
+                session.held_uplink.remove(0);
+                self.sys.resync_held_overflow += 1;
+            }
             session.held_uplink.push((from_ap, packet));
             return;
         }
@@ -3710,6 +4140,7 @@ impl WgttWorld {
             | Ev::ReorderFlush { client }
             | Ev::RoamComplete { client, .. }
             | Ev::ReattachTimeout { client }
+            | Ev::MigrantFlush { client }
             | Ev::ReAdoptTimeout { client, .. } => Some(*client),
             _ => None,
         }
@@ -3722,12 +4153,32 @@ impl World for WgttWorld {
     fn handle(&mut self, event: Ev, ctx: &mut Ctx<'_, Ev>) {
         // Departed-client guard: a client retired to another shard can
         // still be named by events that were already in flight when the
-        // barrier retired it. They are dropped here, centrally, so no
-        // handler ever touches a retired client's wiped state. In
-        // unsharded runs `departed` is all-false and this never fires.
+        // barrier retired it. Data-bearing events are captured into the
+        // seam outbox so the next barrier can forward the datagram to the
+        // client's destination shard; control/timer stragglers (CSI
+        // reports, probe ticks, switch legs, …) are pure bookkeeping and
+        // are dropped where they stand. Either way no handler ever touches
+        // a retired client's wiped state. In unsharded runs `departed` is
+        // all-false and this never fires.
         if let Some(c) = self.ev_client(&event) {
             if self.departed[c] {
-                self.sys.departed_drops += 1;
+                match event {
+                    // A downlink datagram between server, controller, and
+                    // AP: not yet on the air, so not yet "sent on the old
+                    // link" — it belongs to the destination.
+                    Ev::PacketAtController(p) => self.capture_seam(c, SeamPayload::Downlink(p)),
+                    Ev::PacketAtAp { packet, .. } => {
+                        self.capture_seam(c, SeamPayload::Downlink(packet))
+                    }
+                    // An AP→controller uplink copy: must cross the seam so
+                    // the destination's dedup filter arbitrates delivery.
+                    Ev::UplinkCopyAtController { packet, .. } => {
+                        self.capture_seam(c, SeamPayload::UplinkCopy(packet))
+                    }
+                    // Already deduplicated, caught on the server hop.
+                    Ev::PacketAtServer(p) => self.capture_seam(c, SeamPayload::ServerBound(p)),
+                    _ => self.sys.departed_ctrl_drops += 1,
+                }
                 return;
             }
         }
@@ -3807,6 +4258,7 @@ impl World for WgttWorld {
             Ev::ReattachTimeout { client } => self.on_reattach_timeout(ctx, client),
             Ev::ControllerCrash => self.on_controller_crash(ctx),
             Ev::ControllerRecover => self.on_controller_recover(ctx),
+            Ev::MigrantFlush { client } => self.on_migrant_flush(ctx, client),
             Ev::ResyncAtAp { ap, term } => self.on_resync_at_ap(ctx, ap, term),
             Ev::ResyncReplyAtController { reply } => self.on_resync_reply_at_controller(ctx, reply),
             Ev::ResyncDeadline { seq } => self.on_resync_deadline(ctx, seq),

@@ -147,6 +147,18 @@ impl PacketFactory {
     pub fn created_count(&self) -> u64 {
         self.next_id
     }
+
+    /// The IP ident the next packet sourced by `client` will carry.
+    pub fn peek_ident(&self, client: ClientId) -> u16 {
+        self.next_ident.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Continues `client`'s IP-ident stream at `ident` — used when a
+    /// client's identity migrates between worlds so its dedup-key stream
+    /// stays monotone instead of restarting at 0.
+    pub fn resume_ident(&mut self, client: ClientId, ident: u16) {
+        self.next_ident.insert(client, ident);
+    }
 }
 
 /// Typical header sizes, bytes.

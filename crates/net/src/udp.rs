@@ -64,6 +64,14 @@ impl CbrSource {
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
+
+    /// Continues the sequence stream at `seq` — used when a flow migrates
+    /// between worlds and the destination source must not restart at 0
+    /// (the sink dedups by sequence number, so a restart would alias old
+    /// datagrams).
+    pub fn resume_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
 }
 
 /// Receiving-side accounting for a UDP flow.
@@ -117,6 +125,14 @@ impl UdpSink {
     /// Duplicate arrivals dropped.
     pub fn duplicates(&self) -> u64 {
         self.duplicates
+    }
+
+    /// Whether datagram `seq` has been received by this sink. Seam tests
+    /// use this to detect the same datagram delivered in two worlds (each
+    /// world has its own sink, so per-sink `duplicates` cannot see a
+    /// cross-world double delivery).
+    pub fn contains(&self, seq: u64) -> bool {
+        self.seen.contains(&seq)
     }
 
     /// Total unique payload bytes received.
