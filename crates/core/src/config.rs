@@ -57,6 +57,63 @@ impl Default for BaselineConfig {
     }
 }
 
+/// Retry policy for the two-phase inter-controller migration protocol
+/// (DESIGN.md §6f). A `MigratePrepare` that is not committed within
+/// `retry_timeout` is re-sent; each further resend waits `backoff` times
+/// longer than the last; after `max_attempts` sends the source aborts the
+/// handoff and readopts the client (graceful degradation — it re-exports
+/// at the next boundary pass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// Wait before the first `MigratePrepare` resend.
+    pub retry_timeout: SimDuration,
+    /// Multiplier applied to the wait after every unacked send (≥ 1).
+    pub backoff: f64,
+    /// Total `MigratePrepare` sends (first try included) before the
+    /// source gives up and readopts the client.
+    pub max_attempts: u32,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            retry_timeout: SimDuration::from_millis(100),
+            backoff: 2.0,
+            max_attempts: 6,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// Rejects parameter combinations that would wedge the seam protocol:
+    /// a zero timeout retries in a busy-loop, a sub-1 backoff retries
+    /// *faster* under sustained failure, and zero attempts can never even
+    /// export.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.retry_timeout <= SimDuration::ZERO {
+            return Err("migration retry_timeout must be positive".into());
+        }
+        if !(self.backoff >= 1.0) {
+            return Err("migration backoff must be >= 1.0".into());
+        }
+        if self.max_attempts == 0 {
+            return Err("migration max_attempts must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The wait after the `attempt`-th send (1-based): `retry_timeout ×
+    /// backoff^(attempt-1)`, computed by repeated IEEE multiplication so
+    /// the value is bit-identical on every platform.
+    pub fn retry_delay(&self, attempt: u32) -> SimDuration {
+        let mut secs = self.retry_timeout.as_secs_f64();
+        for _ in 1..attempt {
+            secs *= self.backoff;
+        }
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -126,6 +183,8 @@ pub struct SystemConfig {
     /// the controller while it is down, flushed after resync/takeover.
     /// On overflow the oldest held packet is dropped (and counted).
     pub degraded_uplink_cap: usize,
+    /// Retry/backoff policy for two-phase seam migration (§6f).
+    pub migration: MigrationConfig,
 }
 
 impl Default for SystemConfig {
@@ -153,6 +212,7 @@ impl Default for SystemConfig {
             control_loss_prob: 0.0,
             channel_stride: 1,
             degraded_uplink_cap: crate::ap::DEGRADED_UPLINK_CAP,
+            migration: MigrationConfig::default(),
         }
     }
 }
@@ -203,5 +263,30 @@ mod tests {
     fn baseline_constructor() {
         let c = SystemConfig::baseline();
         assert_eq!(c.mode, Mode::Enhanced80211r);
+    }
+
+    #[test]
+    fn migration_defaults_are_valid_and_backoff_compounds() {
+        let m = MigrationConfig::default();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.retry_delay(1), SimDuration::from_millis(100));
+        assert_eq!(m.retry_delay(2), SimDuration::from_millis(200));
+        assert_eq!(m.retry_delay(4), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn migration_config_rejects_degenerate_policies() {
+        let mut m = MigrationConfig::default();
+        m.retry_timeout = SimDuration::ZERO;
+        assert!(m.validate().unwrap_err().contains("retry_timeout"));
+        let mut m = MigrationConfig::default();
+        m.backoff = 0.5;
+        assert!(m.validate().unwrap_err().contains("backoff"));
+        let mut m = MigrationConfig::default();
+        m.backoff = f64::NAN;
+        assert!(m.validate().is_err(), "NaN backoff must be rejected");
+        let mut m = MigrationConfig::default();
+        m.max_attempts = 0;
+        assert!(m.validate().unwrap_err().contains("max_attempts"));
     }
 }

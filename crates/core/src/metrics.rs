@@ -391,6 +391,17 @@ pub struct SystemMetrics {
     /// Uplink copies dropped because the resync hold buffer was at its
     /// `degraded_uplink_cap` (oldest-drop policy).
     pub resync_held_overflow: u64,
+    /// Seam-migration frames re-sent after an unacked `retry_timeout`
+    /// (prepare resends plus residue-forward resends).
+    pub migration_retries: u64,
+    /// Duplicate seam-migration frames absorbed by idempotence: an
+    /// already-applied prepare, already-applied forward, or an ack for a
+    /// seq the source already released.
+    pub migration_dups_dropped: u64,
+    /// Handoffs abandoned after `max_attempts` unacked prepares — the
+    /// source readopted the client and will re-export it at the next
+    /// boundary pass.
+    pub migration_aborts: u64,
 }
 
 impl SystemMetrics {
@@ -447,6 +458,9 @@ impl SystemMetrics {
             seam_forwarded,
             residue_transferred,
             resync_held_overflow,
+            migration_retries,
+            migration_dups_dropped,
+            migration_aborts,
         } = other;
         self.uplink_copies += uplink_copies;
         self.uplink_duplicates += uplink_duplicates;
@@ -490,6 +504,9 @@ impl SystemMetrics {
         self.seam_forwarded += seam_forwarded;
         self.residue_transferred += residue_transferred;
         self.resync_held_overflow += resync_held_overflow;
+        self.migration_retries += migration_retries;
+        self.migration_dups_dropped += migration_dups_dropped;
+        self.migration_aborts += migration_aborts;
     }
 }
 
@@ -578,6 +595,9 @@ mod tests {
             seam_forwarded: 4,
             residue_transferred: 5,
             resync_held_overflow: 6,
+            migration_retries: 7,
+            migration_dups_dropped: 8,
+            migration_aborts: 9,
             ..Default::default()
         };
         b.takeovers.push((t(5), SimDuration::from_millis(6)));
@@ -590,6 +610,9 @@ mod tests {
         assert_eq!(a.seam_forwarded, 4);
         assert_eq!(a.residue_transferred, 5);
         assert_eq!(a.resync_held_overflow, 6);
+        assert_eq!(a.migration_retries, 7);
+        assert_eq!(a.migration_dups_dropped, 8);
+        assert_eq!(a.migration_aborts, 9);
         assert_eq!(a.resyncs, vec![(t(1), SimDuration::from_millis(2))]);
         assert_eq!(a.takeovers, vec![(t(5), SimDuration::from_millis(6))]);
     }

@@ -47,19 +47,37 @@
 //! checker actually catches the cross-restart aliasing family.
 //!
 //! [`CheckerConfig::max_migrations`] adds the inter-controller handoff
-//! choice pair: [`Choice::MigrateExport`] freezes the client at a lockstep
-//! barrier and exports its migration record (switch-epoch high-water,
-//! recently delivered uplink dedup keys, undelivered downlink residue);
-//! [`Choice::MigrateImport`] replays it into a fresh destination
-//! controller. The destination must resume its epoch space strictly above
-//! the record's high-water ([`ViolationKind::EpochRegression`] otherwise),
-//! re-prime the transferred keys so cross-seam retransmits of
-//! already-delivered packets drop instead of reaching the Internet twice
-//! ([`ViolationKind::CrossSeamDuplicate`]), and deliver every residue
-//! datagram ([`ViolationKind::LostResidue`]). The
-//! [`CheckerConfig::migration_naive`] shim forges the pre-handoff
-//! no-transfer admission — fresh identity, record dropped — which the test
-//! suite uses to prove the checker sees all three seam families.
+//! slice — modelled as the *two-phase* protocol the sharded runner ships:
+//! [`Choice::MigrateExport`] retires the client at a lockstep barrier and
+//! puts an idempotent, term-stamped [`NetMsg::MigPrepare`] on the wire
+//! (switch-epoch high-water, recently delivered uplink dedup keys,
+//! undelivered downlink residue); delivering it admits the client at the
+//! destination and answers with a [`NetMsg::MigCommit`] that releases the
+//! source's retained record. Seam frames are lossy like everything else:
+//! [`Choice::DropMigration`] / [`Choice::DupMigration`] spend their own
+//! budgets, [`Choice::MigrateRetry`] re-sends the pending prepare
+//! (re-stamped with the current term), [`Choice::MigrateAbort`] gives up
+//! after the retry budget and readopts the client at the source, and
+//! [`Choice::CrashDuringMigration`] bounces the source controller
+//! mid-handoff — the retained record survives (it is durable), which is
+//! the crash-safety claim under test. The destination must resume its
+//! epoch space strictly above the record's high-water
+//! ([`ViolationKind::EpochRegression`] otherwise), re-prime the
+//! transferred keys so cross-seam retransmits of already-delivered
+//! packets drop instead of reaching the Internet twice
+//! ([`ViolationKind::CrossSeamDuplicate`]), deliver every residue
+//! datagram ([`ViolationKind::LostResidue`]), and never leave both
+//! incarnations live without an armed reconciliation record
+//! ([`ViolationKind::SplitMigration`]). Two shims exist to prove the
+//! checker sees every family: [`CheckerConfig::migration_naive`] forges
+//! the no-transfer admission (record discarded at import — the
+//! data-plane families), and [`CheckerConfig::migration_retention`]` =
+//! false` forges the source forgetting the record the moment the prepare
+//! is sent — a dropped prepare then loses the record outright (the
+//! vehicle still arrives, so the destination admits it blind), and the
+//! only abort available is a *blind* readopt that cannot know whether
+//! the destination admitted, the split-brain the retained record
+//! prevents.
 //!
 //! [`CheckerConfig::max_failovers`] adds the hot-standby choice pair:
 //! [`Choice::FailoverToStandby`] kills the primary mid-schedule and
@@ -103,15 +121,10 @@ const MIG_RETRANSMITS: [u16; 2] = [1, 2];
 /// barrier — the residue the record carries across the seam.
 const MIG_DOWN_RESIDUE: [u16; 1] = [100];
 
-/// The checker's miniature migration record: the epoch high-water, the
-/// dedup keys, and the undelivered downlink residue — the same three
-/// pieces the production `MigrationRecord` carries.
-#[derive(Debug, Clone)]
-struct MigRecord {
-    epoch_max: u32,
-    keys: Vec<u16>,
-    residue: Vec<u16>,
-}
+// The checker's migration record is implicit: the epoch high-water rides
+// the `MigPrepare` frame (frames stay `Copy`), and the dedup keys and
+// residue are the `MIG_*` constants above — the same three pieces the
+// production `MigrationRecord` carries.
 
 /// A checker scenario: which switches run, over how hostile a network.
 #[derive(Debug, Clone)]
@@ -158,15 +171,38 @@ pub struct CheckerConfig {
     pub fencing: bool,
     /// Budget of inter-controller client migrations per schedule. Each one
     /// arms an export choice once every configured switch has resolved
-    /// (migrations happen at lockstep barriers, with no switch in flight),
-    /// followed by an import into a fresh destination controller and the
-    /// client's post-seam retransmissions.
+    /// (migrations happen at lockstep barriers, with no switch in flight);
+    /// the export puts a `MigPrepare` on the wire, and delivering it
+    /// admits the client at a fresh destination controller and sends the
+    /// commit back.
     pub max_migrations: u32,
-    /// `true` forges the pre-handoff no-transfer admission: the exported
-    /// record is dropped, the destination starts with a fresh identity —
+    /// `true` forges the pre-handoff no-transfer admission: the delivered
+    /// record is discarded, the destination starts with a fresh identity —
     /// the shim the test suite uses to prove the checker catches the
     /// epoch-regression, cross-seam-duplicate, and lost-residue families.
     pub migration_naive: bool,
+    /// `true` (the shipped protocol) retains the exported record at the
+    /// source until the commit lands: retries re-send it, and an abort
+    /// readopts the client bit-exactly with the reconciliation state
+    /// armed. `false` forges the no-retention source: the record is
+    /// forgotten the moment the prepare is sent, a dropped prepare loses
+    /// it outright (the destination admits the arriving vehicle blind),
+    /// and the only abort is a blind readopt — the shim the test suite
+    /// uses to prove the checker sees [`ViolationKind::SplitMigration`].
+    pub migration_retention: bool,
+    /// Budget of seam-frame drops per schedule ([`Choice::DropMigration`];
+    /// seam frames are exempt from the generic drop budget).
+    pub max_mig_drops: u32,
+    /// Budget of seam-frame duplications per schedule
+    /// ([`Choice::DupMigration`]).
+    pub max_mig_dups: u32,
+    /// Budget of prepare re-sends per schedule ([`Choice::MigrateRetry`]);
+    /// the abort choice arms only once this budget is spent, mirroring
+    /// the production `max_attempts` policy.
+    pub max_mig_retries: u32,
+    /// Budget of mid-migration controller bounces per schedule
+    /// ([`Choice::CrashDuringMigration`]).
+    pub max_mig_crashes: u32,
     /// Hard cap on explored schedules (the DFS stops cleanly there).
     pub max_schedules: u64,
 }
@@ -187,6 +223,11 @@ impl Default for CheckerConfig {
             fencing: true,
             max_migrations: 0,
             migration_naive: false,
+            migration_retention: true,
+            max_mig_drops: 0,
+            max_mig_dups: 0,
+            max_mig_retries: 1,
+            max_mig_crashes: 0,
             max_schedules: 1_000_000,
         }
     }
@@ -218,14 +259,32 @@ pub enum Choice {
     /// The dead primary's zombie wakes and re-injects its in-flight
     /// `stop`, stamped with its superseded term.
     ZombiePrimary,
-    /// Lockstep barrier, source side: freeze the client and export its
-    /// migration record (epoch high-water, dedup keys, downlink residue).
+    /// Lockstep barrier, source side: retire the client and put its
+    /// term-stamped `MigPrepare` (epoch high-water, dedup keys, downlink
+    /// residue) on the wire, retaining the record until the commit lands.
     MigrateExport,
-    /// Lockstep barrier, destination side: admit the client into a fresh
-    /// controller, importing the record (or discarding it under the
-    /// [`CheckerConfig::migration_naive`] shim), then put the residue and
-    /// the client's post-seam retransmissions on the wire.
-    MigrateImport,
+    /// Drop the seam frame at this net index (spends the seam-drop
+    /// budget; seam frames are exempt from the generic [`Choice::Drop`]).
+    /// Under the no-retention shim, dropping an undelivered prepare loses
+    /// the record outright — the vehicle still arrives, so the
+    /// destination admits it blind.
+    DropMigration(usize),
+    /// Deliver a duplicate copy of the seam frame at this net index,
+    /// leaving the original in flight.
+    DupMigration(usize),
+    /// The source's retry timer: re-send the pending prepare, re-stamped
+    /// with the controller's current term.
+    MigrateRetry,
+    /// The retry budget is spent and the commit never landed: the source
+    /// aborts the handoff and readopts the client. With retention the
+    /// readopt is bit-exact and the reconciliation state stays armed;
+    /// under the no-retention shim it is a blind readopt that cannot know
+    /// whether the destination admitted.
+    MigrateAbort,
+    /// Bounce the source controller mid-handoff (crash + term-preserving
+    /// restart, epoch space resynced from the AP guards). The retained
+    /// migration record is durable and survives.
+    CrashDuringMigration,
 }
 
 /// An invariant the protocol broke on some schedule.
@@ -266,6 +325,12 @@ pub enum ViolationKind {
     /// barrier never reached the client through the destination — the
     /// migration dropped the record's residue.
     LostResidue,
+    /// The run quiesced with the client live at *both* controllers and no
+    /// armed reconciliation state (no retained pending record, no
+    /// readopt-after-abort marker) — a two-generals outcome the retained
+    /// record turns into "exactly-once ownership, or a record that will
+    /// reconcile it". Only the no-retention shim can reach it.
+    SplitMigration,
 }
 
 /// One invariant violation, with the schedule that produced it.
@@ -306,6 +371,13 @@ pub struct CheckReport {
     /// Cross-seam retransmits the destination's re-primed dedup filter
     /// dropped, summed over all schedules — the transfer visibly working.
     pub seam_dedup_drops: u64,
+    /// `MigPrepare` re-sends fired, summed over all schedules.
+    pub seam_retries: u64,
+    /// Handoffs aborted-and-readopted at the source, summed.
+    pub seam_aborts: u64,
+    /// Idempotence absorptions: duplicate prepares re-acked, duplicate or
+    /// post-abort commits swallowed, summed over all schedules.
+    pub seam_absorbed: u64,
     /// Schedules cut short by budget exhaustion with a switch still in
     /// flight (bounded exploration, not a protocol wedge).
     pub incomplete: u64,
@@ -314,7 +386,7 @@ pub struct CheckReport {
 }
 
 /// An in-flight control frame.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NetMsg {
     /// Controller → old AP.
     Stop {
@@ -343,6 +415,15 @@ enum NetMsg {
     /// lossy wire, so it is never a drop choice — dropping it would model
     /// a loss the protocol cannot see and forge `LostResidue`.
     DownAtDest { ident: u16 },
+    /// Source controller → destination controller: the two-phase export.
+    /// The record rides implicitly (epoch high-water inline; keys and
+    /// residue are the `MIG_*` constants), `seq` makes the import
+    /// idempotent, `term` lets the destination fence a superseded source.
+    MigPrepare { seq: u32, epoch_max: u32, term: u32 },
+    /// Destination controller → source controller: the prepare with this
+    /// `seq` was applied (or absorbed); the source may release its
+    /// retained record.
+    MigCommit { seq: u32 },
 }
 
 /// Model of one AP's per-client soft state.
@@ -385,8 +466,34 @@ struct State {
     /// advance the space past the reported high-water mark).
     last_completed: Option<(usize, u32)>,
     migrations_left: u32,
-    /// Record exported at the barrier, awaiting import.
-    mig_exported: Option<MigRecord>,
+    /// Next seam sequence number to allocate.
+    mig_seq: u32,
+    /// The retained record at the source: `(seq, epoch_max)` of the
+    /// in-flight prepare, kept until the matching commit lands (the keys
+    /// and residue are the `MIG_*` constants). `None` = no handoff in
+    /// flight (never exported, committed, or aborted).
+    mig_pending: Option<(u32, u32)>,
+    /// The source aborted a handoff and readopted the client — the armed
+    /// reconciliation marker: a late commit is absorbed, and the client
+    /// re-exports at its next boundary pass.
+    mig_aborted: bool,
+    /// Whether the client is live at the source controller.
+    source_active: bool,
+    /// Whether the client is live at the destination controller.
+    dest_active: bool,
+    /// Seam sequence numbers the destination has applied — the import
+    /// idempotence ledger.
+    mig_applied: Vec<u32>,
+    /// Highest source term the destination has seen on a prepare — its
+    /// fence against a superseded source incarnation.
+    mig_term_seen: u32,
+    mig_retries_left: u32,
+    mig_drops_left: u32,
+    mig_dups_left: u32,
+    mig_crashes_left: u32,
+    /// Post-abort re-export allowance (the readopted client passing the
+    /// boundary again); bounded so the DFS terminates.
+    mig_reexports_left: u32,
     /// Whether a migration has completed (arms the terminal residue check).
     mig_done: bool,
     /// Residue idents the destination owes the client (from the record,
@@ -405,6 +512,9 @@ struct State {
     term_fence_drops: u64,
     migrations: u64,
     seam_dedup_drops: u64,
+    seam_retries: u64,
+    seam_aborts: u64,
+    seam_absorbed: u64,
     trace: Vec<Choice>,
 }
 
@@ -434,7 +544,18 @@ impl State {
             zombie_frames: Vec::new(),
             last_completed: None,
             migrations_left: cfg.max_migrations,
-            mig_exported: None,
+            mig_seq: 0,
+            mig_pending: None,
+            mig_aborted: false,
+            source_active: true,
+            dest_active: false,
+            mig_applied: Vec::new(),
+            mig_term_seen: 0,
+            mig_retries_left: cfg.max_mig_retries,
+            mig_drops_left: cfg.max_mig_drops,
+            mig_dups_left: cfg.max_mig_dups,
+            mig_crashes_left: cfg.max_mig_crashes,
+            mig_reexports_left: 1,
             mig_done: false,
             mig_residue: Vec::new(),
             dest_seen: Vec::new(),
@@ -447,6 +568,9 @@ impl State {
             term_fence_drops: 0,
             migrations: 0,
             seam_dedup_drops: 0,
+            seam_retries: 0,
+            seam_aborts: 0,
+            seam_absorbed: 0,
             trace: Vec::new(),
         };
         if let Some(&(from, _)) = cfg.switches.first() {
@@ -505,9 +629,12 @@ impl State {
                 cfg.dead_aps.contains(&ap)
             }
             NetMsg::Ack { .. } => false, // the controller is never dead here
-            // Seam legs terminate at the destination controller or the
-            // migrated client — neither is ever a dead AP.
-            NetMsg::UplinkAtDest { .. } | NetMsg::DownAtDest { .. } => false,
+            // Seam legs terminate at a controller or the migrated client —
+            // never a dead AP.
+            NetMsg::UplinkAtDest { .. }
+            | NetMsg::DownAtDest { .. }
+            | NetMsg::MigPrepare { .. }
+            | NetMsg::MigCommit { .. } => false,
         };
         if !dest_dead {
             self.net.push(m);
@@ -518,13 +645,45 @@ impl State {
     /// (the enumeration is deterministic).
     fn choices(&self, cfg: &CheckerConfig) -> Vec<Choice> {
         let mut v = Vec::new();
+        // Ample-set reduction: a `DownAtDest` delivery touches only the
+        // terminal-checked delivered set, so it commutes with every other
+        // transition; duplicating it is a dedup no-op and dropping it is
+        // already forbidden. Exploring it alone, first, is therefore
+        // exhaustive over everything observable.
         for i in 0..self.net.len() {
-            v.push(Choice::Deliver(i));
-            if self.dups_left > 0 {
-                v.push(Choice::Duplicate(i));
+            if matches!(self.net[i], NetMsg::DownAtDest { .. }) {
+                return vec![Choice::Deliver(i)];
             }
-            if self.drops_left > 0 && !matches!(self.net[i], NetMsg::DownAtDest { .. }) {
-                v.push(Choice::Drop(i));
+        }
+        for i in 0..self.net.len() {
+            // Symmetry reduction: in-flight frames form an unordered
+            // multiset, so acting on the second copy of an identical
+            // frame reaches the same states as acting on the first —
+            // schedule only the lowest index of each distinct frame.
+            if self.net[..i].contains(&self.net[i]) {
+                continue;
+            }
+            v.push(Choice::Deliver(i));
+            let seam = matches!(
+                self.net[i],
+                NetMsg::MigPrepare { .. } | NetMsg::MigCommit { .. }
+            );
+            if seam {
+                // Seam frames draw on their own fault budgets so the
+                // migration slices stay small and self-contained.
+                if self.mig_dups_left > 0 {
+                    v.push(Choice::DupMigration(i));
+                }
+                if self.mig_drops_left > 0 {
+                    v.push(Choice::DropMigration(i));
+                }
+            } else {
+                if self.dups_left > 0 {
+                    v.push(Choice::Duplicate(i));
+                }
+                if self.drops_left > 0 && !matches!(self.net[i], NetMsg::DownAtDest { .. }) {
+                    v.push(Choice::Drop(i));
+                }
             }
         }
         if self.timeouts_left > 0 && !self.controller_down && self.engine.in_flight(CLIENT) {
@@ -544,19 +703,47 @@ impl State {
             v.push(Choice::ZombiePrimary);
         }
         // Migrations happen at lockstep barriers: every configured switch
-        // has resolved, nothing is in flight at the controller, and the
-        // controller is up to serialize the export.
-        if self.migrations_left > 0
-            && self.next_switch == cfg.switches.len()
+        // has resolved, the wire has drained (the barrier quiesces the
+        // source shard's control plane — interleaving switch stragglers
+        // with the seam is the switch slices' job, not this one's), and
+        // the controller is up to serialize the export. A readopted
+        // client (post-abort) re-exports once on its next boundary pass.
+        if self.next_switch == cfg.switches.len()
             && !self.engine.in_flight(CLIENT)
+            && self.net.is_empty()
             && !self.controller_down
-            && self.mig_exported.is_none()
-            && !self.mig_done
+            && self.source_active
+            && self.mig_pending.is_none()
+            && (self.migrations_left > 0 || (self.mig_aborted && self.mig_reexports_left > 0))
         {
             v.push(Choice::MigrateExport);
         }
-        if self.mig_exported.is_some() {
-            v.push(Choice::MigrateImport);
+        if let Some((seq, _)) = self.mig_pending {
+            if cfg.migration_retention {
+                // The retry models the timer expiring with the frame
+                // lost. While a copy is still in flight, a re-send is
+                // indistinguishable from a duplication — and that
+                // interleaving is [`Choice::DupMigration`]'s budget.
+                let prepare_in_flight = self
+                    .net
+                    .iter()
+                    .any(|m| matches!(m, NetMsg::MigPrepare { seq: s, .. } if *s == seq));
+                if !self.controller_down && self.mig_retries_left > 0 && !prepare_in_flight {
+                    v.push(Choice::MigrateRetry);
+                }
+                // Abort only arms once the retry ladder is exhausted —
+                // the production `max_attempts` policy.
+                if !self.controller_down && self.mig_retries_left == 0 {
+                    v.push(Choice::MigrateAbort);
+                }
+                if !self.controller_down && self.mig_crashes_left > 0 {
+                    v.push(Choice::CrashDuringMigration);
+                }
+            } else if !self.source_active {
+                // No-retention shim: the record is gone, so the only
+                // recovery from a wedged handoff is the blind readopt.
+                v.push(Choice::MigrateAbort);
+            }
         }
         v
     }
@@ -690,47 +877,95 @@ impl State {
                 }
             }
             Choice::MigrateExport => {
-                self.migrations_left -= 1;
+                if self.migrations_left > 0 {
+                    self.migrations_left -= 1;
+                } else {
+                    // A readopted client crossing the boundary again.
+                    self.mig_reexports_left -= 1;
+                }
+                let seq = self.mig_seq;
+                self.mig_seq += 1;
                 // The record's epoch high-water is the engine counter
                 // joined with every AP guard mark — exactly what the
                 // production `retire_client` exports.
-                self.mig_exported = Some(MigRecord {
-                    epoch_max: self.engine.current_epoch(CLIENT).max(self.guard_floor()),
-                    keys: MIG_SRC_DELIVERED.to_vec(),
-                    residue: MIG_DOWN_RESIDUE.to_vec(),
-                });
+                let epoch_max = self.engine.current_epoch(CLIENT).max(self.guard_floor());
+                self.source_active = false;
+                self.send(
+                    cfg,
+                    NetMsg::MigPrepare {
+                        seq,
+                        epoch_max,
+                        term: self.engine.term(),
+                    },
+                );
+                // With retention the source keeps the record until the
+                // commit lands; the shim forgets it the moment the frame
+                // is on the wire (the pending marker survives only as
+                // "the source believes the client departed"). A re-export
+                // replaces the armed abort marker with the fresh record.
+                self.mig_pending = Some((seq, epoch_max));
+                self.mig_aborted = false;
             }
-            Choice::MigrateImport => {
-                let rec = self.mig_exported.take().expect("import gated on export");
-                self.mig_residue = rec.residue.clone();
-                let mut dest = SwitchEngine::new();
-                if !cfg.migration_naive {
-                    // Adopt the source's epoch space, re-prime its dedup
-                    // keys under the client's new address, and re-enqueue
-                    // the residue for delivery.
-                    dest.resume_epochs_above(CLIENT, rec.epoch_max);
-                    self.dest_seen = rec.keys.clone();
-                    for &ident in &rec.residue {
-                        self.send(cfg, NetMsg::DownAtDest { ident });
+            Choice::MigrateRetry => {
+                self.mig_retries_left -= 1;
+                self.seam_retries += 1;
+                let (seq, epoch_max) = self.mig_pending.expect("retry gated on pending");
+                // Re-stamped with the *current* term: a bounced source
+                // resumes its reign, a superseded one gets fenced.
+                self.send(
+                    cfg,
+                    NetMsg::MigPrepare {
+                        seq,
+                        epoch_max,
+                        term: self.engine.term(),
+                    },
+                );
+            }
+            Choice::MigrateAbort => {
+                let (_, epoch_max) = self.mig_pending.take().expect("abort gated on pending");
+                self.seam_aborts += 1;
+                self.source_active = true;
+                if cfg.migration_retention {
+                    // Bit-exact readopt from the retained record, with the
+                    // reconciliation marker armed: a late commit is
+                    // absorbed, the client re-exports next pass.
+                    self.mig_aborted = true;
+                    self.engine.resume_epochs_above(CLIENT, epoch_max);
+                }
+                // The shim readopts blind: nothing is armed, and the
+                // source cannot know whether the destination admitted.
+            }
+            Choice::CrashDuringMigration => {
+                self.mig_crashes_left -= 1;
+                // An atomic bounce (crash + restart-in-place): soft state
+                // wiped, the durable term and the durable retained record
+                // survive, the epoch space resyncs from the AP guards.
+                let term = self.engine.term();
+                self.engine = SwitchEngine::new();
+                self.engine.set_term(term);
+                self.engine.resume_epochs_above(CLIENT, self.guard_floor());
+            }
+            Choice::DropMigration(i) => {
+                self.mig_drops_left -= 1;
+                let m = self.net.remove(i);
+                if !cfg.migration_retention {
+                    if let NetMsg::MigPrepare { epoch_max, .. } = m {
+                        if !self.dest_active {
+                            // No retention and the only copy of the record
+                            // just died on the wire — but the vehicle
+                            // still arrives, so the destination admits it
+                            // blind (no record to transfer). The dropped
+                            // frame's high-water is the ground truth the
+                            // epoch check still holds the admission to.
+                            self.admit_at_dest(cfg, epoch_max, false)?;
+                        }
                     }
                 }
-                // The destination's first switch allocation: its epoch
-                // must land strictly above the record's high-water, or the
-                // reborn client's frames alias a source generation.
-                if let Some(SwitchMsg::Stop { epoch, .. }) =
-                    dest.issue(self.now, CLIENT, ApId(0), ApId(1))
-                {
-                    if epoch <= rec.epoch_max {
-                        return Err(ViolationKind::EpochRegression);
-                    }
-                }
-                // The client's post-seam retransmissions (the dup window
-                // straddling the barrier).
-                for &ident in &MIG_RETRANSMITS {
-                    self.send(cfg, NetMsg::UplinkAtDest { ident });
-                }
-                self.migrations += 1;
-                self.mig_done = true;
+            }
+            Choice::DupMigration(i) => {
+                self.mig_dups_left -= 1;
+                let m = self.net[i];
+                self.process(cfg, m)?;
             }
         }
         if self.aps.iter().filter(|a| a.serving).count() > 1 {
@@ -754,6 +989,46 @@ impl State {
         }
         self.aps[ap].term_seen = term;
         (true, false)
+    }
+
+    /// Admits the migrating client at the destination controller.
+    /// `transfer = true` applies the record — epoch-space adoption, dedup
+    /// key re-prime, residue re-delivery; `false` models blind admission
+    /// (the naive shim's discarded record, or the no-retention shim's
+    /// record lost on the wire). Either way the destination's first
+    /// switch allocation must land strictly above the record's
+    /// high-water, or the reborn client's frames alias a source
+    /// generation.
+    fn admit_at_dest(
+        &mut self,
+        cfg: &CheckerConfig,
+        epoch_max: u32,
+        transfer: bool,
+    ) -> Result<(), ViolationKind> {
+        self.dest_active = true;
+        self.mig_done = true;
+        self.mig_residue = MIG_DOWN_RESIDUE.to_vec();
+        let mut dest = SwitchEngine::new();
+        if transfer {
+            dest.resume_epochs_above(CLIENT, epoch_max);
+            self.dest_seen = MIG_SRC_DELIVERED.to_vec();
+            for &ident in &MIG_DOWN_RESIDUE {
+                self.send(cfg, NetMsg::DownAtDest { ident });
+            }
+        }
+        if let Some(SwitchMsg::Stop { epoch, .. }) = dest.issue(self.now, CLIENT, ApId(0), ApId(1))
+        {
+            if epoch <= epoch_max {
+                return Err(ViolationKind::EpochRegression);
+            }
+        }
+        // The client's post-seam retransmissions (the dup window
+        // straddling the barrier).
+        for &ident in &MIG_RETRANSMITS {
+            self.send(cfg, NetMsg::UplinkAtDest { ident });
+        }
+        self.migrations += 1;
+        Ok(())
     }
 
     /// Processes a delivered frame through the production state machines.
@@ -854,6 +1129,63 @@ impl State {
                     self.dest_down_delivered.push(ident);
                 }
             }
+            NetMsg::MigPrepare {
+                seq,
+                epoch_max,
+                term,
+            } => {
+                if term < self.mig_term_seen {
+                    // A superseded source incarnation's straggler: fenced
+                    // before it touches destination state.
+                    self.term_fence_drops += 1;
+                    return Ok(());
+                }
+                self.mig_term_seen = term;
+                if self.mig_applied.contains(&seq) {
+                    // Idempotent re-apply (a duplicated or retried frame
+                    // whose first copy landed): ack again so the source
+                    // can release its record, touch nothing else.
+                    self.seam_absorbed += 1;
+                    self.send(cfg, NetMsg::MigCommit { seq });
+                    return Ok(());
+                }
+                if self.dest_active {
+                    // The client is already resident — an aborted handoff
+                    // re-exported after the original prepare had landed.
+                    // Merge monotonically: re-prime the keys, re-deposit
+                    // the residue (delivery dedups), never rewind.
+                    if !cfg.migration_naive {
+                        for ident in MIG_SRC_DELIVERED {
+                            if !self.dest_seen.contains(&ident) {
+                                self.dest_seen.push(ident);
+                            }
+                        }
+                        for &ident in &MIG_DOWN_RESIDUE {
+                            self.send(cfg, NetMsg::DownAtDest { ident });
+                        }
+                    }
+                    self.mig_applied.push(seq);
+                    self.send(cfg, NetMsg::MigCommit { seq });
+                    return Ok(());
+                }
+                self.admit_at_dest(cfg, epoch_max, !cfg.migration_naive)?;
+                self.mig_applied.push(seq);
+                self.send(cfg, NetMsg::MigCommit { seq });
+            }
+            NetMsg::MigCommit { seq } => match self.mig_pending {
+                Some((pending_seq, _)) if pending_seq == seq => {
+                    // Committed: the source releases its retained record.
+                    // The client now lives exactly at the destination.
+                    self.mig_pending = None;
+                }
+                _ => {
+                    // A duplicate commit, or one racing an abort that
+                    // already readopted the client: absorbed — the armed
+                    // readopt marker stays, and the re-export's own
+                    // commit covers it.
+                    self.seam_absorbed += 1;
+                }
+            },
             NetMsg::Ack { from_ap, epoch } => {
                 if self.controller_down {
                     // A dead controller reads nothing off the wire.
@@ -905,6 +1237,17 @@ impl State {
                     return Err(ViolationKind::LostResidue);
                 }
             }
+        }
+        // The two-generals escape hatch: the client may be live at both
+        // controllers *only* while reconciliation state is armed — a
+        // retained pending record (commit still owed) or a readopt marker
+        // (re-export owed). Quiescing dual-active with neither is the
+        // split the retained record exists to prevent; only the
+        // no-retention shim can get here.
+        let armed =
+            cfg.migration_retention && (self.mig_pending.is_some() || self.mig_aborted);
+        if self.dest_active && self.source_active && !armed {
+            return Err(ViolationKind::SplitMigration);
         }
         if !cfg.switches.is_empty() && self.completions == cfg.switches.len() as u64 {
             // Everything completed and every straggler drained: exactly
@@ -961,6 +1304,9 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
         report.term_fence_drops += st.term_fence_drops;
         report.migrations += st.migrations;
         report.seam_dedup_drops += st.seam_dedup_drops;
+        report.seam_retries += st.seam_retries;
+        report.seam_aborts += st.seam_aborts;
+        report.seam_absorbed += st.seam_absorbed;
         if st.engine.in_flight(CLIENT) {
             report.incomplete += 1;
         }
@@ -989,7 +1335,11 @@ fn explore(cfg: &CheckerConfig, st: State, report: &mut CheckReport) {
 
 fn record_violation(report: &mut CheckReport, kind: ViolationKind, trace: &[Choice]) {
     report.violation_count += 1;
-    if report.violations.len() < MAX_KEPT_VIOLATIONS {
+    // Past the cap, still keep the first trace of each *kind* — one
+    // violation family flooding the list must not hide the others.
+    if report.violations.len() < MAX_KEPT_VIOLATIONS
+        || !report.violations.iter().any(|v| v.kind == kind)
+    {
         report.violations.push(Violation {
             kind,
             trace: trace.to_vec(),
@@ -1185,6 +1535,76 @@ mod tests {
         };
         let report = check(&cfg);
         for kind in [
+            ViolationKind::CrossSeamDuplicate,
+            ViolationKind::LostResidue,
+        ] {
+            assert!(
+                report.violations.iter().any(|v| v.kind == kind),
+                "expected {kind:?} among {:?}",
+                report.violations.iter().map(|v| v.kind).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// The two-phase protocol under seam-specific hostility: the prepare
+    /// can be dropped, duplicated, retried, aborted-and-readopted, and
+    /// the source controller bounced mid-handoff — every interleaving is
+    /// violation-free, and the retry, abort-readopt, and idempotent
+    /// absorption paths all demonstrably fire.
+    #[test]
+    fn migration_fault_slice_is_clean() {
+        let cfg = CheckerConfig {
+            switches: vec![(0, 1)],
+            max_migrations: 1,
+            // Seam hostility only: the generic budgets are covered by the
+            // switch slices and would just blow up the space here.
+            max_dups: 0,
+            max_drops: 0,
+            max_timeouts: 0,
+            max_mig_drops: 1,
+            max_mig_dups: 1,
+            max_mig_retries: 1,
+            max_mig_crashes: 1,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "two-phase migration must be violation-free, got {:?}",
+            report.violations.first()
+        );
+        assert!(!report.truncated, "the space must be covered exhaustively");
+        assert!(report.migrations > 0, "no schedule ever migrated");
+        assert!(report.seam_retries > 0, "the retry path never fired");
+        assert!(report.seam_aborts > 0, "the abort-readopt path never fired");
+        assert!(
+            report.seam_absorbed > 0,
+            "the idempotent absorption path never fired"
+        );
+    }
+
+    /// The no-retention shim forgets the record the moment the prepare is
+    /// on the wire. Dropping that prepare then loses the record outright —
+    /// the arriving vehicle is admitted blind (lost residue, un-primed
+    /// dedup), and the blind abort-readopt leaves the client live at both
+    /// controllers with nothing armed to reconcile them.
+    #[test]
+    fn no_retention_shim_is_caught() {
+        let cfg = CheckerConfig {
+            switches: vec![],
+            max_migrations: 1,
+            migration_retention: false,
+            max_mig_drops: 1,
+            // One generic drop so a schedule can also lose a post-seam
+            // retransmit, reaching quiescence past the duplicate check.
+            max_drops: 1,
+            max_dups: 0,
+            max_timeouts: 0,
+            ..CheckerConfig::default()
+        };
+        let report = check(&cfg);
+        for kind in [
+            ViolationKind::SplitMigration,
             ViolationKind::CrossSeamDuplicate,
             ViolationKind::LostResidue,
         ] {

@@ -38,14 +38,38 @@
 //! migrant always re-appears well before the destination's first AP and
 //! rides the normal probe → CSI → selection association ramp. Worker
 //! count never enters this derivation — the epoch is a scenario constant.
+//!
+//! ## The seam is a lossy channel (DESIGN.md §6f)
+//!
+//! Inter-controller handoff rides the same backhaul the fault schedules
+//! impair, so the transfer is a two-phase protocol rather than a function
+//! call. The source retires the client, sends an idempotent, term-stamped
+//! [`SeamMsg::Prepare`], and *retains* the full record until the
+//! destination's [`SeamMsg::Commit`] lands; un-acked prepares re-send on
+//! a deterministic exponential backoff
+//! ([`MigrationConfig`](crate::config::MigrationConfig)), and when the
+//! destination stays unreachable past the retry budget the source aborts
+//! and readopts the client — it re-exports at its next boundary pass, so
+//! a sustained seam outage degrades to *late* handoffs, never lost ones.
+//! Imports are idempotent (a double-applied prepare is a bit-identical
+//! no-op answered with a fresh commit) and term-fenced, so duplicated or
+//! delayed frames and mid-migration controller failovers cannot
+//! split-brain a client. All protocol state lives in the barrier closure
+//! and every random draw comes from a dedicated seam RNG fork consumed
+//! only inside an active fault window, so the machinery is worker-count
+//! invariant like everything else at the barrier.
 
-use crate::config::SystemConfig;
+use crate::config::{MigrationConfig, SystemConfig};
 use crate::metrics::SystemMetrics;
-use crate::world::{prime_events, prime_migrant_events, MigrantFlow, MigrantSpec, WgttWorld};
+use crate::world::{
+    prime_events, prime_migrant_events, Ev, MigrantFlow, MigrantSpec, MigrationRecord, SeamEntry,
+    WgttWorld,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use wgtt_phy::mobility::ConstantSpeed;
 use wgtt_phy::{mph_to_mps, Position, Trajectory};
 use wgtt_sim::lockstep::{drive, LockstepShard};
-use wgtt_sim::{FaultSchedule, SimDuration, SimTime, Simulator};
+use wgtt_sim::{FaultSchedule, SimDuration, SimRng, SimTime, Simulator};
 
 /// Hard ceiling on the lockstep epoch: even when the geometry would allow
 /// coarser steps, barriers at least this often keep migration latency and
@@ -166,6 +190,9 @@ impl ShardedScenario {
                 self.shards
             )));
         }
+        if let Err(e) = self.config.migration.validate() {
+            return Err(ScenarioError(e));
+        }
         Ok(())
     }
 
@@ -198,10 +225,476 @@ impl LockstepShard for Shard {
     }
 }
 
-/// One applied boundary crossing (for assertions and the scaling report).
+/// The client-routing table: (shard, retired local index) → (shard, local
+/// index) of the client's next hop, installed when a handoff commits.
+type RouteTable = Vec<std::collections::HashMap<usize, (usize, usize)>>;
+
+/// One message of the two-phase seam protocol. Frames sent at barrier `k`
+/// deliver at the first barrier strictly after `sent_at` — the seam has a
+/// one-epoch one-way latency, riding the same mailbox discipline as the
+/// lockstep contract itself.
+#[derive(Debug, Clone)]
+enum SeamMsg {
+    /// Phase 1, source → destination: the full handoff record. Idempotent
+    /// (keyed by `seq` — a duplicate is answered with a fresh commit, not
+    /// re-applied) and term-fenced (`term` is the source controller's
+    /// failover term at send time; the destination drops prepares older
+    /// than the newest term it has seen from that source, and every
+    /// retransmit re-stamps the sender's current term).
+    Prepare {
+        seq: u64,
+        from: usize,
+        to: usize,
+        /// Source-local client index — the readoption and rejoin key.
+        src_client: usize,
+        term: u32,
+        /// Barrier at which the source exported. The destination advances
+        /// the entry position by the limbo time so positions stay exact
+        /// no matter how many retries the prepare needed.
+        exported_at: SimTime,
+        spec: MigrantSpec,
+        record: MigrationRecord,
+    },
+    /// Phase 2, destination → source: the admission receipt, carrying the
+    /// destination-local index so the source can install the route.
+    Commit {
+        seq: u64,
+        from: usize,
+        to: usize,
+        local: usize,
+    },
+    /// Residue chasing a committed migration: outbox datagrams that landed
+    /// at a shard after their client moved on. Acked and retried like a
+    /// prepare; an exhausted retry budget surfaces as seam loss at the
+    /// origin instead of silently vanishing.
+    Forward {
+        fid: u64,
+        src: usize,
+        to: usize,
+        local: usize,
+        entries: Vec<SeamEntry>,
+    },
+    /// Receipt for a [`SeamMsg::Forward`], addressed back to its sender.
+    ForwardAck { fid: u64, src: usize },
+}
+
+/// A seam frame in flight between barriers.
+struct SeamFrame {
+    sent_at: SimTime,
+    msg: SeamMsg,
+}
+
+/// A handoff the source exported but has not yet seen committed. The
+/// retained `record` is the crash-safety anchor: until the commit lands
+/// the source can readopt the client bit-exactly.
+struct PendingMig {
+    from: usize,
+    to: usize,
+    src_client: usize,
+    spec: MigrantSpec,
+    record: MigrationRecord,
+    exported_at: SimTime,
+    /// Prepares sent so far (the initial send included).
+    attempts: u32,
+    next_retry: SimTime,
+    /// Outbox datagrams drained while the handoff was un-committed. They
+    /// ride to the destination as a forward once the commit lands, or
+    /// return to the client on abort.
+    trailing: Vec<SeamEntry>,
+}
+
+/// An un-acked residue forward.
+struct PendingFwd {
+    src: usize,
+    to: usize,
+    local: usize,
+    entries: Vec<SeamEntry>,
+    attempts: u32,
+    next_retry: SimTime,
+}
+
+/// All two-phase seam protocol state. Owned by the barrier closure and
+/// touched only there — barriers run serially, so worker count cannot
+/// reorder any of it, and every random draw comes from the dedicated
+/// `rng` fork, consumed only while a seam fault window is active (a
+/// fault-free run draws nothing at all).
+struct SeamState {
+    inflight: Vec<SeamFrame>,
+    pending: BTreeMap<u64, PendingMig>,
+    /// Aborted-and-readopted handoffs by seq. A late commit for one of
+    /// these means the destination *did* admit — the transient split
+    /// heals when the readopted client re-exports and hits the rejoin
+    /// path, so the commit is absorbed rather than counted as a dup.
+    aborted: BTreeSet<u64>,
+    fwd_pending: BTreeMap<u64, PendingFwd>,
+    /// Idempotence ledger: seq → destination-local index of every applied
+    /// prepare.
+    applied: BTreeMap<u64, usize>,
+    applied_fwd: BTreeSet<u64>,
+    /// (source shard, source-local index) → (dest shard, dest-local
+    /// index) of every admission — the rejoin key for a re-exported
+    /// client whose earlier handoff the source aborted on a lost commit.
+    admitted: BTreeMap<(usize, usize), (usize, usize)>,
+    /// Term fence, per (destination, source) pair.
+    term_seen: BTreeMap<(usize, usize), u32>,
+    next_seq: u64,
+    next_fid: u64,
+    rng: SimRng,
+    mig: MigrationConfig,
+}
+
+impl SeamState {
+    fn new(seed: u64, mig: MigrationConfig) -> Self {
+        SeamState {
+            inflight: Vec::new(),
+            pending: BTreeMap::new(),
+            aborted: BTreeSet::new(),
+            fwd_pending: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            applied_fwd: BTreeSet::new(),
+            admitted: BTreeMap::new(),
+            term_seen: BTreeMap::new(),
+            next_seq: 0,
+            next_fid: 0,
+            rng: SimRng::new(seed).fork("seam"),
+            mig,
+        }
+    }
+
+    /// Sends a frame through the seam channel under the *sending* shard's
+    /// migration fault windows: a loss draw first (the frame vanishes),
+    /// then a duplication draw (two copies enter flight).
+    fn send(&mut self, shards: &[Shard], sender: usize, now: SimTime, msg: SeamMsg) {
+        let faults = &shards[sender].sim.world().faults;
+        let loss = faults.migration_loss_prob(now);
+        let dup = faults.migration_dup_prob(now);
+        if loss > 0.0 && self.rng.chance(loss) {
+            return;
+        }
+        if dup > 0.0 && self.rng.chance(dup) {
+            self.inflight.push(SeamFrame {
+                sent_at: now,
+                msg: msg.clone(),
+            });
+        }
+        self.inflight.push(SeamFrame { sent_at: now, msg });
+    }
+
+    /// Exports a retired client: sends the prepare and retains the record
+    /// until the destination commits.
+    fn export(
+        &mut self,
+        shards: &[Shard],
+        now: SimTime,
+        from: usize,
+        to: usize,
+        src_client: usize,
+        spec: MigrantSpec,
+        record: MigrationRecord,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let term = shards[from].sim.world().ctrl.engine.term();
+        self.send(
+            shards,
+            from,
+            now,
+            SeamMsg::Prepare {
+                seq,
+                from,
+                to,
+                src_client,
+                term,
+                exported_at: now,
+                spec: spec.clone(),
+                record: record.clone(),
+            },
+        );
+        self.pending.insert(
+            seq,
+            PendingMig {
+                from,
+                to,
+                src_client,
+                spec,
+                record,
+                exported_at: now,
+                attempts: 1,
+                next_retry: now + self.mig.retry_delay(1),
+                trailing: Vec::new(),
+            },
+        );
+    }
+
+    /// Registers a residue forward and sends it (acked, retried).
+    fn queue_forward(
+        &mut self,
+        shards: &[Shard],
+        now: SimTime,
+        src: usize,
+        to: usize,
+        local: usize,
+        entries: Vec<SeamEntry>,
+    ) {
+        let fid = self.next_fid;
+        self.next_fid += 1;
+        self.fwd_pending.insert(
+            fid,
+            PendingFwd {
+                src,
+                to,
+                local,
+                entries: entries.clone(),
+                attempts: 1,
+                next_retry: now + self.mig.retry_delay(1),
+            },
+        );
+        self.send(
+            shards,
+            src,
+            now,
+            SeamMsg::Forward {
+                fid,
+                src,
+                to,
+                local,
+                entries,
+            },
+        );
+    }
+
+    /// Delivers every frame sent before this barrier, in send order.
+    /// Responses generated during delivery carry `sent_at = now` and so
+    /// wait for the next barrier — the one-epoch seam latency.
+    fn deliver_due(&mut self, shards: &mut [Shard], route: &mut RouteTable, now: SimTime) {
+        let mut due = Vec::new();
+        let mut rest = Vec::new();
+        for f in self.inflight.drain(..) {
+            if f.sent_at < now {
+                due.push(f.msg);
+            } else {
+                rest.push(f);
+            }
+        }
+        self.inflight = rest;
+        for msg in due {
+            self.deliver(shards, route, now, msg);
+        }
+    }
+
+    fn deliver(&mut self, shards: &mut [Shard], route: &mut RouteTable, now: SimTime, msg: SeamMsg) {
+        match msg {
+            SeamMsg::Prepare {
+                seq,
+                from,
+                to,
+                src_client,
+                term,
+                exported_at,
+                spec,
+                record,
+            } => {
+                let fence = self.term_seen.entry((to, from)).or_insert(0);
+                if term < *fence {
+                    // A prepare stamped by a pre-failover source
+                    // incarnation; its retransmits carry the live term.
+                    shards[to].sim.world_mut().sys.stale_term_dropped += 1;
+                    return;
+                }
+                *fence = term;
+                if let Some(&local) = self.applied.get(&seq) {
+                    // Idempotence: the record is already applied — absorb
+                    // the duplicate and refresh the (possibly lost)
+                    // commit.
+                    shards[to].sim.world_mut().sys.migration_dups_dropped += 1;
+                    self.send(shards, to, now, SeamMsg::Commit { seq, from, to, local });
+                    return;
+                }
+                if let Some(&(_, local)) = self.admitted.get(&(from, src_client)) {
+                    // Re-export of a client this shard already admitted:
+                    // the source aborted an earlier handoff on a lost
+                    // commit, readopted, and handed over again. Merge the
+                    // monotone state into the live incarnation and heal
+                    // the transient split.
+                    let flush = shards[to].sim.world_mut().reimport_migrant(local, &record);
+                    if flush {
+                        shards[to]
+                            .sim
+                            .schedule_at(now, Ev::MigrantFlush { client: local });
+                    }
+                    self.applied.insert(seq, local);
+                    self.send(shards, to, now, SeamMsg::Commit { seq, from, to, local });
+                    return;
+                }
+                let mut spec = spec;
+                // The client kept moving while the prepare (and any
+                // retries) were in flight; advance the entry position by
+                // the limbo time so positions stay exact.
+                spec.entry_x += spec.speed_mps * (now - exported_at).as_secs_f64();
+                let local = shards[to]
+                    .sim
+                    .world_mut()
+                    .admit_migrant(&spec, Some(&record), now);
+                prime_migrant_events(&mut shards[to].sim, local);
+                self.applied.insert(seq, local);
+                self.admitted.insert((from, src_client), (to, local));
+                self.send(shards, to, now, SeamMsg::Commit { seq, from, to, local });
+            }
+            SeamMsg::Commit {
+                seq,
+                from,
+                to,
+                local,
+            } => {
+                if let Some(p) = self.pending.remove(&seq) {
+                    route[from].insert(p.src_client, (to, local));
+                    if !p.trailing.is_empty() {
+                        self.queue_forward(shards, now, from, to, local, p.trailing);
+                    }
+                } else if self.aborted.remove(&seq) {
+                    // Too late for the retry budget but the destination
+                    // did admit. The readopted client is live at the
+                    // source; its next boundary pass re-exports and the
+                    // rejoin path above merges the two incarnations, so
+                    // there is nothing to install here.
+                } else {
+                    shards[from].sim.world_mut().sys.migration_dups_dropped += 1;
+                }
+            }
+            SeamMsg::Forward {
+                fid,
+                src,
+                to,
+                local,
+                entries,
+            } => {
+                if self.applied_fwd.contains(&fid) {
+                    shards[to].sim.world_mut().sys.migration_dups_dropped += 1;
+                } else {
+                    self.applied_fwd.insert(fid);
+                    if shards[to].sim.world_mut().deposit_seam(local, entries) {
+                        shards[to]
+                            .sim
+                            .schedule_at(now, Ev::MigrantFlush { client: local });
+                    }
+                }
+                self.send(shards, to, now, SeamMsg::ForwardAck { fid, src });
+            }
+            SeamMsg::ForwardAck { fid, src } => {
+                if self.fwd_pending.remove(&fid).is_none() {
+                    shards[src].sim.world_mut().sys.migration_dups_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Retries due prepares and forwards; past the retry budget a prepare
+    /// aborts (the source readopts the client — graceful degradation) and
+    /// a forward surfaces as seam loss at its origin.
+    fn sweep(&mut self, shards: &mut [Shard], now: SimTime) {
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.next_retry)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in due {
+            if self.pending[&seq].attempts >= self.mig.max_attempts {
+                let p = self.pending.remove(&seq).unwrap();
+                self.aborted.insert(seq);
+                {
+                    let w = shards[p.from].sim.world_mut();
+                    w.sys.migration_aborts += 1;
+                    w.readopt_client(p.src_client, &p.record);
+                }
+                if !p.trailing.is_empty()
+                    && shards[p.from]
+                        .sim
+                        .world_mut()
+                        .deposit_seam(p.src_client, p.trailing)
+                {
+                    shards[p.from].sim.schedule_at(
+                        now,
+                        Ev::MigrantFlush {
+                            client: p.src_client,
+                        },
+                    );
+                }
+                // Retirement let the client's timer chains die
+                // unrescheduled; relaunch them.
+                prime_migrant_events(&mut shards[p.from].sim, p.src_client);
+            } else {
+                let (from, msg) = {
+                    let term = shards[self.pending[&seq].from].sim.world().ctrl.engine.term();
+                    let p = self.pending.get_mut(&seq).unwrap();
+                    p.attempts += 1;
+                    p.next_retry = now + self.mig.retry_delay(p.attempts);
+                    (
+                        p.from,
+                        SeamMsg::Prepare {
+                            seq,
+                            from: p.from,
+                            to: p.to,
+                            src_client: p.src_client,
+                            term,
+                            exported_at: p.exported_at,
+                            spec: p.spec.clone(),
+                            record: p.record.clone(),
+                        },
+                    )
+                };
+                shards[from].sim.world_mut().sys.migration_retries += 1;
+                self.send(shards, from, now, msg);
+            }
+        }
+        let due_fwd: Vec<u64> = self
+            .fwd_pending
+            .iter()
+            .filter(|(_, p)| now >= p.next_retry)
+            .map(|(&f, _)| f)
+            .collect();
+        for fid in due_fwd {
+            if self.fwd_pending[&fid].attempts >= self.mig.max_attempts {
+                let p = self.fwd_pending.remove(&fid).unwrap();
+                let bytes: u64 = p
+                    .entries
+                    .iter()
+                    .map(|e| e.payload.packet().len_bytes as u64)
+                    .sum();
+                shards[p.src]
+                    .sim
+                    .world_mut()
+                    .count_seam_loss(p.entries.len() as u64, bytes);
+            } else {
+                let (src, msg) = {
+                    let p = self.fwd_pending.get_mut(&fid).unwrap();
+                    p.attempts += 1;
+                    p.next_retry = now + self.mig.retry_delay(p.attempts);
+                    (
+                        p.src,
+                        SeamMsg::Forward {
+                            fid,
+                            src: p.src,
+                            to: p.to,
+                            local: p.local,
+                            entries: p.entries.clone(),
+                        },
+                    )
+                };
+                shards[src].sim.world_mut().sys.migration_retries += 1;
+                self.send(shards, src, now, msg);
+            }
+        }
+    }
+}
+
+/// One boundary crossing (for assertions and the scaling report). Under
+/// the two-phase protocol this marks the *export* — the retirement and
+/// prepare send; the destination admits when the prepare delivers, at
+/// least one barrier later.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Migration {
-    /// Barrier at which the crossing was applied.
+    /// Barrier at which the client was exported.
     pub at: SimTime,
     /// Source shard.
     pub from: usize,
@@ -269,7 +762,8 @@ impl ShardedRunResult {
             "{{\"events\":{},\"migrations\":[{}],\"shards\":[{}],\
              \"departed_ctrl_drops\":{},\"departed_data_drops\":{},\
              \"departed_data_bytes\":{},\"seam_forwarded\":{},\
-             \"residue_transferred\":{}}}",
+             \"residue_transferred\":{},\"migration_retries\":{},\
+             \"migration_dups_dropped\":{},\"migration_aborts\":{}}}",
             self.events,
             mig.trim_end_matches(','),
             per_shard,
@@ -278,6 +772,9 @@ impl ShardedRunResult {
             self.sys.departed_data_bytes,
             self.sys.seam_forwarded,
             self.sys.residue_transferred,
+            self.sys.migration_retries,
+            self.sys.migration_dups_dropped,
+            self.sys.migration_aborts,
         )
     }
 }
@@ -369,11 +866,11 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
     let ring = scenario.ring;
     let naive = scenario.naive_handoff;
     let flows = scenario.flows.clone();
-    // Persistent routing table: (shard, retired local index) → (shard,
-    // local index) of the client's next hop. Seam datagrams captured after
-    // a client left follow this chain to wherever it currently lives.
-    let mut route: Vec<std::collections::HashMap<usize, (usize, usize)>> =
-        vec![std::collections::HashMap::new(); n];
+    // Persistent routing table: installed when a handoff *commits*. Seam
+    // datagrams captured after a client left follow this chain to
+    // wherever it currently lives.
+    let mut route: RouteTable = vec![std::collections::HashMap::new(); n];
+    let mut seam = SeamState::new(scenario.seed, scenario.config.migration);
     let started = std::time::Instant::now();
     drive(
         &mut shards,
@@ -382,8 +879,15 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
         end,
         epoch,
         |shards, now| {
-            // Stage: ascending sender shard id, ascending client index —
-            // the (sender, sequence) total order of the lockstep contract.
+            // 1. Deliver seam frames sent before this barrier: prepares
+            // admit migrants, commits release retained records, forwards
+            // deposit chased residue. (The naive shim has no channel.)
+            if !naive {
+                seam.deliver_due(shards, &mut route, now);
+            }
+            // 2. Stage boundary crossings: ascending sender shard id,
+            // ascending client index — the (sender, sequence) total order
+            // of the lockstep contract.
             let mut staged: Vec<(usize, usize)> = Vec::new(); // (from, local client)
             for (i, shard) in shards.iter().enumerate() {
                 let w = shard.sim.world();
@@ -393,12 +897,12 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                     }
                 }
             }
-            // Apply serially in staging order: retire at the source —
-            // exporting the client's migration record — and admit at the
-            // destination with the position translated exactly and the
-            // record imported, so switch epochs resume above the source's
-            // high-water, recent dedup keys stay primed across the seam,
-            // and the undelivered residue is re-enqueued instead of lost.
+            // Export serially in staging order: retire at the source and
+            // start the two-phase handoff — the record (switch-epoch
+            // high-water, primed dedup keys, undelivered residue) stays
+            // retained at the source until the destination commits. The
+            // naive shim admits a fresh identity immediately and drops
+            // the record, charging its residue as seam loss.
             for (from, c) in staged {
                 let to = if from + 1 < n {
                     from + 1
@@ -412,7 +916,13 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                     w.clients[c].position(now).x - exit_x
                 };
                 let rec = shards[from].sim.world_mut().retire_client(c, now);
-                if to != usize::MAX {
+                if to == usize::MAX {
+                    // Corridor exit: nothing to hand the record to.
+                    shards[from]
+                        .sim
+                        .world_mut()
+                        .count_seam_loss(rec.residue.len() as u64, rec.residue_bytes());
+                } else {
                     let spec = MigrantSpec {
                         entry_x: lo - scenario.entry_lead_m + overshoot,
                         lane_y,
@@ -420,43 +930,38 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                         flows: flows.clone(),
                         log_deliveries: false,
                     };
-                    let record = if naive { None } else { Some(&rec) };
-                    let local = shards[to].sim.world_mut().admit_migrant(&spec, record, now);
-                    prime_migrant_events(&mut shards[to].sim, local);
-                    route[from].insert(c, (to, local));
                     if naive {
-                        // The shim throws the record away; charge its
-                        // residue as seam loss at the source.
+                        let local = shards[to].sim.world_mut().admit_migrant(&spec, None, now);
+                        prime_migrant_events(&mut shards[to].sim, local);
                         shards[from]
                             .sim
                             .world_mut()
                             .count_seam_loss(rec.residue.len() as u64, rec.residue_bytes());
+                    } else {
+                        seam.export(shards, now, from, to, c, spec, rec);
                     }
-                } else {
-                    // Corridor exit: nothing to hand the record to.
-                    shards[from]
-                        .sim
-                        .world_mut()
-                        .count_seam_loss(rec.residue.len() as u64, rec.residue_bytes());
                 }
                 migrations.push(Migration { at: now, from, to });
             }
-            // Forward seam outboxes: datagrams that reached a shard after
-            // their client had already left (downlink still in flight
-            // through the backhaul, late uplink copies, unacked-requeue
-            // spill). Drained ascending (shard, client), routed along the
-            // migration chain to the client's current residence.
+            // 3. Retry/abort sweep: re-send overdue prepares and
+            // forwards; past the budget, abort the handoff and readopt
+            // the client at the source.
+            if !naive {
+                seam.sweep(shards, now);
+            }
+            // 4. Drain seam outboxes: datagrams that reached a shard
+            // after their client had already left (downlink still in
+            // flight through the backhaul, late uplink copies,
+            // unacked-requeue spill). Drained ascending (shard, client):
+            // committed destinations get an acked forward, un-committed
+            // handoffs accumulate the batch as trailing residue, and a
+            // readopted client takes its datagrams back directly.
             for from in 0..n {
                 let drained = shards[from].sim.world_mut().drain_outbox();
                 for (c, entries) in drained {
-                    let (mut s, mut lc) = (from, c);
-                    while let Some(&(ns, nc)) = route[s].get(&lc) {
-                        s = ns;
-                        lc = nc;
-                    }
-                    if naive || (s == from && lc == c) {
-                        // No destination (corridor exit) or the shim is
-                        // active: the datagrams die at the seam.
+                    if naive {
+                        // The shim has no forwarding channel: the
+                        // datagrams die at the seam.
                         let bytes: u64 = entries
                             .iter()
                             .map(|e| e.payload.packet().len_bytes as u64)
@@ -467,13 +972,43 @@ pub fn run_sharded(scenario: &ShardedScenario, workers: usize) -> ShardedRunResu
                             .count_seam_loss(entries.len() as u64, bytes);
                         continue;
                     }
-                    if shards[s].sim.world_mut().deposit_seam(lc, entries) {
-                        // Already associated — the first-association flush
-                        // has run; schedule an explicit re-injection.
-                        shards[s]
-                            .sim
-                            .schedule_at(now, crate::world::Ev::MigrantFlush { client: lc });
+                    let (mut s, mut lc) = (from, c);
+                    while let Some(&(ns, nc)) = route[s].get(&lc) {
+                        s = ns;
+                        lc = nc;
                     }
+                    if s != from || lc != c {
+                        seam.queue_forward(shards, now, from, s, lc, entries);
+                        continue;
+                    }
+                    if let Some(p) = seam
+                        .pending
+                        .values_mut()
+                        .find(|p| p.from == from && p.src_client == c)
+                    {
+                        p.trailing.extend(entries);
+                        continue;
+                    }
+                    if shards[from].sim.world().is_resident(c) {
+                        // Aborted and readopted: the datagrams return to
+                        // the client itself.
+                        if shards[from].sim.world_mut().deposit_seam(c, entries) {
+                            shards[from]
+                                .sim
+                                .schedule_at(now, Ev::MigrantFlush { client: c });
+                        }
+                        continue;
+                    }
+                    // Departed with no route, no pending handoff, and no
+                    // readoption: the client left a non-ring corridor.
+                    let bytes: u64 = entries
+                        .iter()
+                        .map(|e| e.payload.packet().len_bytes as u64)
+                        .sum();
+                    shards[from]
+                        .sim
+                        .world_mut()
+                        .count_seam_loss(entries.len() as u64, bytes);
                 }
             }
         },
@@ -523,13 +1058,19 @@ mod tests {
             "6 s at 35 mph must cross a 22.5 m cluster + 40 m gap"
         );
         assert_eq!(r.sys.migrated_out, r.migrations.len() as u64);
-        assert_eq!(
+        // Admission happens when the prepare delivers, one barrier after
+        // the export — so `migrated_in` trails by at most the handoffs
+        // still in flight at the end of the run (one per vehicle).
+        let crossings = r.migrations.iter().filter(|m| m.to != usize::MAX).count() as u64;
+        let vehicles = 2;
+        assert!(r.sys.migrated_in <= crossings);
+        assert!(
+            r.sys.migrated_in + vehicles >= crossings,
+            "migrated_in {} lags crossings {} by more than the fleet",
             r.sys.migrated_in,
-            r.migrations.iter().filter(|m| m.to != usize::MAX).count() as u64
+            crossings
         );
-        // Migrants re-associate in the destination cluster: at least one
-        // shard-1 association exists even though both vehicles started
-        // elsewhere only 22.5 m of APs away.
+        assert!(r.sys.migrated_in > 0, "no handoff ever committed");
         for m in &r.migrations {
             assert!(m.to != usize::MAX, "ring corridor never drops vehicles");
         }
@@ -633,6 +1174,88 @@ mod tests {
         let reference = run_sharded(&s, 1).fingerprint();
         let got = run_sharded(&s, 2).fingerprint();
         assert_eq!(reference, got);
+    }
+
+    /// `tiny()` with seam loss and duplication windows covering the whole
+    /// run (settle margin included) on every shard.
+    fn seam_faulted(loss: f64, dup: f64) -> ShardedScenario {
+        let mut s = tiny();
+        let horizon = SimTime::ZERO + s.duration + SimDuration::from_secs(1);
+        let mut fs = FaultSchedule::new();
+        if loss > 0.0 {
+            fs = fs.with_migration_loss(SimTime::ZERO, horizon, loss);
+        }
+        if dup > 0.0 {
+            fs = fs.with_migration_dup(SimTime::ZERO, horizon, dup);
+        }
+        s.shard_faults = vec![fs.clone(), fs];
+        s
+    }
+
+    #[test]
+    fn seam_faults_are_retried_deduped_and_lose_nothing() {
+        let s = seam_faulted(0.5, 0.5);
+        let r = run_sharded(&s, 1);
+        assert!(
+            r.sys.migration_retries > 0,
+            "50% seam loss must force prepare retries"
+        );
+        assert!(
+            r.sys.migration_dups_dropped > 0,
+            "50% duplication must hit the idempotence ledger"
+        );
+        assert_eq!(
+            r.sys.departed_data_drops, 0,
+            "the two-phase handoff must not lose seam data under loss+dup"
+        );
+        assert_eq!(r.sys.departed_data_bytes, 0);
+        assert!(r.sys.migrated_in > 0, "no handoff ever committed");
+        // The protocol's RNG draws happen only in the serial barrier, so
+        // the faulty run is still worker-count invariant.
+        let reference = r.fingerprint();
+        assert_eq!(reference, run_sharded(&s, 2).fingerprint());
+    }
+
+    #[test]
+    fn sustained_seam_outage_aborts_readopts_and_recovers() {
+        let mut s = tiny();
+        // Fast retry budget so aborts fit inside the outage window.
+        s.config.migration.retry_timeout = SimDuration::from_millis(50);
+        s.config.migration.backoff = 1.0;
+        s.config.migration.max_attempts = 3;
+        // Total seam blackout covering the first boundary crossings
+        // (~4.0 s at 35 mph), healing before the run ends.
+        let fs = FaultSchedule::new().with_migration_loss(
+            SimTime::from_secs(3),
+            SimTime::from_secs(5),
+            1.0,
+        );
+        s.shard_faults = vec![fs.clone(), fs];
+        let r = run_sharded(&s, 1);
+        assert!(
+            r.sys.migration_aborts > 0,
+            "a total outage outlasting the retry budget must abort"
+        );
+        assert_eq!(
+            r.sys.departed_data_drops, 0,
+            "aborted handoffs readopt the client — nothing is lost"
+        );
+        assert_eq!(r.sys.departed_data_bytes, 0);
+        // Once the seam heals, the readopted vehicles re-export at the
+        // next barrier and the handoff completes.
+        assert!(
+            r.sys.migrated_in > 0,
+            "readopted clients must migrate after the outage heals"
+        );
+        assert_eq!(r.fingerprint(), run_sharded(&s, 2).fingerprint());
+    }
+
+    #[test]
+    fn degenerate_migration_policy_is_rejected() {
+        let mut s = tiny();
+        s.config.migration.max_attempts = 0;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("max_attempts"), "{err}");
     }
 
     #[test]

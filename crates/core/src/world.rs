@@ -1007,10 +1007,14 @@ impl WgttWorld {
 
     /// Deposits late seam datagrams (outbox forwards from a barrier after
     /// the client's admission) into its pending-import buffer, rewritten
-    /// into this world's id space. Returns `true` if the client is already
-    /// associated — the caller must then schedule an [`Ev::MigrantFlush`]
-    /// to re-inject them, since the first-association hook has already
-    /// run.
+    /// into this world's id space. If the client has *already departed
+    /// onward* by the time the batch lands (it crossed another boundary
+    /// while the forward was in flight), the datagrams are re-captured
+    /// into this slot's own seam outbox so the next barrier chases them
+    /// along the route chain instead of dropping them. Returns `true` if
+    /// the client is resident and already associated — the caller must
+    /// then schedule an [`Ev::MigrantFlush`] to re-inject, since the
+    /// first-association hook has already run.
     pub fn deposit_seam(&mut self, c: usize, entries: Vec<SeamEntry>) -> bool {
         let id = ClientId(c as u32);
         let flow_ids = self.client_flow_ids(c);
@@ -1023,7 +1027,11 @@ impl WgttWorld {
                     p.flow = fid;
                     p.index = None;
                     self.sys.seam_forwarded += 1;
-                    self.pending_import[c].push(payload);
+                    if self.departed[c] {
+                        self.capture_seam(c, payload);
+                    } else {
+                        self.pending_import[c].push(payload);
+                    }
                 }
                 None => {
                     self.sys.departed_data_drops += 1;
@@ -1031,7 +1039,47 @@ impl WgttWorld {
                 }
             }
         }
-        self.clients[c].serving.is_some()
+        !self.departed[c] && self.clients[c].serving.is_some()
+    }
+
+    /// Reverses a retirement whose two-phase handoff **aborted**: the
+    /// destination never acknowledged the `MigratePrepare` within the
+    /// retry budget, so the source — which retained the full record —
+    /// readopts the client (DESIGN.md §6f graceful degradation). The
+    /// record is re-applied through the same import path a destination
+    /// would use; every identity field maps back onto itself (resume to
+    /// the exported counters is a no-op because the departed-event guard
+    /// froze the client's streams at retirement), and the residue returns
+    /// to `pending_import` for the next association to flush. The caller
+    /// must re-prime the client's timer chains with
+    /// [`prime_migrant_events`] — retirement let them die unrescheduled.
+    pub fn readopt_client(&mut self, c: usize, record: &MigrationRecord) {
+        assert!(self.departed[c], "client {c} is not departed");
+        self.departed[c] = false;
+        if let Some(imported) = self.import_record(c, Some(record)) {
+            self.pending_import[c].extend(imported);
+        }
+    }
+
+    /// Idempotently re-applies a migration record to a client this world
+    /// **already admitted** — the merge path for a re-exported
+    /// `MigratePrepare` (the source aborted on a lost commit, readopted,
+    /// and handed the client over again at its next boundary pass). Only
+    /// the monotone halves of the import run: the epoch space joins by
+    /// max and dedup-key priming is a no-op for seen keys, but the
+    /// ident/sequence streams are *not* resumed — the live incarnation
+    /// has advanced them past the record, and rewinding would stall the
+    /// flow behind the sink's sequence filter. Residue rides the normal
+    /// late-forward deposit, where anything both incarnations delivered
+    /// collapses at the end-to-end dedup layers. Returns `true` when the
+    /// client is resident and associated (caller schedules a flush).
+    pub fn reimport_migrant(&mut self, c: usize, record: &MigrationRecord) -> bool {
+        if !self.departed[c] {
+            let id = ClientId(c as u32);
+            self.ctrl
+                .merge_migration(id, record.epoch_max, &record.dedup_idents);
+        }
+        self.deposit_seam(c, record.residue.clone())
     }
 
     /// Counts a migration record (or outbox batch) that could not be

@@ -129,6 +129,23 @@ pub struct ReorderWindow {
     pub window: SimDuration,
 }
 
+/// Seam-migration fault window: during `[from, until)` each
+/// inter-controller migration frame (prepare, commit, residue forward, or
+/// ack) crossing the shard seam is independently affected with `prob` —
+/// lost for windows in [`FaultSchedule::migration_loss`], delivered a
+/// second time for windows in [`FaultSchedule::migration_dup`]. These
+/// target only the controller-to-controller transfer channel, never
+/// AP-to-controller traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationFaultWindow {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Per-frame loss or duplication probability.
+    pub prob: f64,
+}
+
 /// The aggregate backhaul impairment in effect at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BackhaulImpairment {
@@ -198,6 +215,10 @@ pub struct FaultSchedule {
     pub duplication: Vec<DupWindow>,
     /// Backhaul reordering windows.
     pub reordering: Vec<ReorderWindow>,
+    /// Seam-migration frame loss windows.
+    pub migration_loss: Vec<MigrationFaultWindow>,
+    /// Seam-migration frame duplication windows.
+    pub migration_dup: Vec<MigrationFaultWindow>,
 }
 
 impl FaultSchedule {
@@ -208,15 +229,38 @@ impl FaultSchedule {
 
     /// Whether nothing is scheduled — the healthy fast path.
     pub fn is_empty(&self) -> bool {
-        self.ap_outages.is_empty()
-            && self.backhaul.is_empty()
-            && self.partitions.is_empty()
-            && self.controller_crashes.is_empty()
-            && self.controller_failovers.is_empty()
-            && self.journal_lag.is_empty()
-            && self.csi_drops.is_empty()
-            && self.duplication.is_empty()
-            && self.reordering.is_empty()
+        self.window_count() == 0
+    }
+
+    /// Total number of fault windows across every family. The exhaustive
+    /// destructure makes adding a window family without counting it here a
+    /// compile error — `is_empty` (the healthy fast path) and the storm
+    /// shrinker both lean on this being complete.
+    pub fn window_count(&self) -> usize {
+        let Self {
+            ap_outages,
+            backhaul,
+            partitions,
+            controller_crashes,
+            controller_failovers,
+            journal_lag,
+            csi_drops,
+            duplication,
+            reordering,
+            migration_loss,
+            migration_dup,
+        } = self;
+        ap_outages.len()
+            + backhaul.len()
+            + partitions.len()
+            + controller_crashes.len()
+            + controller_failovers.len()
+            + journal_lag.len()
+            + csi_drops.len()
+            + duplication.len()
+            + reordering.len()
+            + migration_loss.len()
+            + migration_dup.len()
     }
 
     /// Asserts a new `[from, until)` window is non-empty and disjoint from
@@ -399,6 +443,35 @@ impl FaultSchedule {
         self
     }
 
+    /// Adds a seam-migration frame **loss** window (builder style): each
+    /// migration frame sent across a shard seam while the window is open
+    /// is independently dropped with probability `prob`.
+    pub fn with_migration_loss(mut self, from: SimTime, until: SimTime, prob: f64) -> Self {
+        assert!(from < until, "migration loss window must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&prob) && prob > 0.0,
+            "migration loss probability must be in (0, 1]"
+        );
+        self.migration_loss
+            .push(MigrationFaultWindow { from, until, prob });
+        self
+    }
+
+    /// Adds a seam-migration frame **duplication** window (builder style):
+    /// each migration frame sent across a shard seam while the window is
+    /// open is independently delivered a second time with probability
+    /// `prob` — the retry/idempotence machinery must absorb the copy.
+    pub fn with_migration_dup(mut self, from: SimTime, until: SimTime, prob: f64) -> Self {
+        assert!(from < until, "migration dup window must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&prob) && prob > 0.0,
+            "migration dup probability must be in (0, 1]"
+        );
+        self.migration_dup
+            .push(MigrationFaultWindow { from, until, prob });
+        self
+    }
+
     /// Whether AP `ap` is dead at `t`.
     pub fn ap_down(&self, ap: usize, t: SimTime) -> bool {
         self.ap_outages
@@ -477,6 +550,29 @@ impl FaultSchedule {
         for w in &self.csi_drops {
             if w.from <= t && t < w.until {
                 keep *= 1.0 - w.drop_prob.clamp(0.0, 1.0);
+            }
+        }
+        1.0 - keep
+    }
+
+    /// Seam-migration frame loss probability at `t` (independent windows
+    /// compose). Zero when no window is open, so fault-free seams never
+    /// consume randomness.
+    pub fn migration_loss_prob(&self, t: SimTime) -> f64 {
+        Self::migration_prob_at(&self.migration_loss, t)
+    }
+
+    /// Seam-migration frame duplication probability at `t` (independent
+    /// windows compose).
+    pub fn migration_dup_prob(&self, t: SimTime) -> f64 {
+        Self::migration_prob_at(&self.migration_dup, t)
+    }
+
+    fn migration_prob_at(windows: &[MigrationFaultWindow], t: SimTime) -> f64 {
+        let mut keep = 1.0f64;
+        for w in windows {
+            if w.from <= t && t < w.until {
+                keep *= 1.0 - w.prob.clamp(0.0, 1.0);
             }
         }
         1.0 - keep
@@ -847,6 +943,40 @@ mod tests {
             SimDuration::from_millis(100),
             1.0,
         );
+    }
+
+    #[test]
+    fn migration_fault_windows_compose_and_stay_seam_scoped() {
+        let s = FaultSchedule::new()
+            .with_migration_loss(t(0), t(1000), 0.5)
+            .with_migration_loss(t(500), t(1500), 0.5)
+            .with_migration_dup(t(200), t(800), 0.1);
+        assert!(!s.is_empty());
+        assert_eq!(s.window_count(), 3);
+        // Half-open windows, independent composition in the overlap.
+        assert!((s.migration_loss_prob(t(100)) - 0.5).abs() < 1e-12);
+        assert!((s.migration_loss_prob(t(700)) - 0.75).abs() < 1e-12);
+        assert_eq!(s.migration_loss_prob(t(1500)), 0.0);
+        assert!((s.migration_dup_prob(t(500)) - 0.1).abs() < 1e-12);
+        assert_eq!(s.migration_dup_prob(t(900)), 0.0);
+        // Seam windows never leak into the AP/controller fault queries:
+        // the backhaul, AP, and controller timelines all stay healthy.
+        assert!(s.backhaul_at(t(700)).is_noop());
+        assert!(!s.ap_down(0, t(700)));
+        assert!(!s.controller_down(t(700)));
+        assert!(s.edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-empty")]
+    fn zero_length_migration_loss_rejected() {
+        let _ = FaultSchedule::new().with_migration_loss(t(100), t(100), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn out_of_range_migration_dup_rejected() {
+        let _ = FaultSchedule::new().with_migration_dup(t(0), t(100), 1.5);
     }
 
     #[test]

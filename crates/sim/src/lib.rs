@@ -36,12 +36,14 @@ pub mod lockstep;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod storm;
 pub mod time;
 
 pub use engine::{Ctx, EnginePerf, Simulator, World};
 pub use fault::{
     ApOutage, BackhaulFault, BackhaulImpairment, ControllerOutage, CsiDropWindow, DupWindow,
-    FaultEdge, FaultSchedule, JournalLagWindow, PartitionWindow, ReorderWindow,
+    FaultEdge, FaultSchedule, JournalLagWindow, MigrationFaultWindow, PartitionWindow,
+    ReorderWindow,
 };
 pub use lockstep::{worker_count, LockstepShard, WORKERS_ENV};
 pub use queue::{EventKey, EventQueue};
